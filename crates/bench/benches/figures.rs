@@ -1,0 +1,124 @@
+//! Regenerates every figure/table of the paper's dataset analysis and
+//! prediction evaluation (Table 2, Figures 3–6, 8, 9a–c, the FCC result)
+//! and reports how long each regeneration takes.
+//!
+//! Each bench prints its headline numbers once, so `cargo bench` output
+//! doubles as a compact reproduction report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs2p_bench::materials;
+use cs2p_eval::experiments::{dataset_figs, prediction};
+use std::hint::black_box;
+
+fn bench_dataset_figs(c: &mut Criterion) {
+    let m = materials();
+
+    let r = dataset_figs::dataset_report(m);
+    println!(
+        "[table2/fig3] {} sessions, median duration {:.0}s, median epoch {:.2} Mbps",
+        r.stats.n_sessions,
+        r.stats.median_duration(),
+        r.stats.median_throughput()
+    );
+    c.bench_function("table2_fig3_dataset_report", |b| {
+        b.iter(|| black_box(dataset_figs::dataset_report(m)))
+    });
+
+    let r = dataset_figs::obs1(m);
+    println!(
+        "[obs1] CoV>=30%: {:.1}%, CoV>=50%: {:.1}%",
+        r.cov_ge_30 * 100.0,
+        r.cov_ge_50 * 100.0
+    );
+    let mut g = c.benchmark_group("dataset_analysis");
+    g.sample_size(10);
+    g.bench_function("obs1_variability", |b| b.iter(|| black_box(dataset_figs::obs1(m))));
+
+    let r = dataset_figs::fig4(m);
+    println!(
+        "[fig4] example trace {} epochs, lag-1 autocorr {:.3}, {} scatter points",
+        r.example_trace.len(),
+        r.example_lag1_autocorr,
+        r.scatter.len()
+    );
+    g.bench_function("fig4_stateful_behaviour", |b| {
+        b.iter(|| black_box(dataset_figs::fig4(m)))
+    });
+
+    let r = dataset_figs::fig5(m);
+    println!(
+        "[fig5] cluster initial-throughput medians: {:?}",
+        r.cdfs
+            .iter()
+            .map(|cdf| (cdf.median() * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    g.bench_function("fig5_cluster_cdfs", |b| b.iter(|| black_box(dataset_figs::fig5(m))));
+
+    let r = dataset_figs::fig6(m);
+    let (triple, best_single) = r.triple_vs_best_single();
+    println!("[fig6] triple stddev {triple:.3} vs best single-feature {best_single:.3}");
+    g.bench_function("fig6_feature_combinations", |b| {
+        b.iter(|| black_box(dataset_figs::fig6(m)))
+    });
+    g.finish();
+}
+
+fn bench_prediction_figs(c: &mut Criterion) {
+    let m = materials();
+
+    let r = prediction::fig8(m);
+    println!("[fig8] {} states over cluster {}", r.states.len(), r.cluster);
+    c.bench_function("fig8_example_hmm", |b| b.iter(|| black_box(prediction::fig8(m))));
+
+    let r = prediction::fig9a(m);
+    println!(
+        "[fig9a] initial error medians: CS2P {:.3} vs LM-client {:.3} / LM-server {:.3}",
+        r.median_of("CS2P").unwrap_or(f64::NAN),
+        r.median_of("LM-client").unwrap_or(f64::NAN),
+        r.median_of("LM-server").unwrap_or(f64::NAN)
+    );
+    let mut g = c.benchmark_group("slow_figures");
+    g.sample_size(10);
+    g.bench_function("fig9a_initial_error_cdf", |b| {
+        b.iter(|| black_box(prediction::fig9a(m)))
+    });
+
+    let r = prediction::fig9b(m);
+    println!(
+        "[fig9b] midstream error medians: CS2P {:.3}, LS {:.3}, HM {:.3}, AR {:.3}, GHM {:.3} (improvement {:.1}%)",
+        r.median_of("CS2P").unwrap_or(f64::NAN),
+        r.median_of("LS").unwrap_or(f64::NAN),
+        r.median_of("HM").unwrap_or(f64::NAN),
+        r.median_of("AR").unwrap_or(f64::NAN),
+        r.median_of("GHM").unwrap_or(f64::NAN),
+        r.cs2p_median_improvement().unwrap_or(f64::NAN) * 100.0
+    );
+    g.bench_function("fig9b_midstream_error_cdf", |b| {
+        b.iter(|| black_box(prediction::fig9b(m)))
+    });
+
+    let r = prediction::fig9c(m, 10);
+    println!(
+        "[fig9c] CS2P error at horizons 1/5/10: {:.3}/{:.3}/{:.3}",
+        r.series_of("CS2P").map(|s| s[0]).unwrap_or(f64::NAN),
+        r.series_of("CS2P").map(|s| s[4]).unwrap_or(f64::NAN),
+        r.series_of("CS2P").map(|s| s[9]).unwrap_or(f64::NAN)
+    );
+    g.bench_function("fig9c_lookahead_horizon", |b| {
+        b.iter(|| black_box(prediction::fig9c(m, 10)))
+    });
+
+    let r = prediction::fcc(m, 2_000);
+    println!(
+        "[fcc] initial error: FCC {:.3} vs iQiyi-like {:.3}",
+        r.fcc_median_error, r.iqiyi_median_error
+    );
+    g.bench_function("fcc_rich_features", |b| {
+        b.iter(|| black_box(prediction::fcc(m, 2_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(figures, bench_dataset_figs, bench_prediction_figs);
+criterion_main!(figures);

@@ -1,0 +1,77 @@
+//! Regenerates the QoE experiments (Table 1, Figure 2, §7.3's midstream
+//! and initial comparisons, the §7.5 pilot) and times each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs2p_bench::materials;
+use cs2p_eval::experiments::{pilot, qoe};
+use std::hint::black_box;
+
+fn bench_qoe(c: &mut Criterion) {
+    let m = materials();
+    let mut g = c.benchmark_group("qoe");
+    g.sample_size(10);
+
+    let r = qoe::table1(m, 30);
+    for row in &r.rows {
+        println!(
+            "[table1] {:<22} init {:>5.0} kbps, wasted {:>4.1}, avg {:>5.0} kbps",
+            row.strategy, row.initial_bitrate_kbps, row.wasted_chunks, row.avg_bitrate_kbps
+        );
+    }
+    g.bench_function("table1_initial_selection", |b| {
+        b.iter(|| black_box(qoe::table1(m, 30)))
+    });
+
+    let levels = [0.0, 0.2, 0.5, 1.0];
+    let r = qoe::fig2(m, &levels, 15);
+    println!(
+        "[fig2] MPC n-QoE at error 0/0.2/0.5/1.0: {:.3}/{:.3}/{:.3}/{:.3}; BB {:.3}",
+        r.mpc_nqoe[0], r.mpc_nqoe[1], r.mpc_nqoe[2], r.mpc_nqoe[3], r.bb_nqoe
+    );
+    g.bench_function("fig2_error_sweep", |b| {
+        b.iter(|| black_box(qoe::fig2(m, &levels, 15)))
+    });
+
+    let r = qoe::qoe_mid(m, 25);
+    println!(
+        "[qoe-mid] median n-QoE: CS2P {:.3}, GHM {:.3}, HM {:.3}, LS {:.3}, BB {:.3}",
+        r.median_nqoe("CS2P").unwrap_or(f64::NAN),
+        r.median_nqoe("GHM").unwrap_or(f64::NAN),
+        r.median_nqoe("HM").unwrap_or(f64::NAN),
+        r.median_nqoe("LS").unwrap_or(f64::NAN),
+        r.median_nqoe("BB").unwrap_or(f64::NAN)
+    );
+    g.bench_function("qoe_mid_predictor_comparison", |b| {
+        b.iter(|| black_box(qoe::qoe_mid(m, 25)))
+    });
+
+    let r = qoe::qoe_init(m, 60);
+    for row in &r.rows {
+        println!(
+            "[qoe-init] {:<14} init {:>5.0} kbps, sustainable {:>5.1}%, vs best {:.3}",
+            row.strategy,
+            row.initial_bitrate_kbps,
+            row.sustainable_fraction * 100.0,
+            row.bitrate_vs_best
+        );
+    }
+    g.bench_function("qoe_init_selection_quality", |b| {
+        b.iter(|| black_box(qoe::qoe_init(m, 60)))
+    });
+
+    let r = pilot::pilot(m, 12);
+    println!(
+        "[pilot] QoE {:+.1}%, bitrate {:+.1}%, rebuffer corr {:.3}, {} HTTP predictions",
+        r.qoe_improvement * 100.0,
+        r.bitrate_improvement * 100.0,
+        r.rebuffer_correlation(),
+        r.predictions_served
+    );
+    g.bench_function("pilot_real_server_loop", |b| {
+        b.iter(|| black_box(pilot::pilot(m, 6)))
+    });
+    g.finish();
+}
+
+criterion_group!(qoe_benches, bench_qoe);
+criterion_main!(qoe_benches);

@@ -1,0 +1,13 @@
+//! Shared setup for the benchmark harness: one lazily-prepared set of
+//! materials reused by every bench target, so Criterion timings measure
+//! the experiments rather than dataset generation.
+
+use cs2p_eval::{EvalConfig, Materials};
+use std::sync::OnceLock;
+
+/// Materials at the bench scale (smaller than the default experiment
+/// scale so a full `cargo bench` stays in minutes).
+pub fn materials() -> &'static Materials {
+    static CELL: OnceLock<Materials> = OnceLock::new();
+    CELL.get_or_init(|| Materials::prepare(EvalConfig::small()))
+}

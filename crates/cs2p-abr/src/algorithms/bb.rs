@@ -1,0 +1,92 @@
+//! Buffer-Based (BB) adaptation, after Huang et al. \[27\]: ignore
+//! throughput entirely and map the buffer level onto the ladder through a
+//! linear ramp between a *reservoir* and a *cushion*.
+
+use super::{AbrAlgorithm, AbrContext};
+
+/// The BB algorithm of the paper's comparisons (Figure 2's "BB" line).
+#[derive(Debug, Clone)]
+pub struct BufferBased {
+    /// Below this buffer level, always pick the lowest bitrate.
+    reservoir_seconds: f64,
+    /// Above `reservoir + cushion`, always pick the highest bitrate.
+    cushion_seconds: f64,
+}
+
+impl BufferBased {
+    /// BB with explicit reservoir/cushion.
+    pub fn new(reservoir_seconds: f64, cushion_seconds: f64) -> Self {
+        assert!(reservoir_seconds >= 0.0 && cushion_seconds > 0.0);
+        BufferBased {
+            reservoir_seconds,
+            cushion_seconds,
+        }
+    }
+}
+
+impl Default for BufferBased {
+    /// Defaults scaled to the paper's 30-second buffer: 5 s reservoir,
+    /// 20 s cushion.
+    fn default() -> Self {
+        BufferBased::new(5.0, 20.0)
+    }
+}
+
+impl AbrAlgorithm for BufferBased {
+    fn name(&self) -> &str {
+        "BB"
+    }
+
+    fn select_level(&mut self, ctx: &AbrContext) -> usize {
+        let n = ctx.video.n_levels();
+        let b = ctx.buffer_seconds;
+        if b <= self.reservoir_seconds {
+            return 0;
+        }
+        if b >= self.reservoir_seconds + self.cushion_seconds {
+            return n - 1;
+        }
+        let frac = (b - self.reservoir_seconds) / self.cushion_seconds;
+        // Linear ramp across the ladder.
+        ((frac * (n - 1) as f64).floor() as usize).min(n - 1)
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_ctx;
+    use super::*;
+    use crate::video::VideoSpec;
+
+    #[test]
+    fn reservoir_forces_lowest() {
+        let video = VideoSpec::envivio();
+        let mut bb = BufferBased::default();
+        let ctx = test_ctx(&video, &[Some(100.0)], 3.0, Some(4), 5);
+        assert_eq!(bb.select_level(&ctx), 0); // ignores the rosy prediction
+    }
+
+    #[test]
+    fn full_cushion_gives_highest() {
+        let video = VideoSpec::envivio();
+        let mut bb = BufferBased::default();
+        let ctx = test_ctx(&video, &[None], 26.0, None, 5);
+        assert_eq!(bb.select_level(&ctx), 4);
+    }
+
+    #[test]
+    fn ramp_is_monotone_in_buffer() {
+        let video = VideoSpec::envivio();
+        let mut bb = BufferBased::default();
+        let mut prev = 0;
+        for b in [6.0, 10.0, 14.0, 18.0, 22.0, 24.9] {
+            let ctx = test_ctx(&video, &[None], b, None, 3);
+            let level = bb.select_level(&ctx);
+            assert!(level >= prev, "level dropped as buffer grew");
+            prev = level;
+        }
+        assert!(prev >= 3);
+    }
+}

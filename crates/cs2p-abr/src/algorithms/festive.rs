@@ -1,0 +1,131 @@
+//! FESTIVE-style adaptation, after Jiang et al. \[31\]: harmonic-mean rate
+//! estimation with a conservative margin, immediate switch-down, and
+//! gradual switch-up (one rung at a time, only after the estimate has
+//! supported it for several consecutive chunks) for stability.
+
+use super::{AbrAlgorithm, AbrContext};
+
+/// The FESTIVE baseline.
+#[derive(Debug, Clone)]
+pub struct Festive {
+    /// Fraction of the estimated rate considered usable (paper: ~0.85).
+    margin: f64,
+    /// Chunks the estimate must support an upswitch before taking it.
+    switch_up_after: usize,
+    /// Consecutive chunks the estimate has supported a higher rung.
+    up_streak: usize,
+}
+
+impl Festive {
+    /// FESTIVE with explicit margin and up-switch patience.
+    pub fn new(margin: f64, switch_up_after: usize) -> Self {
+        assert!(margin > 0.0 && margin <= 1.0);
+        assert!(switch_up_after >= 1);
+        Festive {
+            margin,
+            switch_up_after,
+            up_streak: 0,
+        }
+    }
+}
+
+impl Default for Festive {
+    fn default() -> Self {
+        Festive::new(0.85, 2)
+    }
+}
+
+impl AbrAlgorithm for Festive {
+    fn name(&self) -> &str {
+        "FESTIVE"
+    }
+
+    fn select_level(&mut self, ctx: &AbrContext) -> usize {
+        let target = match ctx.next_prediction() {
+            Some(pred) => ctx.video.highest_sustainable(pred * self.margin),
+            None => 0,
+        };
+        let Some(last) = ctx.last_level else {
+            // First chunk: take the target directly (the predictor here is
+            // HM-like, so at session start this is usually the bottom rung).
+            return target;
+        };
+        use std::cmp::Ordering;
+        match target.cmp(&last) {
+            Ordering::Less => {
+                // Immediate switch down for safety.
+                self.up_streak = 0;
+                target
+            }
+            Ordering::Greater => {
+                self.up_streak += 1;
+                if self.up_streak >= self.switch_up_after {
+                    self.up_streak = 0;
+                    last + 1 // gradual: one rung at a time
+                } else {
+                    last
+                }
+            }
+            Ordering::Equal => {
+                self.up_streak = 0;
+                last
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.up_streak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_ctx;
+    use super::*;
+    use crate::video::VideoSpec;
+
+    #[test]
+    fn switches_down_immediately() {
+        let video = VideoSpec::envivio();
+        let mut f = Festive::default();
+        let preds = [Some(0.45)]; // 0.45 * 0.85 < 600 kbps
+        let ctx = test_ctx(&video, &preds, 15.0, Some(3), 5);
+        assert_eq!(f.select_level(&ctx), 0);
+    }
+
+    #[test]
+    fn switches_up_gradually_after_patience() {
+        let video = VideoSpec::envivio();
+        let mut f = Festive::new(1.0, 2);
+        let preds = [Some(10.0)];
+        // First supportive chunk: stay.
+        let ctx = test_ctx(&video, &preds, 15.0, Some(1), 5);
+        assert_eq!(f.select_level(&ctx), 1);
+        // Second supportive chunk: up one rung only.
+        let ctx = test_ctx(&video, &preds, 15.0, Some(1), 6);
+        assert_eq!(f.select_level(&ctx), 2);
+    }
+
+    #[test]
+    fn streak_resets_on_downswitch() {
+        let video = VideoSpec::envivio();
+        let mut f = Festive::new(1.0, 2);
+        let up = [Some(10.0)];
+        let down = [Some(0.3)];
+        let ctx = test_ctx(&video, &up, 15.0, Some(1), 1);
+        f.select_level(&ctx); // streak = 1
+        let ctx = test_ctx(&video, &down, 15.0, Some(1), 2);
+        assert_eq!(f.select_level(&ctx), 0); // down immediately
+        let ctx = test_ctx(&video, &up, 15.0, Some(0), 3);
+        assert_eq!(f.select_level(&ctx), 0); // streak restarted
+    }
+
+    #[test]
+    fn first_chunk_takes_target() {
+        let video = VideoSpec::envivio();
+        let mut f = Festive::default();
+        let preds = [Some(3.0)];
+        let ctx = test_ctx(&video, &preds, 0.0, None, 0);
+        assert_eq!(f.select_level(&ctx), 3); // 3.0 * 0.85 = 2.55 -> 2000 kbps
+    }
+}

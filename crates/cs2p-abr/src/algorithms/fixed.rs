@@ -1,0 +1,59 @@
+//! Fixed-bitrate playback — the Table-1 "NFL / Lynda" strategy: one
+//! bitrate for the whole session, chosen conservatively (or by the user).
+
+use super::{AbrAlgorithm, AbrContext};
+
+/// Plays a single ladder level throughout.
+#[derive(Debug, Clone)]
+pub struct FixedBitrate {
+    level: usize,
+}
+
+impl FixedBitrate {
+    /// Always plays ladder index `level`.
+    pub fn new(level: usize) -> Self {
+        FixedBitrate { level }
+    }
+
+    /// The conservative fixed player of Table 1: the lowest rung.
+    pub fn lowest() -> Self {
+        FixedBitrate { level: 0 }
+    }
+}
+
+impl AbrAlgorithm for FixedBitrate {
+    fn name(&self) -> &str {
+        "Fixed"
+    }
+
+    fn select_level(&mut self, ctx: &AbrContext) -> usize {
+        self.level.min(ctx.video.n_levels() - 1)
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_ctx;
+    use super::*;
+    use crate::video::VideoSpec;
+
+    #[test]
+    fn always_the_same_level() {
+        let video = VideoSpec::envivio();
+        let mut algo = FixedBitrate::new(2);
+        for chunk in 0..5 {
+            let ctx = test_ctx(&video, &[Some(10.0)], 20.0, Some(4), chunk);
+            assert_eq!(algo.select_level(&ctx), 2);
+        }
+    }
+
+    #[test]
+    fn clamps_to_ladder() {
+        let video = VideoSpec::envivio();
+        let mut algo = FixedBitrate::new(99);
+        let ctx = test_ctx(&video, &[None], 0.0, None, 0);
+        assert_eq!(algo.select_level(&ctx), 4);
+    }
+}

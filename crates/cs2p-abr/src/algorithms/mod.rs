@@ -1,0 +1,89 @@
+//! Bitrate adaptation algorithms.
+//!
+//! The paper's evaluation runs CS2P (and the baseline predictors) under
+//! MPC-based adaptation \[47\], against pure Rate-Based (RB), Buffer-Based
+//! (BB \[27\]), FESTIVE \[31\] and fixed-bitrate players. All algorithms
+//! implement [`AbrAlgorithm`] and are driven by the simulator in
+//! [`crate::sim`] (and by the real player in `cs2p-net`).
+
+mod bb;
+mod fast_mpc;
+mod festive;
+mod fixed;
+mod mpc;
+mod rb;
+mod robust_mpc;
+
+pub use bb::BufferBased;
+pub use fast_mpc::{FastMpc, FastMpcConfig};
+pub use festive::Festive;
+pub use fixed::FixedBitrate;
+pub use mpc::{Mpc, MpcConfig};
+pub use rb::RateBased;
+pub use robust_mpc::RobustMpc;
+
+use crate::video::VideoSpec;
+
+/// What an algorithm sees when choosing the next chunk's bitrate.
+#[derive(Debug, Clone)]
+pub struct AbrContext<'a> {
+    /// Index of the chunk about to be requested (0 = first).
+    pub chunk_index: usize,
+    /// Current buffer level, seconds.
+    pub buffer_seconds: f64,
+    /// Ladder index of the previously played chunk, if any.
+    pub last_level: Option<usize>,
+    /// Throughput predictions for the next `h` chunks, Mbps
+    /// (`predictions\[0\]` is the next chunk). Entries are `None` when the
+    /// predictor has nothing to say.
+    pub predictions_mbps: &'a [Option<f64>],
+    /// Throughput measured over the previous chunk's download, Mbps
+    /// (`None` before the first chunk). RobustMPC uses it to track
+    /// realized prediction error.
+    pub last_actual_mbps: Option<f64>,
+    /// The video being played.
+    pub video: &'a VideoSpec,
+}
+
+impl AbrContext<'_> {
+    /// The one-step prediction, if available.
+    pub fn next_prediction(&self) -> Option<f64> {
+        self.predictions_mbps.first().copied().flatten()
+    }
+}
+
+/// A bitrate adaptation algorithm.
+pub trait AbrAlgorithm {
+    /// Short name for reports (e.g. `"MPC"`, `"BB"`).
+    fn name(&self) -> &str;
+
+    /// Chooses the ladder index for the chunk described by `ctx`.
+    fn select_level(&mut self, ctx: &AbrContext) -> usize;
+
+    /// Clears per-session state.
+    fn reset(&mut self);
+
+    /// How many chunks of lookahead the algorithm wants in
+    /// [`AbrContext::predictions_mbps`] (1 for single-step methods).
+    fn horizon(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_ctx<'a>(
+    video: &'a VideoSpec,
+    predictions: &'a [Option<f64>],
+    buffer: f64,
+    last: Option<usize>,
+    chunk: usize,
+) -> AbrContext<'a> {
+    AbrContext {
+        chunk_index: chunk,
+        buffer_seconds: buffer,
+        last_level: last,
+        predictions_mbps: predictions,
+        last_actual_mbps: None,
+        video,
+    }
+}

@@ -1,0 +1,75 @@
+//! Rate-Based (RB) adaptation: pick the highest bitrate below the
+//! predicted throughput, optionally with a safety margin.
+
+use super::{AbrAlgorithm, AbrContext};
+
+/// Pure rate-matching ABR.
+#[derive(Debug, Clone)]
+pub struct RateBased {
+    /// Fraction of the prediction considered usable (1.0 = trust fully).
+    safety: f64,
+}
+
+impl RateBased {
+    /// RB with a safety factor in `(0, 1]`.
+    pub fn new(safety: f64) -> Self {
+        assert!(safety > 0.0 && safety <= 1.0);
+        RateBased { safety }
+    }
+}
+
+impl Default for RateBased {
+    fn default() -> Self {
+        RateBased { safety: 1.0 }
+    }
+}
+
+impl AbrAlgorithm for RateBased {
+    fn name(&self) -> &str {
+        "RB"
+    }
+
+    fn select_level(&mut self, ctx: &AbrContext) -> usize {
+        match ctx.next_prediction() {
+            Some(pred) => ctx.video.highest_sustainable(pred * self.safety),
+            // No information at all: start at the bottom.
+            None => 0,
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_ctx;
+    use super::*;
+    use crate::video::VideoSpec;
+
+    #[test]
+    fn tracks_prediction() {
+        let video = VideoSpec::envivio();
+        let mut rb = RateBased::default();
+        let preds = [Some(2.5)];
+        let ctx = test_ctx(&video, &preds, 10.0, None, 1);
+        assert_eq!(rb.select_level(&ctx), 3); // 2000 kbps <= 2500
+    }
+
+    #[test]
+    fn safety_margin_reduces_choice() {
+        let video = VideoSpec::envivio();
+        let mut rb = RateBased::new(0.5);
+        let preds = [Some(2.5)];
+        let ctx = test_ctx(&video, &preds, 10.0, None, 1);
+        assert_eq!(rb.select_level(&ctx), 2); // 1.25 Mbps budget -> 1000 kbps
+    }
+
+    #[test]
+    fn no_prediction_starts_low() {
+        let video = VideoSpec::envivio();
+        let mut rb = RateBased::default();
+        let preds = [None];
+        let ctx = test_ctx(&video, &preds, 10.0, None, 0);
+        assert_eq!(rb.select_level(&ctx), 0);
+    }
+}

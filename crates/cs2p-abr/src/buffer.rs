@@ -1,0 +1,125 @@
+//! Player buffer dynamics.
+//!
+//! The standard DASH buffer model (as in Yin et al.): while a chunk
+//! downloads for `d` seconds the buffer drains by `d`; if it empties the
+//! player stalls (rebuffering) for the remainder; when the chunk lands the
+//! buffer gains one chunk duration; and if that would exceed the capacity
+//! the player pauses *requesting* until there is room (no QoE penalty —
+//! playback continues during the pause).
+
+/// Playback buffer in seconds of video.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlayerBuffer {
+    level_seconds: f64,
+    capacity_seconds: f64,
+}
+
+/// Result of accounting one chunk download against the buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferUpdate {
+    /// Stall time incurred during this download, seconds.
+    pub rebuffer_seconds: f64,
+    /// Time the player must wait before requesting the next chunk
+    /// (buffer-full backpressure), seconds.
+    pub wait_seconds: f64,
+    /// Buffer level after the chunk was added (and before any wait),
+    /// clamped to capacity.
+    pub level_after_seconds: f64,
+}
+
+impl PlayerBuffer {
+    /// An empty buffer with the given capacity.
+    pub fn new(capacity_seconds: f64) -> Self {
+        assert!(capacity_seconds > 0.0);
+        PlayerBuffer {
+            level_seconds: 0.0,
+            capacity_seconds,
+        }
+    }
+
+    /// Current level in seconds.
+    pub fn level(&self) -> f64 {
+        self.level_seconds
+    }
+
+    /// Capacity in seconds.
+    pub fn capacity(&self) -> f64 {
+        self.capacity_seconds
+    }
+
+    /// Accounts a chunk that took `download_seconds` to arrive and adds
+    /// `chunk_seconds` of video.
+    pub fn complete_download(&mut self, download_seconds: f64, chunk_seconds: f64) -> BufferUpdate {
+        assert!(download_seconds >= 0.0 && chunk_seconds > 0.0);
+        let rebuffer = (download_seconds - self.level_seconds).max(0.0);
+        self.level_seconds = (self.level_seconds - download_seconds).max(0.0) + chunk_seconds;
+
+        let wait = (self.level_seconds - self.capacity_seconds).max(0.0);
+        self.level_seconds = self.level_seconds.min(self.capacity_seconds);
+
+        BufferUpdate {
+            rebuffer_seconds: rebuffer,
+            wait_seconds: wait,
+            level_after_seconds: self.level_seconds,
+        }
+    }
+
+    /// Drains the buffer by `seconds` of playback without a download
+    /// (used when the player idles on a full buffer: during the wait the
+    /// video keeps playing).
+    pub fn drain(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0);
+        self.level_seconds = (self.level_seconds - seconds).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_download_grows_buffer() {
+        let mut b = PlayerBuffer::new(30.0);
+        let u = b.complete_download(1.0, 6.0);
+        assert_eq!(u.rebuffer_seconds, 1.0); // empty buffer: startup-ish stall
+        assert_eq!(u.level_after_seconds, 6.0);
+        let u = b.complete_download(1.0, 6.0);
+        assert_eq!(u.rebuffer_seconds, 0.0);
+        assert_eq!(u.level_after_seconds, 11.0);
+    }
+
+    #[test]
+    fn slow_download_stalls() {
+        let mut b = PlayerBuffer::new(30.0);
+        b.complete_download(0.0, 6.0); // prime with one chunk
+        let u = b.complete_download(10.0, 6.0);
+        assert_eq!(u.rebuffer_seconds, 4.0); // 10 s download vs 6 s buffered
+        assert_eq!(u.level_after_seconds, 6.0); // drained to 0, +6
+    }
+
+    #[test]
+    fn buffer_full_causes_wait_not_overflow() {
+        let mut b = PlayerBuffer::new(10.0);
+        b.complete_download(0.0, 6.0);
+        let u = b.complete_download(0.0, 6.0);
+        assert_eq!(u.wait_seconds, 2.0); // 12 - 10
+        assert_eq!(b.level(), 10.0);
+    }
+
+    #[test]
+    fn drain_floors_at_zero() {
+        let mut b = PlayerBuffer::new(10.0);
+        b.complete_download(0.0, 6.0);
+        b.drain(100.0);
+        assert_eq!(b.level(), 0.0);
+    }
+
+    #[test]
+    fn exact_boundary_no_stall() {
+        let mut b = PlayerBuffer::new(30.0);
+        b.complete_download(0.0, 6.0);
+        let u = b.complete_download(6.0, 6.0);
+        assert_eq!(u.rebuffer_seconds, 0.0);
+        assert_eq!(u.level_after_seconds, 6.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # cs2p-abr — adaptive-bitrate substrate
+//!
+//! Everything downstream of a throughput prediction: the QoE model of Yin
+//! et al. \[47\] that the paper adopts (§7.1), a trace-driven playback
+//! simulator replicating the paper's evaluation framework, the bitrate
+//! adaptation algorithms it compares (fixed, RB, BB, FESTIVE, MPC), the
+//! offline-optimal dynamic program used to normalize QoE, and the
+//! session-start rebuffer forecaster of §7.5.
+//!
+//! The crate consumes predictors through
+//! [`cs2p_core::ThroughputPredictor`], so CS2P and every baseline plug in
+//! interchangeably.
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod buffer;
+pub mod network;
+pub mod optimal;
+pub mod qoe;
+pub mod rebuffer;
+pub mod sim;
+pub mod video;
+
+pub use algorithms::{
+    AbrAlgorithm, AbrContext, BufferBased, FastMpc, FastMpcConfig, Festive, FixedBitrate, Mpc,
+    MpcConfig, RateBased, RobustMpc,
+};
+pub use buffer::PlayerBuffer;
+pub use network::TraceNetwork;
+pub use optimal::{normalized_qoe, offline_optimal_qoe, OptimalConfig};
+pub use qoe::{ChunkRecord, QoeParams, SessionOutcome};
+pub use rebuffer::{predict_total_rebuffer, simulate_fixed_rebuffer};
+pub use sim::{simulate, SimConfig};
+pub use video::VideoSpec;

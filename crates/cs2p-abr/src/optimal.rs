@@ -1,0 +1,255 @@
+//! Offline-optimal QoE with perfect knowledge of the future trace.
+//!
+//! The paper normalizes QoE against "the theoretical optimal, which could
+//! be achieved with the perfect knowledge of future throughput and can be
+//! calculated by solving a MILP problem" (§7.1). For the discrete decision
+//! space (5 ladder rungs per chunk) the same optimum falls out of a
+//! forward dynamic program over quantized `(wall-clock time, buffer,
+//! last level)` states:
+//!
+//! - wall-clock time determines download durations exactly (the trace is
+//!   known), and can be clamped at the trace's end because the last
+//!   epoch's rate holds forever — states past that point are equivalent;
+//! - buffer and time are quantized to a configurable quantum; values are
+//!   floored, so stall estimates are conservative and the reported
+//!   optimum is a (tight) lower bound on the continuous optimum.
+
+use crate::network::TraceNetwork;
+use crate::qoe::QoeParams;
+use crate::video::VideoSpec;
+use std::collections::HashMap;
+
+/// Configuration of the offline-optimal DP.
+#[derive(Debug, Clone)]
+pub struct OptimalConfig {
+    /// Quantization step for time and buffer, seconds.
+    pub quantum: f64,
+    /// QoE weights.
+    pub qoe: QoeParams,
+}
+
+impl Default for OptimalConfig {
+    fn default() -> Self {
+        OptimalConfig {
+            quantum: 0.5,
+            qoe: QoeParams::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct State {
+    /// Quantized wall-clock time index.
+    t: u32,
+    /// Quantized buffer index.
+    b: u32,
+    /// Ladder index of the previous chunk (`u8::MAX` = none yet).
+    last: u8,
+}
+
+/// Computes the offline-optimal QoE for playing `video` over `trace_mbps`.
+pub fn offline_optimal_qoe(
+    trace_mbps: &[f64],
+    epoch_seconds: f64,
+    video: &VideoSpec,
+    config: &OptimalConfig,
+) -> f64 {
+    video.validate().expect("invalid video spec");
+    assert!(config.quantum > 0.0);
+    let q = config.quantum;
+    // Time past the trace end is stationary: clamp indices there.
+    let t_max = ((trace_mbps.len() as f64 * epoch_seconds) / q).ceil() as u32 + 1;
+    let b_max = (video.buffer_capacity_seconds / q).round() as u32;
+
+    // Precompute download durations per (time index, level): the network
+    // model is deterministic given a start time.
+    let n_levels = video.n_levels();
+    let mut dl = vec![0.0f64; (t_max as usize + 1) * n_levels];
+    for ti in 0..=t_max {
+        for level in 0..n_levels {
+            let mut net = TraceNetwork::new(trace_mbps, epoch_seconds);
+            net.wait(ti as f64 * q);
+            dl[ti as usize * n_levels + level] = net.download(video.chunk_kbits(level));
+        }
+    }
+    let download_at = |ti: u32, level: usize| dl[ti.min(t_max) as usize * n_levels + level];
+
+    let mut layer: HashMap<State, f64> = HashMap::new();
+    layer.insert(
+        State {
+            t: 0,
+            b: 0,
+            last: u8::MAX,
+        },
+        0.0,
+    );
+
+    for chunk in 0..video.n_chunks {
+        let mut next: HashMap<State, f64> = HashMap::with_capacity(layer.len() * 2);
+        for (state, score) in &layer {
+            for level in 0..n_levels {
+                let d = download_at(state.t, level);
+                let bitrate = video.bitrates_kbps[level];
+
+                let buffer = state.b as f64 * q;
+                let (stall_penalty, new_buffer, elapsed) = if chunk == 0 {
+                    // First chunk: download time is startup delay.
+                    (
+                        config.qoe.mu_startup * d,
+                        video.chunk_seconds,
+                        d,
+                    )
+                } else {
+                    let rebuf = (d - buffer).max(0.0);
+                    let nb = (buffer - d).max(0.0) + video.chunk_seconds;
+                    let wait = (nb - video.buffer_capacity_seconds).max(0.0);
+                    (
+                        config.qoe.mu_rebuffer * rebuf,
+                        nb.min(video.buffer_capacity_seconds),
+                        d + wait,
+                    )
+                };
+                let smooth = if state.last == u8::MAX {
+                    0.0
+                } else {
+                    (bitrate - video.bitrates_kbps[state.last as usize]).abs()
+                };
+                let gain = bitrate - config.qoe.lambda * smooth - stall_penalty;
+                let new_score = score + gain;
+
+                let ns = State {
+                    t: (((state.t as f64 * q + elapsed) / q).floor() as u32).min(t_max),
+                    b: ((new_buffer / q).floor() as u32).min(b_max),
+                    last: level as u8,
+                };
+                let entry = next.entry(ns).or_insert(f64::NEG_INFINITY);
+                if new_score > *entry {
+                    *entry = new_score;
+                }
+            }
+        }
+        layer = next;
+    }
+
+    layer
+        .values()
+        .fold(f64::NEG_INFINITY, |acc, &v| acc.max(v))
+}
+
+/// Normalized QoE (the paper's n-QoE): `actual / optimal`, defined only
+/// when the optimal is strictly positive.
+pub fn normalized_qoe(actual: f64, optimal: f64) -> Option<f64> {
+    if optimal <= 0.0 {
+        None
+    } else {
+        Some(actual / optimal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Mpc, RateBased};
+    use crate::sim::{simulate, SimConfig};
+    use cs2p_core::NoisyOracle;
+
+    fn short_video() -> VideoSpec {
+        VideoSpec {
+            n_chunks: 10,
+            ..VideoSpec::envivio()
+        }
+    }
+
+    #[test]
+    fn optimal_on_rich_flat_link_is_max_bitrate_minus_startup() {
+        // 50 Mbps: downloads are nearly instant; optimal plays 3000 kbps
+        // throughout with negligible startup penalty.
+        let trace = vec![50.0; 40];
+        let video = short_video();
+        let opt = offline_optimal_qoe(&trace, 6.0, &video, &OptimalConfig::default());
+        let ideal = 3000.0 * video.n_chunks as f64;
+        assert!(opt > 0.95 * ideal, "opt {opt} vs ideal {ideal}");
+        assert!(opt <= ideal + 1e-9);
+    }
+
+    #[test]
+    fn optimal_on_starved_link_prefers_lowest_rung() {
+        // 0.4 Mbps: even 350 kbps barely fits; anything higher stalls badly.
+        let trace = vec![0.4; 100];
+        let video = short_video();
+        let opt = offline_optimal_qoe(&trace, 6.0, &video, &OptimalConfig::default());
+        // Lowest-rung steady state: 350 * 10 minus startup (5.25 s at 0.4
+        // Mbps = 2100/400) * 3000.
+        let steady = 350.0 * 10.0 - 3000.0 * (2100.0 / 400.0);
+        assert!(
+            (opt - steady).abs() < 0.15 * steady.abs() + 200.0,
+            "opt {opt} vs steady {steady}"
+        );
+    }
+
+    #[test]
+    fn optimal_dominates_heuristics() {
+        // On a variable trace the offline optimum must beat (or match)
+        // every online algorithm, even oracle-fed MPC, up to quantization.
+        let mut trace = Vec::new();
+        for i in 0..60 {
+            trace.push(if (i / 4) % 2 == 0 { 3.0 } else { 0.8 });
+        }
+        let video = short_video();
+        let cfg = SimConfig {
+            video: video.clone(),
+            ..Default::default()
+        };
+        let opt = offline_optimal_qoe(&trace, 6.0, &video, &OptimalConfig::default());
+
+        for (name, algo) in [
+            ("mpc", &mut Mpc::default() as &mut dyn crate::algorithms::AbrAlgorithm),
+            ("rb", &mut RateBased::default()),
+        ] {
+            let mut oracle = NoisyOracle::new(trace.clone(), 0.0, 0);
+            let outcome = simulate(&trace, 6.0, &mut oracle, algo, &cfg);
+            let qoe = outcome.qoe(&cfg.qoe);
+            assert!(
+                opt >= qoe - 0.02 * qoe.abs() - 100.0,
+                "{name}: optimal {opt} < heuristic {qoe}"
+            );
+        }
+    }
+
+    #[test]
+    fn finer_quantum_does_not_decrease_optimum_much() {
+        let trace = vec![1.5, 0.5, 2.0, 1.0, 3.0, 0.7, 1.2, 2.4];
+        let video = VideoSpec {
+            n_chunks: 6,
+            ..VideoSpec::envivio()
+        };
+        let coarse = offline_optimal_qoe(
+            &trace,
+            6.0,
+            &video,
+            &OptimalConfig {
+                quantum: 1.0,
+                ..Default::default()
+            },
+        );
+        let fine = offline_optimal_qoe(
+            &trace,
+            6.0,
+            &video,
+            &OptimalConfig {
+                quantum: 0.25,
+                ..Default::default()
+            },
+        );
+        // Finer quantization can only tighten the (conservative) bound.
+        assert!(fine >= coarse - 1e-6, "fine {fine} < coarse {coarse}");
+        assert!((fine - coarse).abs() < 0.1 * fine.abs().max(1.0) + 300.0);
+    }
+
+    #[test]
+    fn normalized_qoe_guards_nonpositive_optimal() {
+        assert_eq!(normalized_qoe(50.0, 100.0), Some(0.5));
+        assert_eq!(normalized_qoe(50.0, 0.0), None);
+        assert_eq!(normalized_qoe(50.0, -10.0), None);
+    }
+}

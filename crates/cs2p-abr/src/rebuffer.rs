@@ -1,0 +1,158 @@
+//! Session-start rebuffering forecast.
+//!
+//! §7.5 of the paper reports that CS2P "can accurately predict the total
+//! rebuffering time at the beginning of the session" — useful for CDN
+//! scheduling and for deciding the sustainable initial bitrate. Given the
+//! session's cluster HMM, we forecast by Monte Carlo: sample future
+//! throughput traces from the model, simulate the buffer under a fixed
+//! bitrate plan, and report the mean total stall.
+
+use crate::buffer::PlayerBuffer;
+use crate::network::TraceNetwork;
+use crate::video::VideoSpec;
+use cs2p_ml::hmm::Hmm;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Monte Carlo forecast of total rebuffer time (seconds, startup excluded)
+/// when playing `video` at fixed ladder `level`, under throughput traces
+/// sampled from `hmm`.
+///
+/// Reports the Monte-Carlo **median**: stall-time distributions are
+/// heavy-tailed (most realizations stall little; a few state excursions
+/// stall enormously), so the median — not the mean — is the right forecast
+/// of what a *typical* session will experience.
+pub fn predict_total_rebuffer(
+    hmm: &Hmm,
+    video: &VideoSpec,
+    level: usize,
+    n_samples: usize,
+    seed: u64,
+) -> f64 {
+    assert!(n_samples >= 1);
+    assert!(level < video.n_levels());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Throughput epochs needed: generous upper bound (stalls stretch time).
+    let epochs = video.n_chunks * 4 + 8;
+    let samples: Vec<f64> = (0..n_samples)
+        .map(|_| {
+            let (_, trace) = hmm.sample_sequence(epochs, &mut rng);
+            simulate_fixed_rebuffer(&trace, video, level)
+        })
+        .collect();
+    cs2p_ml::stats::median(&samples).expect("n_samples >= 1")
+}
+
+/// Actual total rebuffer time when playing at fixed `level` over a
+/// concrete trace — used both by the forecast above and, on the *real*
+/// session trace, as the ground truth it is compared against.
+pub fn simulate_fixed_rebuffer(trace_mbps: &[f64], video: &VideoSpec, level: usize) -> f64 {
+    let mut network = TraceNetwork::new(trace_mbps, video.chunk_seconds);
+    let mut buffer = PlayerBuffer::new(video.buffer_capacity_seconds);
+    let mut total = 0.0;
+    for chunk in 0..video.n_chunks {
+        let d = network.download(video.chunk_kbits(level));
+        let update = if chunk == 0 {
+            buffer.complete_download(0.0, video.chunk_seconds)
+        } else {
+            buffer.complete_download(d, video.chunk_seconds)
+        };
+        if update.wait_seconds > 0.0 {
+            network.wait(update.wait_seconds);
+        }
+        total += update.rebuffer_seconds;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs2p_ml::gaussian::Gaussian;
+    use cs2p_ml::hmm::Emission;
+    use cs2p_ml::matrix::Matrix;
+
+    fn constant_hmm(mbps: f64) -> Hmm {
+        Hmm::new(
+            vec![1.0],
+            Matrix::from_rows(&[vec![1.0]]),
+            vec![Emission::Gaussian(Gaussian::new(mbps, 1e-3))],
+        )
+    }
+
+    #[test]
+    fn rich_link_forecasts_zero_rebuffer() {
+        let hmm = constant_hmm(10.0);
+        let video = VideoSpec::envivio();
+        let r = predict_total_rebuffer(&hmm, &video, 4, 20, 1);
+        assert!(r < 0.5, "forecast {r}");
+    }
+
+    #[test]
+    fn starved_link_forecasts_large_rebuffer() {
+        // 3000 kbps over 1 Mbps: each chunk needs 18 s vs 6 s of playback,
+        // so ~12 s of stall per chunk after the buffer drains.
+        let hmm = constant_hmm(1.0);
+        let video = VideoSpec::envivio();
+        let r = predict_total_rebuffer(&hmm, &video, 4, 10, 1);
+        let expected = (video.n_chunks - 1) as f64 * 12.0;
+        assert!(
+            (r - expected).abs() < 0.2 * expected,
+            "forecast {r} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn forecast_matches_truth_when_model_is_exact() {
+        // When the HMM *is* the generating process, the Monte Carlo median
+        // should be close to the median rebuffer over fresh traces from it.
+        let hmm = crate::rebuffer::tests::bimodal_hmm();
+        let video = VideoSpec {
+            n_chunks: 20,
+            ..VideoSpec::envivio()
+        };
+        let forecast = predict_total_rebuffer(&hmm, &video, 3, 800, 7);
+
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1234);
+        let mut truths = Vec::new();
+        for _ in 0..800 {
+            let (_, trace) = hmm.sample_sequence(video.n_chunks * 4, &mut rng);
+            truths.push(simulate_fixed_rebuffer(&trace, &video, 3));
+        }
+        let truth = cs2p_ml::stats::median(&truths).unwrap();
+        assert!(
+            (forecast - truth).abs() < 0.25 * truth.max(2.0),
+            "forecast {forecast} vs truth {truth}"
+        );
+    }
+
+    pub(crate) fn bimodal_hmm() -> Hmm {
+        Hmm::new(
+            vec![0.7, 0.3],
+            Matrix::from_rows(&[vec![0.9, 0.1], vec![0.2, 0.8]]),
+            vec![
+                Emission::Gaussian(Gaussian::new(2.5, 0.2)),
+                Emission::Gaussian(Gaussian::new(0.8, 0.1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let hmm = bimodal_hmm();
+        let video = VideoSpec::envivio();
+        let a = predict_total_rebuffer(&hmm, &video, 2, 30, 42);
+        let b = predict_total_rebuffer(&hmm, &video, 2, 30, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn higher_bitrate_never_rebuffers_less() {
+        let hmm = bimodal_hmm();
+        let video = VideoSpec::envivio();
+        let low = predict_total_rebuffer(&hmm, &video, 0, 50, 3);
+        let high = predict_total_rebuffer(&hmm, &video, 4, 50, 3);
+        assert!(high >= low, "high {high} < low {low}");
+    }
+}

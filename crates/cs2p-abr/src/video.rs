@@ -1,0 +1,135 @@
+//! Video encoding parameters.
+//!
+//! §7.1 of the paper: "We use the same video as in prior work \[47\], i.e.,
+//! the Envivio video from DASH-264 JavaScript reference client test page.
+//! The video length is 260 s, and the chunk size is equal to the epoch
+//! length. The video is encoded … in the following bitrate levels:
+//! 350 kbps, 600 kbps, 1000 kbps, 2000 kbps, 3000 kbps … The buffer size
+//! is 30 s."
+
+use serde::{Deserialize, Serialize};
+
+/// A DASH video: ladder, chunking, and the player buffer cap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoSpec {
+    /// Chunk duration in seconds (equal to the measurement epoch).
+    pub chunk_seconds: f64,
+    /// Available bitrate levels in kbps, ascending.
+    pub bitrates_kbps: Vec<f64>,
+    /// Number of chunks in the video.
+    pub n_chunks: usize,
+    /// Player buffer capacity in seconds.
+    pub buffer_capacity_seconds: f64,
+}
+
+impl VideoSpec {
+    /// The evaluation video of §7.1 (Envivio, 260 s, 6 s chunks, YouTube
+    /// ladder, 30 s buffer).
+    pub fn envivio() -> Self {
+        VideoSpec {
+            chunk_seconds: 6.0,
+            bitrates_kbps: vec![350.0, 600.0, 1000.0, 2000.0, 3000.0],
+            n_chunks: 43, // ceil(260 / 6)
+            buffer_capacity_seconds: 30.0,
+        }
+    }
+
+    /// Validates invariants (ascending positive ladder, positive sizes).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.chunk_seconds <= 0.0 {
+            return Err("chunk duration must be positive".into());
+        }
+        if self.n_chunks == 0 {
+            return Err("video needs at least one chunk".into());
+        }
+        if self.bitrates_kbps.is_empty() {
+            return Err("empty bitrate ladder".into());
+        }
+        if self
+            .bitrates_kbps
+            .windows(2)
+            .any(|w| w[0] >= w[1] || w[0] <= 0.0)
+        {
+            return Err("ladder must be strictly ascending and positive".into());
+        }
+        if self.buffer_capacity_seconds < self.chunk_seconds {
+            return Err("buffer must hold at least one chunk".into());
+        }
+        Ok(())
+    }
+
+    /// Number of ladder rungs.
+    pub fn n_levels(&self) -> usize {
+        self.bitrates_kbps.len()
+    }
+
+    /// Chunk payload size at ladder index `level`, in kilobits.
+    pub fn chunk_kbits(&self, level: usize) -> f64 {
+        self.bitrates_kbps[level] * self.chunk_seconds
+    }
+
+    /// Video duration in seconds.
+    pub fn duration_seconds(&self) -> f64 {
+        self.n_chunks as f64 * self.chunk_seconds
+    }
+
+    /// Highest ladder index whose bitrate is sustainable below
+    /// `throughput_mbps` (the paper's initial selection rule: "select the
+    /// highest sustainable bitrate below the predicted initial
+    /// throughput"). Falls back to the lowest level.
+    pub fn highest_sustainable(&self, throughput_mbps: f64) -> usize {
+        let budget_kbps = throughput_mbps * 1000.0;
+        let mut best = 0;
+        for (i, &r) in self.bitrates_kbps.iter().enumerate() {
+            if r <= budget_kbps {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envivio_matches_paper() {
+        let v = VideoSpec::envivio();
+        assert!(v.validate().is_ok());
+        assert_eq!(v.bitrates_kbps, vec![350.0, 600.0, 1000.0, 2000.0, 3000.0]);
+        assert_eq!(v.chunk_seconds, 6.0);
+        assert_eq!(v.buffer_capacity_seconds, 30.0);
+        assert!((v.duration_seconds() - 258.0).abs() < 7.0); // ~260 s
+    }
+
+    #[test]
+    fn chunk_sizes() {
+        let v = VideoSpec::envivio();
+        assert_eq!(v.chunk_kbits(0), 2100.0); // 350 kbps * 6 s
+        assert_eq!(v.chunk_kbits(4), 18000.0);
+    }
+
+    #[test]
+    fn highest_sustainable_picks_floor() {
+        let v = VideoSpec::envivio();
+        assert_eq!(v.highest_sustainable(0.1), 0); // below lowest -> lowest
+        assert_eq!(v.highest_sustainable(0.35), 0);
+        assert_eq!(v.highest_sustainable(0.8), 1);
+        assert_eq!(v.highest_sustainable(2.5), 3);
+        assert_eq!(v.highest_sustainable(10.0), 4);
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut v = VideoSpec::envivio();
+        v.bitrates_kbps = vec![600.0, 350.0];
+        assert!(v.validate().is_err());
+        let mut v = VideoSpec::envivio();
+        v.n_chunks = 0;
+        assert!(v.validate().is_err());
+        let mut v = VideoSpec::envivio();
+        v.buffer_capacity_seconds = 1.0;
+        assert!(v.validate().is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests over the playback substrate's invariants.
+
+use cs2p_abr::{
+    normalized_qoe, offline_optimal_qoe, simulate, BufferBased, FixedBitrate, Mpc, OptimalConfig,
+    PlayerBuffer, QoeParams, RateBased, SimConfig, TraceNetwork, VideoSpec,
+};
+use cs2p_core::NoisyOracle;
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1f64..20.0, 5..80)
+}
+
+fn short_video() -> VideoSpec {
+    VideoSpec {
+        n_chunks: 8,
+        ..VideoSpec::envivio()
+    }
+}
+
+proptest! {
+    #[test]
+    fn network_download_time_is_positive_and_clock_monotone(
+        trace in arb_trace(),
+        sizes in prop::collection::vec(100.0f64..20_000.0, 1..10)
+    ) {
+        let mut net = TraceNetwork::new(&trace, 6.0);
+        let mut last = 0.0;
+        for size in sizes {
+            let d = net.download(size);
+            prop_assert!(d > 0.0);
+            prop_assert!(net.now() >= last);
+            last = net.now();
+        }
+    }
+
+    #[test]
+    fn network_rate_bounds_download_time(trace in arb_trace(), size in 100.0f64..50_000.0) {
+        let mut net = TraceNetwork::new(&trace, 6.0);
+        let d = net.download(size);
+        let max_rate = trace.iter().cloned().fold(0.0f64, f64::max).max(1e-6) * 1000.0;
+        let min_rate = trace.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-6) * 1000.0;
+        prop_assert!(d >= size / max_rate - 1e-9);
+        prop_assert!(d <= size / min_rate + 1e-9);
+    }
+
+    #[test]
+    fn buffer_never_negative_never_exceeds_capacity(
+        events in prop::collection::vec((0.0f64..30.0, 1.0f64..10.0), 1..50)
+    ) {
+        let mut b = PlayerBuffer::new(30.0);
+        for (download, chunk) in events {
+            let u = b.complete_download(download, chunk);
+            prop_assert!(b.level() >= 0.0);
+            prop_assert!(b.level() <= 30.0 + 1e-9);
+            prop_assert!(u.rebuffer_seconds >= 0.0);
+            prop_assert!(u.wait_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn buffer_conservation_identity(
+        events in prop::collection::vec((0.0f64..30.0, 1.0f64..10.0), 1..40)
+    ) {
+        // downloaded video = buffer + played, where played = elapsed time
+        // minus stall time (waits play through, stalls do not).
+        let mut b = PlayerBuffer::new(1e9); // effectively uncapped: no waits
+        let mut downloaded = 0.0;
+        let mut elapsed = 0.0;
+        let mut stalled = 0.0;
+        for (download, chunk) in events {
+            let u = b.complete_download(download, chunk);
+            downloaded += chunk;
+            elapsed += download;
+            stalled += u.rebuffer_seconds;
+        }
+        let played = elapsed - stalled;
+        prop_assert!((downloaded - b.level() - played).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simulate_produces_all_chunks_and_sane_records(trace in arb_trace(), level in 0usize..5) {
+        let video = short_video();
+        let cfg = SimConfig {
+            video: video.clone(),
+            prediction_seeded_start: false,
+            ..Default::default()
+        };
+        let mut oracle = NoisyOracle::new(trace.clone(), 0.0, 1);
+        let mut abr = FixedBitrate::new(level);
+        let o = simulate(&trace, 6.0, &mut oracle, &mut abr, &cfg);
+        prop_assert_eq!(o.chunks.len(), video.n_chunks);
+        for c in &o.chunks {
+            prop_assert!(c.download_seconds > 0.0);
+            prop_assert!(c.rebuffer_seconds >= 0.0);
+            prop_assert!(c.actual_mbps > 0.0);
+            prop_assert!(c.buffer_after_seconds >= 0.0);
+            prop_assert!(c.buffer_after_seconds <= video.buffer_capacity_seconds + 1e-9);
+            prop_assert_eq!(c.bitrate_kbps, video.bitrates_kbps[c.level]);
+        }
+        prop_assert!(o.startup_delay_seconds > 0.0);
+        prop_assert_eq!(o.chunks[0].rebuffer_seconds, 0.0);
+    }
+
+    #[test]
+    fn qoe_is_monotone_in_rebuffer_penalty(trace in arb_trace()) {
+        let video = short_video();
+        let cfg = SimConfig {
+            video,
+            prediction_seeded_start: false,
+            ..Default::default()
+        };
+        let mut oracle = NoisyOracle::new(trace.clone(), 0.0, 2);
+        let mut abr = RateBased::default();
+        let o = simulate(&trace, 6.0, &mut oracle, &mut abr, &cfg);
+        let lenient = QoeParams { mu_rebuffer: 100.0, ..Default::default() };
+        let harsh = QoeParams { mu_rebuffer: 10_000.0, ..Default::default() };
+        prop_assert!(o.qoe(&lenient) >= o.qoe(&harsh) - 1e-9);
+    }
+
+    #[test]
+    fn offline_optimal_dominates_online_heuristics(trace in arb_trace()) {
+        let video = short_video();
+        let qoe = QoeParams::default();
+        let cfg = SimConfig {
+            video: video.clone(),
+            prediction_seeded_start: false,
+            ..Default::default()
+        };
+        let opt = offline_optimal_qoe(&trace, 6.0, &video, &OptimalConfig {
+            quantum: 0.5,
+            qoe,
+        });
+        for which in 0..3 {
+            let mut oracle = NoisyOracle::new(trace.clone(), 0.0, 3);
+            let actual = match which {
+                0 => simulate(&trace, 6.0, &mut oracle, &mut Mpc::default(), &cfg),
+                1 => simulate(&trace, 6.0, &mut oracle, &mut BufferBased::default(), &cfg),
+                _ => simulate(&trace, 6.0, &mut oracle, &mut FixedBitrate::lowest(), &cfg),
+            }
+            .qoe(&qoe);
+            // Quantization slack: optimal is computed on a 0.5 s grid.
+            prop_assert!(
+                opt >= actual - 0.05 * actual.abs() - 400.0,
+                "optimal {} < heuristic[{}] {}",
+                opt,
+                which,
+                actual
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_qoe_sign_contract(actual in -1e6f64..1e6, optimal in -1e6f64..1e6) {
+        match normalized_qoe(actual, optimal) {
+            Some(n) => {
+                prop_assert!(optimal > 0.0);
+                prop_assert!((n * optimal - actual).abs() < 1e-6 * actual.abs().max(1.0));
+            }
+            None => prop_assert!(optimal <= 0.0),
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Session datasets and feature-keyed indexing.
+//!
+//! The clustering search evaluates `Agg(M, s)` — the set of past sessions
+//! matching session `s` on feature subset `M` within a time window — for
+//! many `(M, s)` pairs. [`FeatureIndex`] groups a dataset's sessions by
+//! their projected feature key once per feature subset, turning each
+//! aggregation into a hash lookup plus a time filter.
+
+use crate::features::{FeatureSchema, FeatureSet, FeatureVector};
+use crate::session::Session;
+use crate::timewin::TimeWindow;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A set of sessions sharing one feature schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: FeatureSchema,
+    sessions: Vec<Session>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating that every session's feature vector
+    /// matches the schema width. Sessions are sorted by start time.
+    pub fn new(schema: FeatureSchema, mut sessions: Vec<Session>) -> Self {
+        assert!(
+            sessions.iter().all(|s| s.features.len() == schema.len()),
+            "session feature width does not match schema"
+        );
+        sessions.sort_by_key(|s| (s.start_time, s.id));
+        Dataset { schema, sessions }
+    }
+
+    /// The feature schema.
+    pub fn schema(&self) -> &FeatureSchema {
+        &self.schema
+    }
+
+    /// All sessions, sorted by start time.
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when the dataset holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Session by positional index.
+    pub fn get(&self, i: usize) -> &Session {
+        &self.sessions[i]
+    }
+
+    /// Splits into `(before, from)` at a day boundary — the paper trains on
+    /// day 1 and tests on day 2 (§7.1).
+    pub fn split_at_day(&self, day: u64) -> (Dataset, Dataset) {
+        let cut = day * 86_400;
+        let (before, after): (Vec<Session>, Vec<Session>) = self
+            .sessions
+            .iter()
+            .cloned()
+            .partition(|s| s.start_time < cut);
+        (
+            Dataset::new(self.schema.clone(), before),
+            Dataset::new(self.schema.clone(), after),
+        )
+    }
+
+    /// Unique-value count per feature column (Table 2's right column).
+    pub fn unique_value_counts(&self) -> Vec<(String, usize)> {
+        (0..self.schema.len())
+            .map(|col| {
+                let mut values: Vec<u32> =
+                    self.sessions.iter().map(|s| s.features.get(col)).collect();
+                values.sort_unstable();
+                values.dedup();
+                (self.schema.names()[col].clone(), values.len())
+            })
+            .collect()
+    }
+
+    /// `Agg(M, s)` without an index: indices of sessions matching
+    /// `target_features` on `set` and admitted by `window` relative to
+    /// `target_start`. Excludes the target itself via the strict-past rule
+    /// of [`TimeWindow::contains`].
+    pub fn aggregate(
+        &self,
+        target_features: &FeatureVector,
+        target_start: u64,
+        set: FeatureSet,
+        window: TimeWindow,
+    ) -> Vec<usize> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                window.contains(s.start_time, target_start)
+                    && s.features.matches(target_features, set)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Hash index over one feature subset: cluster key -> session indices
+/// (sorted by start time, inherited from the dataset ordering).
+#[derive(Debug)]
+pub struct FeatureIndex<'a> {
+    dataset: &'a Dataset,
+    set: FeatureSet,
+    map: HashMap<Vec<u32>, Vec<usize>>,
+}
+
+impl<'a> FeatureIndex<'a> {
+    /// Groups every session by its projected key under `set`.
+    pub fn build(dataset: &'a Dataset, set: FeatureSet) -> Self {
+        let mut map: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+        for (i, s) in dataset.sessions().iter().enumerate() {
+            map.entry(s.features.project(set)).or_default().push(i);
+        }
+        FeatureIndex { dataset, set, map }
+    }
+
+    /// The feature subset this index is keyed on.
+    pub fn set(&self) -> FeatureSet {
+        self.set
+    }
+
+    /// Number of distinct cluster keys.
+    pub fn n_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates `(key, member indices)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u32>, &Vec<usize>)> {
+        self.map.iter()
+    }
+
+    /// Sessions sharing `features`' key (any time). Empty slice when the
+    /// key was never seen.
+    pub fn lookup(&self, features: &FeatureVector) -> &[usize] {
+        self.map
+            .get(&features.project(self.set))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// `Agg(M, s)` through the index: same-key sessions admitted by
+    /// `window` relative to `target_start`.
+    pub fn aggregate(
+        &self,
+        features: &FeatureVector,
+        target_start: u64,
+        window: TimeWindow,
+    ) -> Vec<usize> {
+        self.lookup(features)
+            .iter()
+            .copied()
+            .filter(|&i| window.contains(self.dataset.get(i).start_time, target_start))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_dataset() -> Dataset {
+        let schema = FeatureSchema::new(vec!["isp", "city"]);
+        let mk = |id, isp, city, start, tp: Vec<f64>| {
+            Session::new(id, FeatureVector(vec![isp, city]), start, 6, tp)
+        };
+        Dataset::new(
+            schema,
+            vec![
+                mk(1, 1, 10, 100, vec![1.0, 1.2]),
+                mk(2, 1, 10, 200, vec![1.1]),
+                mk(3, 1, 20, 300, vec![5.0]),
+                mk(4, 2, 10, 400, vec![9.0]),
+                mk(5, 1, 10, 90_000, vec![1.3]),
+            ],
+        )
+    }
+
+    #[test]
+    fn sessions_sorted_by_start() {
+        let schema = FeatureSchema::new(vec!["f"]);
+        let mk = |id, start| Session::new(id, FeatureVector(vec![0]), start, 6, vec![1.0]);
+        let d = Dataset::new(schema, vec![mk(1, 50), mk(2, 10), mk(3, 30)]);
+        let starts: Vec<u64> = d.sessions().iter().map(|s| s.start_time).collect();
+        assert_eq!(starts, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn aggregate_matches_features_and_time() {
+        let d = mini_dataset();
+        let target = FeatureVector(vec![1, 10]);
+        let full = d.schema().full_set();
+        // Target at t=500: sessions 1, 2 match (1,10) in the past.
+        let agg = d.aggregate(&target, 500, full, TimeWindow::All);
+        let ids: Vec<u64> = agg.iter().map(|&i| d.get(i).id).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn aggregate_with_partial_feature_set() {
+        let d = mini_dataset();
+        let target = FeatureVector(vec![1, 99]);
+        let isp_only = FeatureSet::from_indices(&[0]);
+        let agg = d.aggregate(&target, 500, isp_only, TimeWindow::All);
+        let ids: Vec<u64> = agg.iter().map(|&i| d.get(i).id).collect();
+        assert_eq!(ids, vec![1, 2, 3]); // all ISP=1 sessions before t=500
+    }
+
+    #[test]
+    fn aggregate_respects_window() {
+        let d = mini_dataset();
+        let target = FeatureVector(vec![1, 10]);
+        let full = d.schema().full_set();
+        let w = TimeWindow::History { minutes: 5 };
+        let agg = d.aggregate(&target, 450, full, w);
+        let ids: Vec<u64> = agg.iter().map(|&i| d.get(i).id).collect();
+        // Only session 2 (t=200) is within 300 s of t=450; session 1
+        // (t=100) is 350 s back and falls outside the window.
+        assert_eq!(ids, vec![2]);
+        let agg = d.aggregate(&target, 10_000, full, w);
+        assert!(agg.is_empty());
+    }
+
+    #[test]
+    fn index_agrees_with_direct_aggregation() {
+        let d = mini_dataset();
+        let full = d.schema().full_set();
+        let idx = FeatureIndex::build(&d, full);
+        for target in [FeatureVector(vec![1, 10]), FeatureVector(vec![2, 10])] {
+            for t in [150u64, 500, 100_000] {
+                for w in [TimeWindow::All, TimeWindow::History { minutes: 30 }] {
+                    let direct = d.aggregate(&target, t, full, w);
+                    let via_idx = idx.aggregate(&target, t, w);
+                    assert_eq!(direct, via_idx, "target {target:?} t={t} w={w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_key_counts() {
+        let d = mini_dataset();
+        let full = d.schema().full_set();
+        let idx = FeatureIndex::build(&d, full);
+        assert_eq!(idx.n_keys(), 3); // (1,10), (1,20), (2,10)
+        let isp_only = FeatureIndex::build(&d, FeatureSet::from_indices(&[0]));
+        assert_eq!(isp_only.n_keys(), 2);
+        let empty_set = FeatureIndex::build(&d, FeatureSet::EMPTY);
+        assert_eq!(empty_set.n_keys(), 1); // global cluster
+        assert_eq!(empty_set.lookup(&FeatureVector(vec![7, 7])).len(), 5);
+    }
+
+    #[test]
+    fn unique_value_counts_table2_style() {
+        let d = mini_dataset();
+        let counts = d.unique_value_counts();
+        assert_eq!(counts[0], ("isp".to_string(), 2));
+        assert_eq!(counts[1], ("city".to_string(), 2));
+    }
+
+    #[test]
+    fn split_at_day() {
+        let d = mini_dataset();
+        let (day0, rest) = d.split_at_day(1);
+        assert_eq!(day0.len(), 4);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest.get(0).id, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width")]
+    fn schema_width_mismatch_panics() {
+        let schema = FeatureSchema::new(vec!["a", "b"]);
+        let s = Session::new(1, FeatureVector(vec![1]), 0, 6, vec![]);
+        Dataset::new(schema, vec![s]);
+    }
+}

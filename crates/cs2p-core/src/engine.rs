@@ -1,0 +1,673 @@
+//! The Prediction Engine: offline training and model registry (§4, §5).
+//!
+//! Offline (Figure 1, stage 1): collect sessions, find each session's best
+//! cluster spec (feature subset + time window), and for every resulting
+//! cluster train (a) the initial-throughput predictor — the median initial
+//! throughput of the cluster's sessions (Eq. 6) — and (b) a Gaussian-
+//! emission HMM over the cluster's throughput sequences (§5.2).
+//!
+//! Online (stages 2–3): a new session is mapped to the trained cluster
+//! matching the most features; its model drives Algorithm 1. When no
+//! cluster matches, the engine regresses to the global model trained on
+//! all sessions (which doubles as the paper's GHM baseline).
+
+use crate::cluster::{ClusterConfig, ClusterFinder, ClusterSpec};
+use crate::dataset::Dataset;
+use crate::features::{FeatureSchema, FeatureSet, FeatureVector};
+use crate::predictor::Cs2pPredictor;
+use cs2p_ml::hmm::{train, Hmm, TrainConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of offline training.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Clustering-search configuration (§5.1).
+    pub cluster: ClusterConfig,
+    /// HMM training configuration (paper default: 6 states, EM).
+    pub hmm: TrainConfig,
+    /// Cap on the number of sequences fed to each cluster's EM run
+    /// (most-recent kept); keeps training time bounded on large clusters.
+    pub max_train_sequences: usize,
+    /// Sequences shorter than this are skipped by EM (no transition info).
+    pub min_sequence_epochs: usize,
+    /// Worker threads for the offline stage (the paper, §6: "the model
+    /// learning for different clusters are independent, this process can
+    /// be easily parallelized"). `0` = one thread per available core;
+    /// `1` = fully sequential. Results are identical regardless.
+    pub n_threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cluster: ClusterConfig::default(),
+            hmm: TrainConfig::default(),
+            max_train_sequences: 200,
+            min_sequence_epochs: 2,
+            n_threads: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration tuned for datasets of thousands (not millions) of
+    /// sessions: wide time windows only (narrow ones starve at this
+    /// scale), larger validation pools for the spec search, and a modest
+    /// cluster-size threshold.
+    pub fn small_data() -> Self {
+        EngineConfig {
+            cluster: ClusterConfig {
+                min_cluster_size: 10,
+                candidate_windows: vec![
+                    crate::timewin::TimeWindow::All,
+                    crate::timewin::TimeWindow::History { minutes: 720 },
+                    crate::timewin::TimeWindow::SameHourOfDay { days: 1 },
+                ],
+                max_est_sessions: 30,
+                min_est_sessions: 30,
+                ..ClusterConfig::default()
+            },
+            hmm: TrainConfig {
+                n_states: 5,
+                max_iters: 20,
+                ..TrainConfig::default()
+            },
+            max_train_sequences: 120,
+            min_sequence_epochs: 2,
+            n_threads: 0,
+        }
+    }
+}
+
+/// A trained per-cluster model: what the Prediction Engine ships to a
+/// player or video server (<5 KB serialized; see `model_io`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterModel {
+    /// The cluster definition this model was trained for.
+    pub spec: ClusterSpec,
+    /// Feature values (projected onto `spec.set`) identifying the cluster.
+    pub key: Vec<u32>,
+    /// Median initial throughput of the cluster's sessions (Eq. 6).
+    pub initial_median: f64,
+    /// The midstream HMM (§5.2).
+    pub hmm: Hmm,
+    /// How many sessions the cluster held at training time.
+    pub n_sessions: usize,
+}
+
+/// Outcome of training, for reports and tests.
+#[derive(Debug, Clone)]
+pub struct TrainSummary {
+    /// Number of cluster models trained (excluding the global model).
+    pub n_models: usize,
+    /// Number of distinct full-feature combinations examined.
+    pub n_combos: usize,
+    /// Fraction of combos that regressed to the global model.
+    pub global_fallback_fraction: f64,
+}
+
+/// The trained Prediction Engine.
+///
+/// Not directly serializable: persist it through `model_io`, which ships
+/// `(schema, models, global)` and rebuilds via
+/// [`PredictionEngine::from_parts`] — mirroring the paper's deployment,
+/// where clients download individual cluster models rather than the
+/// engine's internals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionEngine {
+    schema: FeatureSchema,
+    models: Vec<ClusterModel>,
+    /// Per training combo: features and the chosen model (`None` = global).
+    combos: Vec<(FeatureVector, Option<usize>)>,
+    /// `(subset, projected key) -> combo index`, for most-similar lookup.
+    combo_index: HashMap<(FeatureSet, Vec<u32>), usize>,
+    /// All non-empty feature subsets, most specific first.
+    subset_order: Vec<FeatureSet>,
+    global: ClusterModel,
+}
+
+impl PredictionEngine {
+    /// Trains the engine on a dataset (Figure 1, stage 1).
+    ///
+    /// Returns `None` when the dataset cannot even support a global model
+    /// (no usable sequences).
+    pub fn train(dataset: &Dataset, config: &EngineConfig) -> Option<(Self, TrainSummary)> {
+        let finder = ClusterFinder::new(dataset, config.cluster.clone());
+        // Reference time: just past the last training session, so every
+        // cluster sees the full training history.
+        let reference_time = dataset
+            .sessions()
+            .last()
+            .map(|s| s.end_time() + 1)
+            .unwrap_or(0);
+
+        // The global model doubles as the fallback and the GHM baseline.
+        let all_indices: Vec<usize> = (0..dataset.len()).collect();
+        let global = Self::train_cluster_model(
+            dataset,
+            ClusterSpec::GLOBAL,
+            vec![],
+            &all_indices,
+            config,
+        )?;
+
+        // One search per distinct full-feature combination, in a
+        // deterministic order.
+        let combo_list: Vec<FeatureVector> = {
+            let mut set: Vec<FeatureVector> = dataset
+                .sessions()
+                .iter()
+                .map(|s| s.features.clone())
+                .collect();
+            set.sort_by(|a, b| a.0.cmp(&b.0));
+            set.dedup();
+            set
+        };
+
+        // Phase 1 (parallel): one spec search per combo. ClusterFinder is
+        // Sync (its memo cache is behind a lock) and searches are
+        // independent, so combos are dealt round-robin to workers and
+        // results reassembled in combo order — bitwise identical to the
+        // sequential run.
+        let searches: Vec<crate::cluster::SpecSearch> = run_parallel(
+            config.n_threads,
+            combo_list.len(),
+            |i| finder.find_best_spec(&combo_list[i], reference_time),
+        );
+
+        // Phase 2 (sequential): deduplicate (spec, key) clusters.
+        let mut combos: Vec<(FeatureVector, Option<usize>)> = Vec::new();
+        let mut index: HashMap<(ClusterSpec, Vec<u32>), usize> = HashMap::new();
+        let mut cluster_jobs: Vec<(ClusterSpec, Vec<u32>, Vec<usize>)> = Vec::new();
+        let mut fallbacks = 0usize;
+        // combo index -> pending cluster-job index (model id after phase 3).
+        let mut combo_jobs: Vec<Option<usize>> = Vec::with_capacity(combo_list.len());
+        for (features, search) in combo_list.iter().zip(&searches) {
+            if search.used_global_fallback {
+                fallbacks += 1;
+                combo_jobs.push(None);
+                continue;
+            }
+            let key = features.project(search.spec.set);
+            match index.entry((search.spec, key.clone())) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    combo_jobs.push(Some(*e.get()));
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let members = finder.aggregate(search.spec, features, reference_time);
+                    e.insert(cluster_jobs.len());
+                    combo_jobs.push(Some(cluster_jobs.len()));
+                    cluster_jobs.push((search.spec, key, members));
+                }
+            }
+        }
+
+        // Phase 3 (parallel): Baum–Welch per distinct cluster.
+        let trained: Vec<Option<ClusterModel>> = run_parallel(
+            config.n_threads,
+            cluster_jobs.len(),
+            |i| {
+                let (spec, key, members) = &cluster_jobs[i];
+                Self::train_cluster_model(dataset, *spec, key.clone(), members, config)
+            },
+        );
+
+        // Phase 4 (sequential): compact failed trainings out of the model
+        // list, remapping combo -> model ids.
+        let mut models: Vec<ClusterModel> = Vec::new();
+        let mut job_to_model: Vec<Option<usize>> = Vec::with_capacity(trained.len());
+        for t in trained {
+            match t {
+                Some(model) => {
+                    job_to_model.push(Some(models.len()));
+                    models.push(model);
+                }
+                None => job_to_model.push(None),
+            }
+        }
+        for (features, job) in combo_list.into_iter().zip(combo_jobs) {
+            let model = job.and_then(|j| job_to_model[j]);
+            if job.is_some() && model.is_none() {
+                fallbacks += 1;
+            }
+            combos.push((features, model));
+        }
+
+        let n_combos = combos.len();
+        let summary = TrainSummary {
+            n_models: models.len(),
+            n_combos,
+            global_fallback_fraction: if n_combos == 0 {
+                0.0
+            } else {
+                fallbacks as f64 / n_combos as f64
+            },
+        };
+        Some((
+            Self::from_parts(dataset.schema().clone(), models, global, combos),
+            summary,
+        ))
+    }
+
+    /// Like [`train`](Self::train) but forced sequential — used by tests
+    /// to verify thread-count independence.
+    pub fn train_sequential(
+        dataset: &Dataset,
+        config: &EngineConfig,
+    ) -> Option<(Self, TrainSummary)> {
+        let config = EngineConfig {
+            n_threads: 1,
+            ..config.clone()
+        };
+        Self::train(dataset, &config)
+    }
+
+    /// Rebuilds an engine from persisted parts (see `model_io`).
+    ///
+    /// `combos` records, per distinct training feature combination, which
+    /// cluster model its spec search chose (`None` = the global model).
+    /// The subset index built here powers [`lookup`](Self::lookup).
+    pub fn from_parts(
+        schema: FeatureSchema,
+        models: Vec<ClusterModel>,
+        global: ClusterModel,
+        combos: Vec<(FeatureVector, Option<usize>)>,
+    ) -> Self {
+        let subset_order = {
+            let mut subsets = schema.all_nonempty_subsets();
+            subsets.sort_by_key(|s| std::cmp::Reverse(s.len()));
+            subsets
+        };
+        // Index every combo under every feature subset so lookup can find
+        // the training combo matching the most features. On projection
+        // collisions, prefer the combo whose model rests on more sessions.
+        let reliability = |mi: &Option<usize>| match mi {
+            Some(i) => models[*i].n_sessions,
+            None => global.n_sessions,
+        };
+        let mut combo_index: HashMap<(FeatureSet, Vec<u32>), usize> = HashMap::new();
+        for (ci, (features, mi)) in combos.iter().enumerate() {
+            for &set in &subset_order {
+                let key = (set, features.project(set));
+                match combo_index.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(ci);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let cur = &combos[*e.get()].1;
+                        if reliability(mi) > reliability(cur) {
+                            e.insert(ci);
+                        }
+                    }
+                }
+            }
+        }
+        PredictionEngine {
+            schema,
+            models,
+            combos,
+            combo_index,
+            subset_order,
+            global,
+        }
+    }
+
+    fn train_cluster_model(
+        dataset: &Dataset,
+        spec: ClusterSpec,
+        key: Vec<u32>,
+        members: &[usize],
+        config: &EngineConfig,
+    ) -> Option<ClusterModel> {
+        let initials: Vec<f64> = members
+            .iter()
+            .filter_map(|&i| dataset.get(i).initial_throughput())
+            .collect();
+        let initial_median = cs2p_ml::stats::median(&initials)?;
+
+        // Most recent sequences first, capped.
+        let mut ordered: Vec<usize> = members.to_vec();
+        ordered.sort_by_key(|&i| std::cmp::Reverse(dataset.get(i).start_time));
+        let sequences: Vec<Vec<f64>> = ordered
+            .iter()
+            .map(|&i| dataset.get(i).throughput.clone())
+            .filter(|s| s.len() >= config.min_sequence_epochs)
+            .take(config.max_train_sequences)
+            .collect();
+        let (hmm, _) = train(&sequences, &config.hmm)?;
+
+        Some(ClusterModel {
+            spec,
+            key,
+            initial_median,
+            hmm,
+            n_sessions: members.len(),
+        })
+    }
+
+    /// The schema the engine was trained on.
+    pub fn schema(&self) -> &FeatureSchema {
+        &self.schema
+    }
+
+    /// All trained cluster models (excluding the global fallback).
+    pub fn models(&self) -> &[ClusterModel] {
+        &self.models
+    }
+
+    /// The global model (also the GHM baseline of §7.2).
+    pub fn global_model(&self) -> &ClusterModel {
+        &self.global
+    }
+
+    /// Maps a new session to its cluster model, the way §5.2 describes:
+    /// "a new session is mapped to the most similar session in the
+    /// training dataset, which matches all (or most of) the features with
+    /// the session under prediction. We then use the corresponding HMM of
+    /// that session." Concretely: find the training feature-combination
+    /// sharing the largest feature subset with the new session, and return
+    /// the model that combo's cluster search selected; with no match at
+    /// all (or if that combo fell back), return the global model.
+    pub fn lookup(&self, features: &FeatureVector) -> &ClusterModel {
+        assert_eq!(
+            features.len(),
+            self.schema.len(),
+            "feature width does not match engine schema"
+        );
+        for &set in &self.subset_order {
+            let key = (set, features.project(set));
+            if let Some(&ci) = self.combo_index.get(&key) {
+                return match self.combos[ci].1 {
+                    Some(mi) => &self.models[mi],
+                    None => &self.global,
+                };
+            }
+        }
+        &self.global
+    }
+
+    /// The training combos and their chosen models (for persistence).
+    pub fn combos(&self) -> &[(FeatureVector, Option<usize>)] {
+        &self.combos
+    }
+
+    /// Convenience: an Algorithm-1 predictor for a new session.
+    pub fn predictor(&self, features: &FeatureVector) -> Cs2pPredictor<'_> {
+        Cs2pPredictor::new(self.lookup(features))
+    }
+
+    /// Convenience: a predictor running on the global HMM (GHM baseline).
+    pub fn global_predictor(&self) -> Cs2pPredictor<'_> {
+        Cs2pPredictor::new(&self.global)
+    }
+}
+
+/// Runs `job(i)` for `i in 0..n`, fanned out over worker threads, and
+/// returns the results in index order. `n_threads == 0` uses one thread
+/// per available core; `<= 1` (or trivially small `n`) runs inline.
+///
+/// Work is dealt by a shared atomic counter so an expensive item doesn't
+/// serialize a whole stripe; output order (and therefore every downstream
+/// id) is independent of scheduling.
+fn run_parallel<T, F>(n_threads: usize, n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = if n_threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        n_threads
+    }
+    .min(n.max(1));
+
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(job).collect();
+    }
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let job = &job;
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                if tx.send((i, job(i))).is_err() {
+                    return;
+                }
+            });
+        }
+        drop(tx);
+    })
+    .expect("training worker panicked");
+
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, value) in rx {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSchema;
+    use crate::session::Session;
+    use crate::timewin::TimeWindow;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Two ISPs with very different throughput regimes; city is noise.
+    fn two_regime_dataset(n_per_isp: usize, seed: u64) -> Dataset {
+        let schema = FeatureSchema::new(vec!["isp", "city"]);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut sessions = Vec::new();
+        for isp in 0..2u32 {
+            let base = if isp == 0 { 2.0 } else { 8.0 };
+            for k in 0..n_per_isp {
+                let city = rng.gen_range(0..4u32);
+                let tp: Vec<f64> = (0..20)
+                    .map(|_| (base + rng.gen_range(-0.3..0.3f64)).max(0.05))
+                    .collect();
+                sessions.push(Session::new(
+                    (isp as u64) * 10_000 + k as u64,
+                    FeatureVector(vec![isp, city]),
+                    k as u64 * 30,
+                    6,
+                    tp,
+                ));
+            }
+        }
+        Dataset::new(schema, sessions)
+    }
+
+    fn test_config() -> EngineConfig {
+        EngineConfig {
+            cluster: ClusterConfig {
+                min_cluster_size: 10,
+                candidate_windows: vec![TimeWindow::All],
+                max_est_sessions: 10,
+                ..Default::default()
+            },
+            hmm: TrainConfig {
+                n_states: 2,
+                max_iters: 15,
+                ..Default::default()
+            },
+            max_train_sequences: 100,
+            min_sequence_epochs: 2,
+            n_threads: 0,
+        }
+    }
+
+    #[test]
+    fn trains_and_separates_regimes() {
+        let d = two_regime_dataset(60, 1);
+        let (engine, summary) = PredictionEngine::train(&d, &test_config()).unwrap();
+        assert!(summary.n_models >= 1, "no cluster models trained");
+        let m0 = engine.lookup(&FeatureVector(vec![0, 1]));
+        let m1 = engine.lookup(&FeatureVector(vec![1, 1]));
+        assert!(
+            (m0.initial_median - 2.0).abs() < 0.5,
+            "isp0 median {}",
+            m0.initial_median
+        );
+        assert!(
+            (m1.initial_median - 8.0).abs() < 0.5,
+            "isp1 median {}",
+            m1.initial_median
+        );
+    }
+
+    #[test]
+    fn unknown_features_fall_back_to_global() {
+        let d = two_regime_dataset(40, 2);
+        let (engine, _) = PredictionEngine::train(&d, &test_config()).unwrap();
+        let m = engine.lookup(&FeatureVector(vec![77, 77]));
+        assert_eq!(m.spec, ClusterSpec::GLOBAL);
+        // Global median sits between the regimes.
+        assert!(m.initial_median > 1.0 && m.initial_median < 9.0);
+    }
+
+    #[test]
+    fn global_model_trained_on_everything() {
+        let d = two_regime_dataset(40, 3);
+        let (engine, _) = PredictionEngine::train(&d, &test_config()).unwrap();
+        assert_eq!(engine.global_model().n_sessions, d.len());
+    }
+
+    #[test]
+    fn predictor_runs_algorithm_one() {
+        let d = two_regime_dataset(60, 4);
+        let (engine, _) = PredictionEngine::train(&d, &test_config()).unwrap();
+        use crate::predictor::ThroughputPredictor;
+        let mut p = engine.predictor(&FeatureVector(vec![1, 0]));
+        let initial = p.predict_initial().unwrap();
+        assert!((initial - 8.0).abs() < 0.5);
+        p.observe(8.1);
+        p.observe(7.9);
+        let mid = p.predict_next().unwrap();
+        assert!((mid - 8.0).abs() < 0.6, "midstream prediction {mid}");
+    }
+
+    #[test]
+    fn empty_dataset_returns_none() {
+        let schema = FeatureSchema::new(vec!["isp"]);
+        let d = Dataset::new(schema, vec![]);
+        assert!(PredictionEngine::train(&d, &test_config()).is_none());
+    }
+
+    #[test]
+    fn lookup_prefers_more_specific_cluster() {
+        // All sessions share ISP 0 but split into two cities with different
+        // throughput; with a small min size both {ISP} and {ISP, City}
+        // clusters qualify, and the search should favour the city split.
+        let schema = FeatureSchema::new(vec!["isp", "city"]);
+        let mut sessions = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for city in 0..2u32 {
+            let base = if city == 0 { 1.0 } else { 6.0 };
+            for k in 0..50 {
+                let tp: Vec<f64> = (0..10)
+                    .map(|_| (base + rng.gen_range(-0.2..0.2f64)).max(0.05))
+                    .collect();
+                sessions.push(Session::new(
+                    (city as u64) * 1000 + k,
+                    FeatureVector(vec![0, city]),
+                    k * 40,
+                    6,
+                    tp,
+                ));
+            }
+        }
+        let d = Dataset::new(schema, sessions);
+        let (engine, _) = PredictionEngine::train(&d, &test_config()).unwrap();
+        let m = engine.lookup(&FeatureVector(vec![0, 1]));
+        assert!(
+            (m.initial_median - 6.0).abs() < 0.5,
+            "lookup returned median {} — wrong cluster",
+            m.initial_median
+        );
+    }
+
+    #[test]
+    fn parallel_training_matches_sequential_exactly() {
+        let d = two_regime_dataset(60, 21);
+        let mut parallel_cfg = test_config();
+        parallel_cfg.n_threads = 4;
+        let (par, par_summary) = PredictionEngine::train(&d, &parallel_cfg).unwrap();
+        let (seq, seq_summary) = PredictionEngine::train_sequential(&d, &parallel_cfg).unwrap();
+        assert_eq!(par, seq);
+        assert_eq!(par_summary.n_models, seq_summary.n_models);
+        assert_eq!(
+            par_summary.global_fallback_fraction,
+            seq_summary.global_fallback_fraction
+        );
+    }
+
+    #[test]
+    fn from_parts_roundtrip_preserves_lookup() {
+        let d = two_regime_dataset(30, 5);
+        let (engine, _) = PredictionEngine::train(&d, &test_config()).unwrap();
+        let rebuilt = PredictionEngine::from_parts(
+            engine.schema().clone(),
+            engine.models().to_vec(),
+            engine.global_model().clone(),
+            engine.combos().to_vec(),
+        );
+        assert_eq!(engine, rebuilt);
+        for fv in [FeatureVector(vec![0, 0]), FeatureVector(vec![1, 3])] {
+            assert_eq!(engine.lookup(&fv), rebuilt.lookup(&fv));
+        }
+    }
+
+    #[test]
+    fn lookup_uses_most_similar_training_combo() {
+        // Two cities with very different throughput under one ISP; a new
+        // session with an unseen city value must fall back to the global
+        // model, while an unseen *ISP* with a known city must still land
+        // on that city's model (most features matched).
+        let schema = FeatureSchema::new(vec!["isp", "city"]);
+        let mut sessions = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for city in 0..2u32 {
+            let base = if city == 0 { 1.0 } else { 6.0 };
+            for k in 0..50 {
+                let tp: Vec<f64> = (0..10)
+                    .map(|_| (base + rng.gen_range(-0.2..0.2f64)).max(0.05))
+                    .collect();
+                sessions.push(Session::new(
+                    (city as u64) * 1000 + k,
+                    FeatureVector(vec![0, city]),
+                    k * 40,
+                    6,
+                    tp,
+                ));
+            }
+        }
+        let d = Dataset::new(schema, sessions);
+        let (engine, _) = PredictionEngine::train(&d, &test_config()).unwrap();
+
+        // Unseen ISP, known city: city model should win.
+        let m = engine.lookup(&FeatureVector(vec![9, 1]));
+        assert!(
+            (m.initial_median - 6.0).abs() < 0.5,
+            "expected city-1 model, got median {}",
+            m.initial_median
+        );
+        // Nothing matches at all: global.
+        let m = engine.lookup(&FeatureVector(vec![9, 9]));
+        assert_eq!(m.spec, ClusterSpec::GLOBAL);
+    }
+}

@@ -1,0 +1,45 @@
+//! # cs2p-core — the Cross Session Stateful Predictor
+//!
+//! This crate implements the contribution of *CS2P: Improving Video
+//! Bitrate Selection and Adaptation with Data-Driven Throughput
+//! Prediction* (Sun et al., SIGCOMM 2016):
+//!
+//! 1. **Session clustering** ([`cluster`]): for each session, search all
+//!    feature subsets and time windows for the aggregation `Agg(M, s)` of
+//!    past sessions that predicts best (Eq. 2–3), with a minimum-size
+//!    threshold and a global-model fallback.
+//! 2. **Initial throughput prediction**: the median initial throughput of
+//!    the session's cluster (Eq. 6).
+//! 3. **Midstream prediction** ([`predictor`]): a per-cluster Gaussian-
+//!    emission HMM run as an online filter — Algorithm 1: propagate the
+//!    state distribution, predict by the MLE state's mean, update on each
+//!    measured epoch.
+//!
+//! The [`engine::PredictionEngine`] packages the offline training stage
+//! (Figure 1) and the online model registry; [`baselines`] implements
+//! every comparison predictor of §7 (LS, HM, AR, LM-client/server, SVR,
+//! GBR — the global HMM comes free as the engine's fallback model);
+//! [`model_io`] is the compact wire format (<5 KB per cluster model).
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod cluster;
+pub mod dataset;
+pub mod engine;
+pub mod features;
+pub mod metrics;
+pub mod model_io;
+pub mod predictor;
+pub mod session;
+pub mod timewin;
+
+pub use cluster::{ClusterConfig, ClusterFinder, ClusterSpec};
+pub use dataset::{Dataset, FeatureIndex};
+pub use engine::{ClusterModel, EngineConfig, PredictionEngine, TrainSummary};
+pub use features::{FeatureSchema, FeatureSet, FeatureVector};
+pub use metrics::{abs_normalized_error, ErrorSummary};
+pub use model_io::{ClientModel, ModelBundle};
+pub use predictor::{Cs2pPredictor, NoisyOracle, ThroughputPredictor};
+pub use session::Session;
+pub use timewin::TimeWindow;

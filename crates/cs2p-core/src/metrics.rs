@@ -1,0 +1,116 @@
+//! The paper's prediction-error metric and its summaries.
+//!
+//! Equation (1): `Err(pred, actual) = |pred - actual| / actual` — the
+//! *absolute normalized prediction error*. Section 7.1 summarizes it
+//! "within and across sessions in different ways, e.g., median of
+//! per-session median, 90-percentile of per-session median, or median of
+//! 90-percentile per-session"; [`ErrorSummary`] computes all three.
+
+use cs2p_ml::stats;
+
+/// Equation (1). When `actual` is (near) zero the ratio is undefined; we
+/// clamp the denominator to a small floor so a zero-throughput epoch
+/// produces a large-but-finite error instead of infinity.
+pub fn abs_normalized_error(predicted: f64, actual: f64) -> f64 {
+    (predicted - actual).abs() / actual.abs().max(1e-9)
+}
+
+/// Per-session error series reduced to the paper's summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorSummary {
+    /// Median of per-session median errors.
+    pub median_of_median: f64,
+    /// 90th percentile of per-session median errors.
+    pub p90_of_median: f64,
+    /// Median of per-session 90th-percentile errors.
+    pub median_of_p90: f64,
+    /// 75th percentile of per-session median errors (quoted in §7.2).
+    pub p75_of_median: f64,
+    /// Mean of per-session mean errors.
+    pub mean_of_mean: f64,
+    /// Number of sessions that contributed.
+    pub n_sessions: usize,
+}
+
+impl ErrorSummary {
+    /// Reduces one error series per session. Sessions with no errors are
+    /// skipped; returns `None` when nothing remains.
+    pub fn from_sessions(per_session_errors: &[Vec<f64>]) -> Option<Self> {
+        let mut medians = Vec::new();
+        let mut p90s = Vec::new();
+        let mut means = Vec::new();
+        for errs in per_session_errors {
+            if errs.is_empty() {
+                continue;
+            }
+            medians.push(stats::median(errs).unwrap());
+            p90s.push(stats::percentile(errs, 90.0).unwrap());
+            means.push(stats::mean(errs).unwrap());
+        }
+        if medians.is_empty() {
+            return None;
+        }
+        Some(ErrorSummary {
+            median_of_median: stats::median(&medians).unwrap(),
+            p90_of_median: stats::percentile(&medians, 90.0).unwrap(),
+            median_of_p90: stats::median(&p90s).unwrap(),
+            p75_of_median: stats::percentile(&medians, 75.0).unwrap(),
+            mean_of_mean: stats::mean(&means).unwrap(),
+            n_sessions: medians.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_symmetric_around_actual() {
+        assert!((abs_normalized_error(1.2, 1.0) - 0.2).abs() < 1e-12);
+        assert!((abs_normalized_error(0.8, 1.0) - 0.2).abs() < 1e-12);
+        assert_eq!(abs_normalized_error(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn zero_actual_is_finite() {
+        let e = abs_normalized_error(1.0, 0.0);
+        assert!(e.is_finite());
+        assert!(e > 1e6);
+    }
+
+    #[test]
+    fn summary_basic() {
+        let sessions = vec![
+            vec![0.1, 0.1, 0.1],
+            vec![0.3, 0.3, 0.3],
+            vec![0.5, 0.5, 0.5],
+        ];
+        let s = ErrorSummary::from_sessions(&sessions).unwrap();
+        assert!((s.median_of_median - 0.3).abs() < 1e-12);
+        assert!((s.median_of_p90 - 0.3).abs() < 1e-12);
+        assert_eq!(s.n_sessions, 3);
+    }
+
+    #[test]
+    fn summary_skips_empty_sessions() {
+        let sessions = vec![vec![], vec![0.2], vec![]];
+        let s = ErrorSummary::from_sessions(&sessions).unwrap();
+        assert_eq!(s.n_sessions, 1);
+        assert!((s.median_of_median - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_none_when_all_empty() {
+        assert!(ErrorSummary::from_sessions(&[vec![], vec![]]).is_none());
+        assert!(ErrorSummary::from_sessions(&[]).is_none());
+    }
+
+    #[test]
+    fn p90_of_median_at_tail() {
+        let sessions: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 10.0]).collect();
+        let s = ErrorSummary::from_sessions(&sessions).unwrap();
+        assert!(s.p90_of_median > s.median_of_median);
+        assert!(s.p75_of_median <= s.p90_of_median);
+    }
+}

@@ -1,0 +1,138 @@
+//! Time windows for session aggregation.
+//!
+//! The clustering search (§5.1, step 1) considers, besides feature subsets,
+//! a set of time windows: "time windows of certain history length (i.e.,
+//! last 5, 10, 30 minutes to hours) and those of same time of day (i.e.,
+//! same hour of day in the last 1-7 days)". A window decides whether a
+//! *past* session is usable for predicting a *target* session.
+
+use serde::{Deserialize, Serialize};
+
+/// A time window relative to a target session's start time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimeWindow {
+    /// All history (no temporal restriction).
+    All,
+    /// Sessions that started within the last `minutes` before the target.
+    History {
+        /// Window length in minutes.
+        minutes: u32,
+    },
+    /// Sessions in the same hour-of-day as the target, within the last
+    /// `days` days.
+    SameHourOfDay {
+        /// How many days back to look.
+        days: u32,
+    },
+}
+
+impl TimeWindow {
+    /// The candidate windows the paper's search sweeps.
+    pub fn candidates() -> Vec<TimeWindow> {
+        vec![
+            TimeWindow::All,
+            TimeWindow::History { minutes: 5 },
+            TimeWindow::History { minutes: 10 },
+            TimeWindow::History { minutes: 30 },
+            TimeWindow::History { minutes: 60 },
+            TimeWindow::History { minutes: 180 },
+            TimeWindow::History { minutes: 720 },
+            TimeWindow::SameHourOfDay { days: 1 },
+            TimeWindow::SameHourOfDay { days: 3 },
+            TimeWindow::SameHourOfDay { days: 7 },
+        ]
+    }
+
+    /// Does a session starting at `candidate_start` fall inside this window
+    /// for a target starting at `target_start`?
+    ///
+    /// Only strictly-earlier sessions qualify — predictions must never see
+    /// the future (or the target itself).
+    pub fn contains(&self, candidate_start: u64, target_start: u64) -> bool {
+        if candidate_start >= target_start {
+            return false;
+        }
+        match self {
+            TimeWindow::All => true,
+            TimeWindow::History { minutes } => {
+                let span = *minutes as u64 * 60;
+                target_start - candidate_start <= span
+            }
+            TimeWindow::SameHourOfDay { days } => {
+                let span = *days as u64 * 86_400;
+                if target_start - candidate_start > span {
+                    return false;
+                }
+                let target_hour = (target_start / 3600) % 24;
+                let cand_hour = (candidate_start / 3600) % 24;
+                target_hour == cand_hour
+            }
+        }
+    }
+
+    /// Short human-readable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            TimeWindow::All => "all-history".to_string(),
+            TimeWindow::History { minutes } => format!("last-{minutes}min"),
+            TimeWindow::SameHourOfDay { days } => format!("same-hour-{days}d"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_admits_future_or_simultaneous_sessions() {
+        for w in TimeWindow::candidates() {
+            assert!(!w.contains(100, 100), "{w:?} admitted simultaneous");
+            assert!(!w.contains(101, 100), "{w:?} admitted future");
+        }
+    }
+
+    #[test]
+    fn history_window_boundaries() {
+        let w = TimeWindow::History { minutes: 10 };
+        let target = 10_000;
+        assert!(w.contains(target - 1, target));
+        assert!(w.contains(target - 600, target)); // exactly 10 min
+        assert!(!w.contains(target - 601, target));
+    }
+
+    #[test]
+    fn same_hour_requires_hour_match() {
+        let w = TimeWindow::SameHourOfDay { days: 7 };
+        // Target on day 3 at 14:xx.
+        let target = 3 * 86_400 + 14 * 3600 + 120;
+        // Previous day, same hour.
+        assert!(w.contains(2 * 86_400 + 14 * 3600 + 1800, target));
+        // Previous day, different hour.
+        assert!(!w.contains(2 * 86_400 + 13 * 3600, target));
+        // Same day, same hour, earlier.
+        assert!(w.contains(3 * 86_400 + 14 * 3600 + 60, target));
+    }
+
+    #[test]
+    fn same_hour_respects_day_span() {
+        let w = TimeWindow::SameHourOfDay { days: 1 };
+        let target = 5 * 86_400 + 8 * 3600;
+        assert!(w.contains(4 * 86_400 + 8 * 3600, target)); // 1 day back
+        assert!(!w.contains(3 * 86_400 + 8 * 3600, target)); // 2 days back
+    }
+
+    #[test]
+    fn all_window_admits_any_past() {
+        assert!(TimeWindow::All.contains(0, u64::MAX));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = TimeWindow::candidates().iter().map(|w| w.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests over the core clustering and prediction machinery.
+
+use cs2p_core::cluster::{ClusterConfig, ClusterFinder, ClusterSpec};
+use cs2p_core::features::{FeatureSchema, FeatureSet, FeatureVector};
+use cs2p_core::{Dataset, Session, TimeWindow};
+use proptest::prelude::*;
+
+/// Strategy: a small dataset of sessions over a 2-feature schema.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        (
+            0u32..4,              // feature a
+            0u32..3,              // feature b
+            0u64..100_000,        // start time
+            prop::collection::vec(0.05f64..30.0, 1..20),
+        ),
+        1..60,
+    )
+    .prop_map(|rows| {
+        let schema = FeatureSchema::new(vec!["a", "b"]);
+        let sessions = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b, t, tp))| {
+                Session::new(i as u64, FeatureVector(vec![a, b]), t, 6, tp)
+            })
+            .collect();
+        Dataset::new(schema, sessions)
+    })
+}
+
+proptest! {
+    #[test]
+    fn feature_set_iteration_roundtrips(indices in prop::collection::btree_set(0usize..16, 0..8)) {
+        let v: Vec<usize> = indices.iter().copied().collect();
+        let set = FeatureSet::from_indices(&v);
+        let back: Vec<usize> = set.iter().collect();
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn matching_is_reflexive_and_projection_consistent(
+        values in prop::collection::vec(0u32..50, 1..8),
+        mask in 0u32..256
+    ) {
+        let fv = FeatureVector(values.clone());
+        let set = FeatureSet(mask & ((1 << values.len()) - 1));
+        prop_assert!(fv.matches(&fv, set));
+        // Two vectors match on `set` iff their projections are equal.
+        let mut other = values.clone();
+        if !other.is_empty() {
+            other[0] ^= 1;
+        }
+        let ov = FeatureVector(other);
+        prop_assert_eq!(
+            fv.matches(&ov, set),
+            fv.project(set) == ov.project(set)
+        );
+    }
+
+    #[test]
+    fn aggregate_members_always_match_and_precede(d in arb_dataset(), mask in 0u32..4, t in 0u64..120_000) {
+        let cfg = ClusterConfig {
+            min_cluster_size: 1,
+            candidate_windows: vec![TimeWindow::All],
+            ..Default::default()
+        };
+        let finder = ClusterFinder::new(&d, cfg);
+        let target = FeatureVector(vec![1, 1]);
+        let spec = ClusterSpec {
+            set: FeatureSet(mask & 0b11),
+            window: TimeWindow::All,
+        };
+        for i in finder.aggregate(spec, &target, t) {
+            let s = d.get(i);
+            prop_assert!(s.start_time < t);
+            prop_assert!(s.features.matches(&target, spec.set));
+        }
+    }
+
+    #[test]
+    fn estimation_pool_is_sorted_recent_first(d in arb_dataset(), t in 1u64..150_000) {
+        let finder = ClusterFinder::new(&d, ClusterConfig::default());
+        let target = d.get(0).features.clone();
+        let pool = finder.estimation_pool(&target, t);
+        let times: Vec<u64> = pool.iter().map(|&i| d.get(i).start_time).collect();
+        prop_assert!(times.windows(2).all(|w| w[0] >= w[1]));
+        prop_assert!(times.iter().all(|&x| x < t));
+    }
+
+    #[test]
+    fn find_best_spec_cluster_meets_threshold_or_falls_back(
+        d in arb_dataset(),
+        min in 1usize..20
+    ) {
+        let cfg = ClusterConfig {
+            min_cluster_size: min,
+            candidate_windows: vec![TimeWindow::All],
+            ..Default::default()
+        };
+        let finder = ClusterFinder::new(&d, cfg);
+        let target = d.get(0).features.clone();
+        let result = finder.find_best_spec(&target, 200_000);
+        if !result.used_global_fallback {
+            prop_assert!(
+                result.cluster_size >= min,
+                "spec {:?} cluster {} < min {}",
+                result.spec,
+                result.cluster_size,
+                min
+            );
+        } else {
+            prop_assert_eq!(result.spec, ClusterSpec::GLOBAL);
+        }
+    }
+
+    #[test]
+    fn error_summary_values_are_ordered(
+        sessions in prop::collection::vec(prop::collection::vec(0.0f64..5.0, 1..20), 1..30)
+    ) {
+        if let Some(s) = cs2p_core::ErrorSummary::from_sessions(&sessions) {
+            prop_assert!(s.median_of_median <= s.p75_of_median + 1e-12);
+            prop_assert!(s.p75_of_median <= s.p90_of_median + 1e-12);
+            prop_assert!(s.median_of_median <= s.median_of_p90 + 1e-12);
+            prop_assert!(s.n_sessions <= sessions.len());
+        }
+    }
+}

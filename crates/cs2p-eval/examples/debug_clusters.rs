@@ -1,0 +1,218 @@
+//! Diagnostic: where does CS2P's midstream error come from?
+
+use cs2p_eval::experiments::prediction::AR_ORDER;
+use cs2p_eval::runner::{midstream_errors, per_session_medians};
+use cs2p_eval::{EvalConfig, Materials};
+use cs2p_ml::stats;
+use cs2p_core::ThroughputPredictor;
+
+fn main() {
+    let m = Materials::prepare(EvalConfig::small());
+    println!(
+        "models: {} over {} combos, fallback {:.1}%",
+        m.summary.n_models,
+        m.summary.n_combos,
+        m.summary.global_fallback_fraction * 100.0
+    );
+    // Spec distribution.
+    use std::collections::HashMap;
+    let mut spec_counts: HashMap<String, usize> = HashMap::new();
+    for model in m.engine.models() {
+        *spec_counts
+            .entry(model.spec.set.describe(m.engine.schema()))
+            .or_default() += 1;
+    }
+    let mut v: Vec<_> = spec_counts.into_iter().collect();
+    v.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    for (s, c) in v.iter().take(10) {
+        println!("  spec {s}: {c} models");
+    }
+    // Cluster sizes and HMM state means of the 3 largest models.
+    let mut models: Vec<_> = m.engine.models().iter().collect();
+    models.sort_by_key(|mo| std::cmp::Reverse(mo.n_sessions));
+    for mo in models.iter().take(3) {
+        let means: Vec<String> = mo
+            .hmm
+            .emissions
+            .iter()
+            .map(|e| format!("{:.2}", e.mean()))
+            .collect();
+        println!(
+            "  model key={:?} spec={} n={} states=[{}]",
+            mo.key,
+            mo.spec.set.describe(m.engine.schema()),
+            mo.n_sessions,
+            means.join(", ")
+        );
+    }
+
+    let indices = m.long_test_sessions(5);
+    let engine = &m.engine;
+    // Split test sessions by the granularity of the model they map to.
+    let mut fine = 0usize;
+    let mut coarse = 0usize;
+    for &i in &indices {
+        let model = engine.lookup(&m.test.get(i).features);
+        if model.spec.set.len() >= 3 {
+            fine += 1;
+        } else {
+            coarse += 1;
+        }
+    }
+    println!("test sessions mapped: {fine} fine (>=3 features), {coarse} coarse");
+
+    // Per-granularity error.
+    for (label, min_len, max_len) in [("fine(>=3)", 3usize, 6usize), ("coarse(<3)", 0, 2)] {
+        let sel: Vec<usize> = indices
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let l = engine.lookup(&m.test.get(i).features).spec.set.len();
+                l >= min_len && l <= max_len
+            })
+            .collect();
+        if sel.is_empty() {
+            continue;
+        }
+        let errs = per_session_medians(&midstream_errors(&m.test, &sel, |s| {
+            Box::new(engine.predictor(&s.features))
+        }));
+        println!(
+            "  {label}: {} sessions, median err {:.4}",
+            sel.len(),
+            stats::median(&errs).unwrap()
+        );
+    }
+
+    // What did the spec search decide for a few specific combos, and what
+    // would the alternatives have scored?
+    use cs2p_core::cluster::{ClusterFinder, ClusterSpec};
+    use cs2p_core::{FeatureSet, TimeWindow};
+    let finder = ClusterFinder::new(&m.train, m.config.engine().cluster.clone());
+    let reference_time = m.train.sessions().last().unwrap().end_time() + 1;
+    let sample = m.train.get(0).features.clone();
+    let search = finder.find_best_spec(&sample, reference_time);
+    println!(
+        "combo {:?}: chose {} err {:?} (cluster {})",
+        sample.0,
+        search.spec.set.describe(m.engine.schema()),
+        search.error,
+        search.cluster_size
+    );
+    for set in [
+        FeatureSet::from_indices(&[1, 4, 5]),
+        FeatureSet::from_indices(&[3]),
+        FeatureSet::from_indices(&[5]),
+    ] {
+        let spec = ClusterSpec {
+            set,
+            window: TimeWindow::All,
+        };
+        let est = finder.estimation_pool(&sample, reference_time);
+        let mut total = 0.0;
+        let mut count = 0;
+        for &si in &est {
+            let sp = m.train.get(si);
+            if let (Some(actual), agg) = (
+                sp.initial_throughput(),
+                finder.aggregate(spec, &sp.features, sp.start_time),
+            ) {
+                if let Some(pred) = finder.median_initial(&agg) {
+                    total += cs2p_core::abs_normalized_error(pred, actual);
+                    count += 1;
+                }
+            }
+        }
+        println!(
+            "  spec {}: est-err {:.4} over {} (cluster size {})",
+            set.describe(m.engine.schema()),
+            total / count.max(1) as f64,
+            count,
+            finder.aggregate(spec, &sample, reference_time).len()
+        );
+    }
+    let cs2p = per_session_medians(&midstream_errors(&m.test, &indices, |s| {
+        Box::new(engine.predictor(&s.features))
+    }));
+    let ls = per_session_medians(&midstream_errors(&m.test, &indices, |_| {
+        Box::new(cs2p_core::baselines::LastSample::new())
+    }));
+    println!(
+        "CS2P median {:.4}, LS median {:.4}",
+        stats::median(&cs2p).unwrap(),
+        stats::median(&ls).unwrap()
+    );
+
+    // Oracle: train an HMM directly on each test session's ground-truth
+    // profile — upper bound for the HMM approach.
+    let world = &m.world;
+    let oracle_errs = per_session_medians(&midstream_errors(&m.test, &indices, |s| {
+        let profile = world.path_profile(s.features.get(1), s.features.get(4), s.features.get(5));
+        let hmm = Box::leak(Box::new(profile.hmm));
+        Box::new(OracleHmm {
+            filter: hmm.filter(),
+        })
+    }));
+    println!("oracle-HMM median {:.4}", stats::median(&oracle_errs).unwrap());
+    let _ = AR_ORDER;
+
+    // Constrained sessions (median < 6 Mbps): signed bias of CS2P
+    // predictions and the spec of the model each mapped to.
+    let constrained: Vec<usize> = indices
+        .iter()
+        .copied()
+        .filter(|&i| stats::median(&m.test.get(i).throughput).unwrap() < 6.0)
+        .take(40)
+        .collect();
+    let mut biases = Vec::new();
+    let mut spec_count: HashMap<String, usize> = HashMap::new();
+    for &i in &constrained {
+        let s = m.test.get(i);
+        let model = engine.lookup(&s.features);
+        *spec_count
+            .entry(model.spec.set.describe(m.engine.schema()))
+            .or_default() += 1;
+        let mut p = engine.predictor(&s.features);
+        p.observe(s.throughput[0]);
+        let mut signed = Vec::new();
+        for t in 1..s.n_epochs() {
+            let pred = p.predict_next().unwrap();
+            signed.push((pred - s.throughput[t]) / s.throughput[t]);
+            p.observe(s.throughput[t]);
+        }
+        biases.push(stats::median(&signed).unwrap());
+    }
+    println!(
+        "constrained sessions: median signed bias {:.3}, p25 {:.3}, p75 {:.3}",
+        stats::median(&biases).unwrap(),
+        stats::percentile(&biases, 25.0).unwrap(),
+        stats::percentile(&biases, 75.0).unwrap()
+    );
+    let mut sv: Vec<_> = spec_count.into_iter().collect();
+    sv.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    for (spec, c) in sv.iter().take(6) {
+        println!("  mapped spec {spec}: {c}");
+    }
+}
+
+struct OracleHmm<'a> {
+    filter: cs2p_ml::hmm::HmmFilter<'a>,
+}
+
+impl cs2p_core::ThroughputPredictor for OracleHmm<'_> {
+    fn name(&self) -> &str {
+        "oracle-hmm"
+    }
+    fn predict_initial(&mut self) -> Option<f64> {
+        None
+    }
+    fn predict_ahead(&mut self, k: usize) -> Option<f64> {
+        Some(self.filter.predict_ahead(k))
+    }
+    fn observe(&mut self, w: f64) {
+        self.filter.observe(w);
+    }
+    fn reset(&mut self) {
+        self.filter.reset();
+    }
+}

@@ -1,0 +1,105 @@
+//! Command-line entry point: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! cs2p-eval <experiment> [--sessions N] [--seed S] [--small]
+//! cs2p-eval all          # run everything
+//! ```
+
+use cs2p_eval::experiments::{dataset_figs, pilot, prediction, qoe, sens};
+use cs2p_eval::{EvalConfig, Materials};
+use std::process::ExitCode;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "fig2", "fig3", "table2", "obs1", "fig4", "fig5", "fig6", "fig8", "fig9a",
+    "fig9b", "fig9c", "fcc", "qoe-mid", "qoe-init", "sens", "pilot",
+];
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cs2p-eval <experiment|all> [--sessions N] [--seed S] [--small]");
+    eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first().cloned() else {
+        return usage();
+    };
+
+    let mut config = EvalConfig::default();
+    let mut iter = args.iter().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--small" => {
+                let seed = config.seed;
+                config = EvalConfig::small();
+                config.seed = seed;
+            }
+            "--sessions" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.n_sessions = n,
+                None => return usage(),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(s) => config.seed = s,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let ids: Vec<&str> = if which == "all" {
+        EXPERIMENTS.to_vec()
+    } else if EXPERIMENTS.contains(&which.as_str()) {
+        vec![which.as_str()]
+    } else {
+        return usage();
+    };
+
+    eprintln!(
+        "preparing materials: {} sessions, seed {} ...",
+        config.n_sessions, config.seed
+    );
+    let start = std::time::Instant::now();
+    let materials = Materials::prepare(config);
+    eprintln!(
+        "materials ready in {:.1}s: {} train / {} test sessions, {} cluster models ({}% global fallback)",
+        start.elapsed().as_secs_f64(),
+        materials.train.len(),
+        materials.test.len(),
+        materials.summary.n_models,
+        (materials.summary.global_fallback_fraction * 100.0).round()
+    );
+
+    for id in ids {
+        println!("================================================================");
+        run_one(id, &materials);
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_one(id: &str, materials: &Materials) {
+    let start = std::time::Instant::now();
+    match id {
+        "table1" => println!("{}", qoe::table1(materials, 100)),
+        "fig2" => {
+            let levels = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0];
+            println!("{}", qoe::fig2(materials, &levels, 60));
+        }
+        "fig3" | "table2" => println!("{}", dataset_figs::dataset_report(materials)),
+        "obs1" => println!("{}", dataset_figs::obs1(materials)),
+        "fig4" => println!("{}", dataset_figs::fig4(materials)),
+        "fig5" => println!("{}", dataset_figs::fig5(materials)),
+        "fig6" => println!("{}", dataset_figs::fig6(materials)),
+        "fig8" => println!("{}", prediction::fig8(materials)),
+        "fig9a" => println!("{}", prediction::fig9a(materials)),
+        "fig9b" => println!("{}", prediction::fig9b(materials)),
+        "fig9c" => println!("{}", prediction::fig9c(materials, 10)),
+        "fcc" => println!("{}", prediction::fcc(materials, 6_000)),
+        "qoe-mid" => println!("{}", qoe::qoe_mid(materials, 80)),
+        "qoe-init" => println!("{}", qoe::qoe_init(materials, 200)),
+        "sens" => println!("{}", sens::sens(materials)),
+        "pilot" => println!("{}", pilot::pilot(materials, 40)),
+        _ => unreachable!("validated above"),
+    }
+    eprintln!("[{id} took {:.1}s]", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,210 @@
+//! Shared experiment setup: datasets, trained engine, baselines.
+//!
+//! Every experiment in §7 shares the same preparation (§7.1): generate the
+//! dataset, split temporally (train on day 1, test on day 2), train the
+//! CS2P engine and the baseline models on day 1 only. [`Materials`]
+//! packages all of that so each experiment driver starts from identical,
+//! deterministic inputs.
+
+use cs2p_core::baselines::{MlBaseline, MlModelKind};
+use cs2p_core::cluster::ClusterConfig;
+use cs2p_core::engine::{EngineConfig, PredictionEngine, TrainSummary};
+use cs2p_core::{Dataset, TimeWindow};
+use cs2p_ml::gbrt::GbrtConfig;
+use cs2p_ml::hmm::TrainConfig;
+use cs2p_ml::svr::{Kernel, SvrConfig};
+use cs2p_ml::tree::TreeConfig;
+use cs2p_trace::synth::{generate, SynthConfig};
+use cs2p_trace::world::{World, WorldConfig};
+
+/// Evaluation-wide knobs. The defaults are the paper's choices scaled to
+/// a synthetic dataset that runs in seconds rather than cluster-hours.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Total sessions generated over two days.
+    pub n_sessions: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// HMM states (paper: 6, via 4-fold CV).
+    pub hmm_states: usize,
+    /// Minimum cluster size (paper's threshold, scaled).
+    pub min_cluster_size: usize,
+    /// Candidate time windows for the clustering search.
+    pub windows: Vec<TimeWindow>,
+    /// Max EM iterations per cluster.
+    pub hmm_max_iters: usize,
+    /// Cap on sequences per cluster EM run.
+    pub max_train_sequences: usize,
+    /// Cap on ML-baseline training samples (SVR is O(n^2)).
+    pub ml_max_samples: usize,
+    /// World sizing.
+    pub world: WorldConfig,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            n_sessions: 8_000,
+            seed: 7,
+            hmm_states: 6,
+            min_cluster_size: 20,
+            windows: vec![
+                TimeWindow::All,
+                TimeWindow::History { minutes: 60 },
+                TimeWindow::History { minutes: 720 },
+                TimeWindow::SameHourOfDay { days: 1 },
+            ],
+            hmm_max_iters: 25,
+            max_train_sequences: 120,
+            ml_max_samples: 1_500,
+            world: WorldConfig::default(),
+        }
+    }
+}
+
+impl EvalConfig {
+    /// A reduced configuration for unit tests and smoke runs.
+    pub fn small() -> Self {
+        EvalConfig {
+            n_sessions: 3_000,
+            min_cluster_size: 8,
+            hmm_states: 5,
+            hmm_max_iters: 20,
+            max_train_sequences: 50,
+            ml_max_samples: 400,
+            windows: vec![TimeWindow::All],
+            ..Default::default()
+        }
+    }
+
+    /// The synthesis configuration this implies.
+    pub fn synth(&self) -> SynthConfig {
+        SynthConfig {
+            n_sessions: self.n_sessions,
+            days: 2,
+            seed: self.seed,
+            world: self.world.clone(),
+            ..Default::default()
+        }
+    }
+
+    /// The engine configuration this implies.
+    pub fn engine(&self) -> EngineConfig {
+        EngineConfig {
+            cluster: ClusterConfig {
+                min_cluster_size: self.min_cluster_size,
+                candidate_windows: self.windows.clone(),
+                max_est_sessions: 30,
+                min_est_sessions: 30,
+                // Est pools keyed on everything but the near-unique client
+                // prefix — at synthetic scale full-feature matches starve.
+                est_feature_set: Some(cs2p_core::FeatureSet::from_indices(&[1, 2, 3, 4, 5])),
+                ..Default::default()
+            },
+            hmm: TrainConfig {
+                n_states: self.hmm_states,
+                max_iters: self.hmm_max_iters,
+                ..Default::default()
+            },
+            max_train_sequences: self.max_train_sequences,
+            min_sequence_epochs: 2,
+            n_threads: 0,
+        }
+    }
+}
+
+/// Everything an experiment needs, prepared once.
+pub struct Materials {
+    /// The configuration used.
+    pub config: EvalConfig,
+    /// The ground-truth world (for experiments that need oracle access).
+    pub world: World,
+    /// Day-1 sessions (training).
+    pub train: Dataset,
+    /// Day-2 sessions (testing).
+    pub test: Dataset,
+    /// The trained CS2P engine (its global model is the GHM baseline).
+    pub engine: PredictionEngine,
+    /// Training summary (model counts, fallback rate).
+    pub summary: TrainSummary,
+    /// GBR baseline trained on day 1.
+    pub gbr: Option<MlBaseline>,
+    /// SVR baseline trained on day 1.
+    pub svr: Option<MlBaseline>,
+}
+
+impl Materials {
+    /// Generates data, splits, and trains everything. Deterministic in the
+    /// config.
+    pub fn prepare(config: EvalConfig) -> Self {
+        let (dataset, world) = generate(&config.synth());
+        let (train, test) = dataset.split_at_day(1);
+        let (engine, summary) = PredictionEngine::train(&train, &config.engine())
+            .expect("training dataset too small for an engine");
+
+        let gbr_kind = MlModelKind::Gbrt(GbrtConfig {
+            n_trees: 60,
+            learning_rate: 0.1,
+            tree: TreeConfig {
+                max_depth: 4,
+                min_samples_leaf: 5,
+                min_samples_split: 10,
+            },
+            subsample: 1.0,
+            seed: config.seed,
+        });
+        let svr_kind = MlModelKind::Svr(SvrConfig {
+            c: 10.0,
+            epsilon: 0.05,
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            max_sweeps: 60,
+            tol: 1e-4,
+        });
+        let gbr = MlBaseline::train("GBR", &gbr_kind, &train, config.ml_max_samples);
+        let svr = MlBaseline::train("SVR", &svr_kind, &train, config.ml_max_samples);
+
+        Materials {
+            config,
+            world,
+            train,
+            test,
+            engine,
+            summary,
+            gbr,
+            svr,
+        }
+    }
+
+    /// Test sessions with at least `min_epochs` epochs (midstream
+    /// experiments need room to predict).
+    pub fn long_test_sessions(&self, min_epochs: usize) -> Vec<usize> {
+        (0..self.test.len())
+            .filter(|&i| self.test.get(i).n_epochs() >= min_epochs)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_small_materials() {
+        let m = Materials::prepare(EvalConfig::small());
+        assert!(m.train.len() > 200, "train {}", m.train.len());
+        assert!(m.test.len() > 200, "test {}", m.test.len());
+        assert!(m.summary.n_models >= 1);
+        assert!(m.gbr.is_some());
+        assert!(m.svr.is_some());
+        assert!(!m.long_test_sessions(10).is_empty());
+    }
+
+    #[test]
+    fn preparation_is_deterministic() {
+        let a = Materials::prepare(EvalConfig::small());
+        let b = Materials::prepare(EvalConfig::small());
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        assert_eq!(a.engine.models().len(), b.engine.models().len());
+    }
+}

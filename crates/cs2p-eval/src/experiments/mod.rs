@@ -1,0 +1,8 @@
+//! One module per group of paper experiments. See DESIGN.md's
+//! per-experiment index for the id ↔ table/figure mapping.
+
+pub mod dataset_figs;
+pub mod pilot;
+pub mod prediction;
+pub mod qoe;
+pub mod sens;

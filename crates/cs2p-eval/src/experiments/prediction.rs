@@ -1,0 +1,483 @@
+//! Prediction-accuracy experiments: Figures 8, 9a, 9b, 9c and the FCC
+//! result of §7.2.
+
+use crate::context::Materials;
+use crate::runner::{
+    horizon_errors_for_session, initial_errors, midstream_errors, per_session_medians,
+    render_cdf_table, NamedCdf, REPORT_QUANTILES,
+};
+use cs2p_core::baselines::{AutoRegressive, HarmonicMean, LastMile, LastSample};
+use cs2p_core::cluster::ClusterConfig;
+use cs2p_core::engine::{EngineConfig, PredictionEngine};
+use cs2p_core::{Session, ThroughputPredictor, TimeWindow};
+use cs2p_ml::stats;
+use std::collections::HashMap;
+use std::fmt;
+
+/// AR order used by the AR baseline throughout the evaluation.
+pub const AR_ORDER: usize = 3;
+
+// ---------------------------------------------------------------------------
+// Figure 8: an example learned HMM
+// ---------------------------------------------------------------------------
+
+/// Figure 8's content: one cluster's trained HMM, printable.
+pub struct Fig8Report {
+    /// Cluster key description.
+    pub cluster: String,
+    /// Sessions in the cluster.
+    pub n_sessions: usize,
+    /// `(mean Mbps, sigma)` per state.
+    pub states: Vec<(f64, f64)>,
+    /// Row-stochastic transition matrix.
+    pub transitions: Vec<Vec<f64>>,
+}
+
+/// Trains/prints the example HMM of the largest cluster.
+pub fn fig8(materials: &Materials) -> Fig8Report {
+    let model = materials
+        .engine
+        .models()
+        .iter()
+        .max_by_key(|m| m.n_sessions)
+        .unwrap_or(materials.engine.global_model());
+    let n = model.hmm.n_states();
+    let states: Vec<(f64, f64)> = model
+        .hmm
+        .emissions
+        .iter()
+        .map(|e| match e {
+            cs2p_ml::hmm::Emission::Gaussian(g) | cs2p_ml::hmm::Emission::LogNormal(g) => {
+                (e.mean(), g.sigma)
+            }
+        })
+        .collect();
+    let transitions: Vec<Vec<f64>> = (0..n).map(|i| model.hmm.transition.row(i).to_vec()).collect();
+    Fig8Report {
+        cluster: format!(
+            "{} key={:?}",
+            model.spec.set.describe(materials.engine.schema()),
+            model.key
+        ),
+        n_sessions: model.n_sessions,
+        states,
+        transitions,
+    }
+}
+
+impl fmt::Display for Fig8Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 8 — example cluster HMM")?;
+        writeln!(f, "cluster: {} ({} sessions)", self.cluster, self.n_sessions)?;
+        for (i, (mu, sigma)) in self.states.iter().enumerate() {
+            writeln!(f, "  state {i}: N({mu:.2}, {sigma:.2}^2) Mbps")?;
+        }
+        writeln!(f, "  transition matrix:")?;
+        for row in &self.transitions {
+            let cells: Vec<String> = row.iter().map(|p| format!("{p:.3}")).collect();
+            writeln!(f, "    [{}]", cells.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9a/9b: error CDFs
+// ---------------------------------------------------------------------------
+
+/// A prediction-error comparison across methods (one paper CDF figure).
+pub struct ErrorCdfReport {
+    /// What is being compared (figure id).
+    pub title: String,
+    /// One CDF per method.
+    pub cdfs: Vec<NamedCdf>,
+}
+
+impl ErrorCdfReport {
+    /// Median error of a named series.
+    pub fn median_of(&self, name: &str) -> Option<f64> {
+        self.cdfs.iter().find(|c| c.name == name).map(NamedCdf::median)
+    }
+
+    /// Relative reduction of CS2P's median error vs the best baseline.
+    pub fn cs2p_median_improvement(&self) -> Option<f64> {
+        let cs2p = self.median_of("CS2P")?;
+        let best_other = self
+            .cdfs
+            .iter()
+            .filter(|c| c.name != "CS2P")
+            .map(NamedCdf::median)
+            .fold(f64::INFINITY, f64::min);
+        if best_other.is_finite() && best_other > 0.0 {
+            Some(1.0 - cs2p / best_other)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for ErrorCdfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        write!(f, "{}", render_cdf_table(&self.cdfs, &REPORT_QUANTILES))?;
+        for c in &self.cdfs {
+            writeln!(f, "  median[{}] = {:.4}", c.name, c.median())?;
+        }
+        if let Some(imp) = self.cs2p_median_improvement() {
+            writeln!(f, "  CS2P median improvement over best baseline: {:.1}%", imp * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Figure 9a: CDF of initial-epoch prediction error — CS2P vs GBR, SVR,
+/// LM-client, LM-server.
+pub fn fig9a(materials: &Materials) -> ErrorCdfReport {
+    let test = &materials.test;
+    let indices: Vec<usize> = (0..test.len()).collect();
+
+    // Precompute last-mile tables from the training day.
+    let prefix_col = materials
+        .train
+        .schema()
+        .index_of("ClientIPPrefix")
+        .expect("iQiyi schema");
+    let server_col = materials.train.schema().index_of("Server").expect("iQiyi schema");
+    let lm_client_table = lm_table(&materials.train, prefix_col);
+    let lm_server_table = lm_table(&materials.train, server_col);
+
+    let mut cdfs = Vec::new();
+    let engine = &materials.engine;
+    push_cdf(&mut cdfs, "CS2P", &initial_errors(test, &indices, |s| {
+        Box::new(engine.predictor(&s.features))
+    }));
+    if let Some(gbr) = &materials.gbr {
+        push_cdf(&mut cdfs, "GBR", &initial_errors(test, &indices, |s| {
+            Box::new(gbr.session(&s.features))
+        }));
+    }
+    if let Some(svr) = &materials.svr {
+        push_cdf(&mut cdfs, "SVR", &initial_errors(test, &indices, |s| {
+            Box::new(svr.session(&s.features))
+        }));
+    }
+    push_cdf(&mut cdfs, "LM-client", &initial_errors(test, &indices, |s| {
+        let v = lm_client_table.get(&s.features.get(prefix_col)).copied();
+        Box::new(LastMile::from_value("LM-client", v))
+    }));
+    push_cdf(&mut cdfs, "LM-server", &initial_errors(test, &indices, |s| {
+        let v = lm_server_table.get(&s.features.get(server_col)).copied();
+        Box::new(LastMile::from_value("LM-server", v))
+    }));
+
+    ErrorCdfReport {
+        title: "Figure 9a — initial-epoch prediction error CDF".into(),
+        cdfs,
+    }
+}
+
+/// Figure 9b: CDF of midstream (per-session-median) prediction error —
+/// CS2P vs LS, HM, AR, SVR, GBR and the global HMM (GHM).
+pub fn fig9b(materials: &Materials) -> ErrorCdfReport {
+    let test = &materials.test;
+    let indices = materials.long_test_sessions(5);
+    let engine = &materials.engine;
+
+    let mut cdfs = Vec::new();
+    let mut add = |name: &str, per_session: Vec<Vec<f64>>| {
+        push_cdf(&mut cdfs, name, &per_session_medians(&per_session));
+    };
+
+    add("CS2P", midstream_errors(test, &indices, |s| {
+        Box::new(engine.predictor(&s.features))
+    }));
+    add("GHM", midstream_errors(test, &indices, |_| {
+        Box::new(engine.global_predictor())
+    }));
+    add("LS", midstream_errors(test, &indices, |_| Box::new(LastSample::new())));
+    add("HM", midstream_errors(test, &indices, |_| Box::new(HarmonicMean::new())));
+    add("AR", midstream_errors(test, &indices, |_| {
+        Box::new(AutoRegressive::new(AR_ORDER))
+    }));
+    if let Some(gbr) = &materials.gbr {
+        add("GBR", midstream_errors(test, &indices, |s| {
+            Box::new(gbr.session(&s.features))
+        }));
+    }
+    if let Some(svr) = &materials.svr {
+        add("SVR", midstream_errors(test, &indices, |s| {
+            Box::new(svr.session(&s.features))
+        }));
+    }
+
+    ErrorCdfReport {
+        title: "Figure 9b — midstream prediction error CDF (per-session medians)".into(),
+        cdfs,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9c: error vs look-ahead horizon
+// ---------------------------------------------------------------------------
+
+/// Figure 9c's content: median error per method per horizon.
+pub struct Fig9cReport {
+    /// Horizons evaluated (epochs ahead).
+    pub horizons: Vec<usize>,
+    /// `(method, median error per horizon)`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl Fig9cReport {
+    /// The series for a named method.
+    pub fn series_of(&self, name: &str) -> Option<&[f64]> {
+        self.series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+}
+
+impl fmt::Display for Fig9cReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 9c — median prediction error vs look-ahead horizon")?;
+        write!(f, "{:>8}", "horizon")?;
+        for (name, _) in &self.series {
+            write!(f, " | {:>8}", &name[..name.len().min(8)])?;
+        }
+        writeln!(f)?;
+        for (row, &h) in self.horizons.iter().enumerate() {
+            write!(f, "{h:>8}")?;
+            for (_, values) in &self.series {
+                write!(f, " | {:>8.4}", values[row])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the horizon sweep (median of per-session median error).
+pub fn fig9c(materials: &Materials, max_horizon: usize) -> Fig9cReport {
+    let test = &materials.test;
+    let indices = materials.long_test_sessions(max_horizon + 3);
+    let engine = &materials.engine;
+    let horizons: Vec<usize> = (1..=max_horizon).collect();
+
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    series.push((
+        "CS2P".into(),
+        horizon_medians(test, &indices, &horizons, |s| {
+            Box::new(engine.predictor(&s.features))
+        }),
+    ));
+    series.push((
+        "LS".into(),
+        horizon_medians(test, &indices, &horizons, |_| Box::new(LastSample::new())),
+    ));
+    series.push((
+        "HM".into(),
+        horizon_medians(test, &indices, &horizons, |_| Box::new(HarmonicMean::new())),
+    ));
+    series.push((
+        "AR".into(),
+        horizon_medians(test, &indices, &horizons, |_| {
+            Box::new(AutoRegressive::new(AR_ORDER))
+        }),
+    ));
+    if let Some(gbr) = &materials.gbr {
+        series.push((
+            "GBR".into(),
+            horizon_medians(test, &indices, &horizons, |s| Box::new(gbr.session(&s.features))),
+        ));
+    }
+
+    Fig9cReport { horizons, series }
+}
+
+/// Median of per-session-median `k`-step errors, per horizon.
+fn horizon_medians<'a, F>(
+    test: &'a cs2p_core::Dataset,
+    indices: &[usize],
+    horizons: &[usize],
+    mut factory: F,
+) -> Vec<f64>
+where
+    F: FnMut(&'a Session) -> Box<dyn ThroughputPredictor + 'a>,
+{
+    horizons
+        .iter()
+        .map(|&k| {
+            let per_session: Vec<Vec<f64>> = indices
+                .iter()
+                .map(|&i| {
+                    let s = test.get(i);
+                    let mut p = factory(s);
+                    horizon_errors_for_session(p.as_mut(), s, k)
+                })
+                .collect();
+            let meds = per_session_medians(&per_session);
+            stats::median(&meds).unwrap_or(f64::NAN)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// FCC experiment (§7.2)
+// ---------------------------------------------------------------------------
+
+/// The §7.2 FCC side experiment: richer features → better initial accuracy.
+pub struct FccReport {
+    /// Median initial error on the FCC-like dataset.
+    pub fcc_median_error: f64,
+    /// Median initial error on the iQiyi-like dataset (same pipeline).
+    pub iqiyi_median_error: f64,
+}
+
+impl fmt::Display for FccReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "§7.2 FCC — initial-epoch error with richer features")?;
+        writeln!(f, "  FCC-like dataset median error:   {:.4}", self.fcc_median_error)?;
+        writeln!(f, "  iQiyi-like dataset median error: {:.4}", self.iqiyi_median_error)?;
+        Ok(())
+    }
+}
+
+/// Trains CS2P on the FCC-like dataset and compares initial accuracy
+/// against the main dataset's.
+pub fn fcc(materials: &Materials, fcc_sessions: usize) -> FccReport {
+    let fcc_data = cs2p_trace::fcc::generate(&cs2p_trace::fcc::FccConfig {
+        n_sessions: fcc_sessions,
+        seed: materials.config.seed,
+        ..Default::default()
+    });
+    let (train, test) = fcc_data.split_at_day(1);
+    let config = EngineConfig {
+        cluster: ClusterConfig {
+            min_cluster_size: materials.config.min_cluster_size,
+            candidate_windows: vec![TimeWindow::All],
+            max_est_sessions: 20,
+            ..Default::default()
+        },
+        hmm: cs2p_ml::hmm::TrainConfig {
+            n_states: 3,
+            max_iters: 10,
+            ..Default::default()
+        },
+        max_train_sequences: 60,
+        min_sequence_epochs: 2,
+        n_threads: 0,
+    };
+    let (engine, _) = PredictionEngine::train(&train, &config).expect("FCC training failed");
+
+    let indices: Vec<usize> = (0..test.len()).collect();
+    let errs = initial_errors(&test, &indices, |s| Box::new(engine.predictor(&s.features)));
+    let fcc_median_error = stats::median(&errs).unwrap_or(f64::NAN);
+
+    // Main-dataset comparison point.
+    let main_indices: Vec<usize> = (0..materials.test.len()).collect();
+    let main_engine = &materials.engine;
+    let main_errs = initial_errors(&materials.test, &main_indices, |s| {
+        Box::new(main_engine.predictor(&s.features))
+    });
+    FccReport {
+        fcc_median_error,
+        iqiyi_median_error: stats::median(&main_errs).unwrap_or(f64::NAN),
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+fn push_cdf(cdfs: &mut Vec<NamedCdf>, name: &str, sample: &[f64]) {
+    if let Some(c) = NamedCdf::new(name, sample) {
+        cdfs.push(c);
+    }
+}
+
+fn lm_table(train: &cs2p_core::Dataset, column: usize) -> HashMap<u32, f64> {
+    let mut groups: HashMap<u32, Vec<f64>> = HashMap::new();
+    for s in train.sessions() {
+        if let Some(w0) = s.initial_throughput() {
+            groups.entry(s.features.get(column)).or_default().push(w0);
+        }
+    }
+    groups
+        .into_iter()
+        .filter_map(|(k, v)| stats::median(&v).map(|m| (k, m)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::EvalConfig;
+    use std::sync::OnceLock;
+
+    fn materials() -> &'static Materials {
+        static CELL: OnceLock<Materials> = OnceLock::new();
+        CELL.get_or_init(|| Materials::prepare(EvalConfig::small()))
+    }
+
+    #[test]
+    fn fig8_produces_a_valid_model_summary() {
+        let r = fig8(materials());
+        assert!(!r.states.is_empty());
+        for row in &r.transitions {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        let text = format!("{r}");
+        assert!(text.contains("state 0"));
+    }
+
+    #[test]
+    fn fig9a_cs2p_beats_last_mile_baselines() {
+        let r = fig9a(materials());
+        let cs2p = r.median_of("CS2P").expect("CS2P series");
+        let lm_c = r.median_of("LM-client").expect("LM-client series");
+        let lm_s = r.median_of("LM-server").expect("LM-server series");
+        assert!(cs2p < lm_s, "CS2P {cs2p} vs LM-server {lm_s}");
+        // LM-client is prefix-keyed and in our world a prefix pins
+        // ISP/city, so it's a strong baseline; CS2P must at least match it.
+        assert!(cs2p <= lm_c * 1.15, "CS2P {cs2p} vs LM-client {lm_c}");
+    }
+
+    #[test]
+    fn fig9b_cs2p_beats_history_baselines() {
+        let r = fig9b(materials());
+        let cs2p = r.median_of("CS2P").unwrap();
+        for name in ["LS", "HM", "AR"] {
+            let other = r.median_of(name).unwrap();
+            assert!(cs2p < other, "CS2P {cs2p} !< {name} {other}");
+        }
+        // Clustering must beat the single global HMM.
+        let ghm = r.median_of("GHM").unwrap();
+        assert!(cs2p < ghm, "CS2P {cs2p} !< GHM {ghm}");
+    }
+
+    #[test]
+    fn fig9c_errors_grow_with_horizon_for_cs2p() {
+        let r = fig9c(materials(), 5);
+        let cs2p = r.series_of("CS2P").unwrap();
+        assert_eq!(cs2p.len(), 5);
+        // Not strictly monotone, but horizon 5 should not beat horizon 1.
+        assert!(cs2p[4] >= cs2p[0] * 0.9, "{cs2p:?}");
+        // CS2P stays best at every horizon against LS.
+        let ls = r.series_of("LS").unwrap();
+        for (c, l) in cs2p.iter().zip(ls) {
+            assert!(c <= l, "CS2P {c} vs LS {l}");
+        }
+    }
+
+    #[test]
+    fn fcc_richer_features_predict_better() {
+        let r = fcc(materials(), 2_000);
+        assert!(
+            r.fcc_median_error < r.iqiyi_median_error,
+            "FCC {} !< iQiyi {}",
+            r.fcc_median_error,
+            r.iqiyi_median_error
+        );
+        assert!(r.fcc_median_error < 0.2, "FCC error {}", r.fcc_median_error);
+    }
+}

@@ -1,0 +1,208 @@
+//! §7.4 sensitivity analysis: how CS2P's accuracy responds to its design
+//! parameters — HMM state count, cluster-size threshold, and the amount of
+//! training data — plus the emission-family ablation called out in
+//! DESIGN.md.
+
+use crate::context::{EvalConfig, Materials};
+use crate::runner::{midstream_errors, per_session_medians};
+use cs2p_core::engine::PredictionEngine;
+use cs2p_core::Dataset;
+use cs2p_ml::hmm::{select_state_count, SelectConfig, TrainConfig};
+use cs2p_ml::stats;
+use std::fmt;
+
+/// One sweep's outcome: parameter value vs median midstream error.
+pub struct Sweep {
+    /// Swept parameter's name.
+    pub parameter: String,
+    /// `(value, median of per-session-median midstream error)`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Sweep {
+    /// The value with the lowest error.
+    pub fn best(&self) -> Option<(f64, f64)> {
+        self.points
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+}
+
+/// The full sensitivity report.
+pub struct SensReport {
+    /// One sweep per parameter.
+    pub sweeps: Vec<Sweep>,
+    /// Cross-validated state count on the training data (the paper's
+    /// §7.1 procedure that lands on 6).
+    pub cv_state_count: Option<usize>,
+}
+
+impl fmt::Display for SensReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "§7.4 — sensitivity analysis")?;
+        for sweep in &self.sweeps {
+            writeln!(f, "  {}:", sweep.parameter)?;
+            for (v, e) in &sweep.points {
+                writeln!(f, "    {v:>8.1} -> median error {e:.4}")?;
+            }
+            if let Some((v, e)) = sweep.best() {
+                writeln!(f, "    best: {v} (error {e:.4})")?;
+            }
+        }
+        if let Some(n) = self.cv_state_count {
+            writeln!(f, "  4-fold CV state count on training sequences: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+fn midstream_median(engine: &PredictionEngine, test: &Dataset, indices: &[usize]) -> f64 {
+    let per_session = midstream_errors(test, indices, |s| Box::new(engine.predictor(&s.features)));
+    let meds = per_session_medians(&per_session);
+    stats::median(&meds).unwrap_or(f64::NAN)
+}
+
+/// Runs the parameter sweeps. Each point retrains the engine, so the
+/// config should be modest.
+pub fn sens(materials: &Materials) -> SensReport {
+    let base = materials.config.clone();
+    let indices = materials.long_test_sessions(5);
+    let test = &materials.test;
+
+    let mut sweeps = Vec::new();
+
+    // 1. HMM state count.
+    let mut points = Vec::new();
+    for n in [2usize, 4, 6, 8] {
+        let cfg = EvalConfig {
+            hmm_states: n,
+            ..base.clone()
+        };
+        let (engine, _) =
+            PredictionEngine::train(&materials.train, &cfg.engine()).expect("training failed");
+        points.push((n as f64, midstream_median(&engine, test, &indices)));
+    }
+    sweeps.push(Sweep {
+        parameter: "HMM state count".into(),
+        points,
+    });
+
+    // 2. Cluster-size threshold.
+    let mut points = Vec::new();
+    for threshold in [5usize, 20, 80, 320] {
+        let cfg = EvalConfig {
+            min_cluster_size: threshold,
+            ..base.clone()
+        };
+        let (engine, _) =
+            PredictionEngine::train(&materials.train, &cfg.engine()).expect("training failed");
+        points.push((threshold as f64, midstream_median(&engine, test, &indices)));
+    }
+    sweeps.push(Sweep {
+        parameter: "cluster-size threshold".into(),
+        points,
+    });
+
+    // 3. Training-data amount (fraction of day-1 sessions).
+    let mut points = Vec::new();
+    for frac in [0.25f64, 0.5, 1.0] {
+        let keep = ((materials.train.len() as f64) * frac) as usize;
+        let subset = Dataset::new(
+            materials.train.schema().clone(),
+            materials.train.sessions()[..keep.max(10)].to_vec(),
+        );
+        match PredictionEngine::train(&subset, &base.engine()) {
+            Some((engine, _)) => {
+                points.push((frac, midstream_median(&engine, test, &indices)));
+            }
+            None => points.push((frac, f64::NAN)),
+        }
+    }
+    sweeps.push(Sweep {
+        parameter: "training fraction".into(),
+        points,
+    });
+
+    // 4. Cross-validated state count (the paper's §7.1 procedure), run on
+    // the sequences of the largest cluster.
+    let largest = materials
+        .engine
+        .models()
+        .iter()
+        .max_by_key(|m| m.n_sessions);
+    let cv_state_count = largest.and_then(|_| {
+        let sequences: Vec<Vec<f64>> = materials
+            .train
+            .sessions()
+            .iter()
+            .filter(|s| s.n_epochs() >= 10)
+            .take(60)
+            .map(|s| s.throughput.clone())
+            .collect();
+        select_state_count(
+            &sequences,
+            &SelectConfig {
+                candidates: vec![2, 3, 4, 5, 6, 7, 8],
+                folds: 4,
+                train: TrainConfig {
+                    max_iters: 12,
+                    ..Default::default()
+                },
+            },
+        )
+        .map(|r| r.best)
+    });
+
+    SensReport {
+        sweeps,
+        cv_state_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn materials() -> &'static Materials {
+        static CELL: OnceLock<Materials> = OnceLock::new();
+        CELL.get_or_init(|| Materials::prepare(EvalConfig::small()))
+    }
+
+    #[test]
+    fn sensitivity_produces_all_sweeps() {
+        let r = sens(materials());
+        assert_eq!(r.sweeps.len(), 3);
+        for sweep in &r.sweeps {
+            assert!(!sweep.points.is_empty());
+            for (_, e) in &sweep.points {
+                assert!(e.is_finite(), "{}: NaN point", sweep.parameter);
+            }
+        }
+    }
+
+    #[test]
+    fn more_training_data_does_not_hurt() {
+        let r = sens(materials());
+        let training = r
+            .sweeps
+            .iter()
+            .find(|s| s.parameter == "training fraction")
+            .unwrap();
+        let first = training.points.first().unwrap().1;
+        let last = training.points.last().unwrap().1;
+        assert!(
+            last <= first * 1.2,
+            "full data error {last} much worse than quarter data {first}"
+        );
+    }
+
+    #[test]
+    fn cv_state_count_is_plausible() {
+        let r = sens(materials());
+        if let Some(n) = r.cv_state_count {
+            assert!((2..=8).contains(&n));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! K-fold cross-validation utilities.
+//!
+//! The paper uses 4-fold cross-validation on the first day's data to pick
+//! "key design parameters (number of HMM states, group size, etc.)" (§7.1).
+//! The fold-assignment and grid-search helpers here are shared by
+//! [`crate::hmm::select_state_count`] and the core crate's
+//! cluster-threshold selection.
+
+/// Deterministic k-fold assignment: item `i` belongs to fold `i % k`.
+///
+/// Returns `(train_indices, test_indices)` for the requested fold.
+/// Interleaved assignment (rather than contiguous blocks) keeps folds
+/// balanced even when the input is sorted by time or size.
+pub fn kfold_indices(n: usize, k: usize, fold: usize) -> (Vec<usize>, Vec<usize>) {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(fold < k, "fold {fold} out of range for k = {k}");
+    let mut train = Vec::with_capacity(n - n / k);
+    let mut test = Vec::with_capacity(n / k + 1);
+    for i in 0..n {
+        if i % k == fold {
+            test.push(i);
+        } else {
+            train.push(i);
+        }
+    }
+    (train, test)
+}
+
+/// Shuffled k-fold assignment using a caller-provided permutation.
+///
+/// `perm` must be a permutation of `0..n`; items are dealt to folds
+/// round-robin in permutation order.
+pub fn kfold_indices_shuffled(perm: &[usize], k: usize, fold: usize) -> (Vec<usize>, Vec<usize>) {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(fold < k, "fold {fold} out of range for k = {k}");
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (pos, &i) in perm.iter().enumerate() {
+        if pos % k == fold {
+            test.push(i);
+        } else {
+            train.push(i);
+        }
+    }
+    (train, test)
+}
+
+/// Result of a grid search: every candidate with its mean CV score, and the
+/// index of the best (lowest-score) candidate.
+#[derive(Debug, Clone)]
+pub struct GridSearchResult<P> {
+    /// `(candidate, mean score over folds)` in input order; candidates
+    /// whose evaluation failed on every fold are omitted.
+    pub scores: Vec<(P, f64)>,
+    /// Index into `scores` of the lowest-scoring candidate.
+    pub best: usize,
+}
+
+/// Generic k-fold grid search minimizing a score.
+///
+/// `evaluate(candidate, train_indices, test_indices)` returns the score on
+/// one fold or `None` if that fold cannot be evaluated (e.g. model failed
+/// to train). Returns `None` when no candidate produced any score.
+pub fn grid_search<P: Clone>(
+    candidates: &[P],
+    n_items: usize,
+    k: usize,
+    mut evaluate: impl FnMut(&P, &[usize], &[usize]) -> Option<f64>,
+) -> Option<GridSearchResult<P>> {
+    let mut scores = Vec::new();
+    for cand in candidates {
+        let mut fold_scores = Vec::new();
+        for fold in 0..k {
+            let (train, test) = kfold_indices(n_items, k, fold);
+            if let Some(s) = evaluate(cand, &train, &test) {
+                fold_scores.push(s);
+            }
+        }
+        if !fold_scores.is_empty() {
+            let mean = fold_scores.iter().sum::<f64>() / fold_scores.len() as f64;
+            scores.push((cand.clone(), mean));
+        }
+    }
+    if scores.is_empty() {
+        return None;
+    }
+    let best = scores
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    Some(GridSearchResult { scores, best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_everything() {
+        let n = 23;
+        let k = 4;
+        let mut seen = vec![0usize; n];
+        for fold in 0..k {
+            let (train, test) = kfold_indices(n, k, fold);
+            assert_eq!(train.len() + test.len(), n);
+            for &i in &test {
+                seen[i] += 1;
+            }
+            // No overlap within a fold.
+            for &i in &test {
+                assert!(!train.contains(&i));
+            }
+        }
+        // Every item appears in exactly one test fold.
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn folds_are_balanced() {
+        let (_, t0) = kfold_indices(100, 4, 0);
+        let (_, t3) = kfold_indices(100, 4, 3);
+        assert_eq!(t0.len(), 25);
+        assert_eq!(t3.len(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fold_out_of_range_panics() {
+        kfold_indices(10, 3, 3);
+    }
+
+    #[test]
+    fn shuffled_folds_partition() {
+        let perm = vec![4, 2, 0, 1, 3];
+        let mut seen = [0usize; 5];
+        for fold in 0..2 {
+            let (_, test) = kfold_indices_shuffled(&perm, 2, fold);
+            for &i in &test {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn grid_search_picks_minimum() {
+        // Score = |candidate - 5| regardless of fold.
+        let result = grid_search(&[1, 5, 9], 20, 4, |&c, _, _| {
+            Some((c as f64 - 5.0).abs())
+        })
+        .unwrap();
+        assert_eq!(result.scores[result.best].0, 5);
+    }
+
+    #[test]
+    fn grid_search_skips_failing_candidates() {
+        let result = grid_search(&[1, 2, 3], 20, 4, |&c, _, _| {
+            if c == 2 {
+                None
+            } else {
+                Some(c as f64)
+            }
+        })
+        .unwrap();
+        let cands: Vec<i32> = result.scores.iter().map(|(c, _)| *c).collect();
+        assert_eq!(cands, vec![1, 3]);
+        assert_eq!(result.scores[result.best].0, 1);
+    }
+
+    #[test]
+    fn grid_search_all_fail_returns_none() {
+        assert!(grid_search(&[1, 2], 10, 2, |_, _, _| None::<f64>).is_none());
+    }
+
+    #[test]
+    fn grid_search_averages_over_folds() {
+        // Score = fold index; mean over 4 folds = 1.5 for every candidate.
+        let mut calls = 0;
+        let result = grid_search(&[0], 8, 4, |_, _, test| {
+            calls += 1;
+            Some(test[0] as f64) // test[0] == fold index for interleaved folds
+        })
+        .unwrap();
+        assert_eq!(calls, 4);
+        assert!((result.scores[0].1 - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,243 @@
+//! Univariate Gaussian distribution: pdf, log-pdf, sampling helpers, and
+//! maximum-likelihood fitting.
+//!
+//! CS2P's HMM uses Gaussian emissions (§5.2, Eq. 5): conditioned on the
+//! hidden state `x`, throughput is `N(mu_x, sigma_x^2)`. The paper notes the
+//! HMM is agnostic to the emission family; Gaussian is chosen for accuracy
+//! on their data and computational simplicity. We mirror that and also
+//! provide a log-normal emission (used in an ablation bench).
+
+use serde::{Deserialize, Serialize};
+
+/// Smallest standard deviation we allow when fitting.
+///
+/// EM can collapse a state onto a handful of identical observations, driving
+/// sigma to zero and the likelihood to infinity; clamping is the standard
+/// remedy (a crude variance floor prior).
+pub const MIN_SIGMA: f64 = 1e-3;
+
+const LN_SQRT_2PI: f64 = 0.918_938_533_204_672_7;
+
+/// A univariate Gaussian `N(mu, sigma^2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gaussian {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation (strictly positive).
+    pub sigma: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian, clamping sigma to [`MIN_SIGMA`].
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "non-finite mean");
+        assert!(sigma.is_finite() && sigma >= 0.0, "invalid sigma {sigma}");
+        Gaussian {
+            mu,
+            sigma: sigma.max(MIN_SIGMA),
+        }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Gaussian { mu: 0.0, sigma: 1.0 }
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.log_pdf(x).exp()
+    }
+
+    /// Log-density at `x`; numerically safe far into the tails.
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        -0.5 * z * z - self.sigma.ln() - LN_SQRT_2PI
+    }
+
+    /// Variance `sigma^2`.
+    pub fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    /// Maximum-likelihood fit from a sample. Returns `None` for an empty
+    /// slice; a singleton sample gets `sigma = MIN_SIGMA`.
+    pub fn fit(xs: &[f64]) -> Option<Self> {
+        let mu = crate::stats::mean(xs)?;
+        let var = crate::stats::variance(xs)?;
+        Some(Gaussian::new(mu, var.sqrt()))
+    }
+
+    /// Weighted maximum-likelihood fit: `mu = sum(w x) / sum(w)`,
+    /// `var = sum(w (x - mu)^2) / sum(w)`. Used by the Baum–Welch M-step,
+    /// where weights are state-occupancy posteriors.
+    ///
+    /// Returns `None` when the total weight is not strictly positive.
+    pub fn fit_weighted(xs: &[f64], ws: &[f64]) -> Option<Self> {
+        assert_eq!(xs.len(), ws.len(), "weights/values length mismatch");
+        let total: f64 = ws.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            return None;
+        }
+        let mu = xs.iter().zip(ws).map(|(x, w)| x * w).sum::<f64>() / total;
+        let var = xs
+            .iter()
+            .zip(ws)
+            .map(|(x, w)| w * (x - mu) * (x - mu))
+            .sum::<f64>()
+            / total;
+        Some(Gaussian::new(mu, var.sqrt()))
+    }
+
+    /// Standard normal CDF via the Abramowitz–Stegun erf approximation
+    /// (7.1.26), accurate to ~1.5e-7 — plenty for workload generation and
+    /// goodness-of-fit checks.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Draws a standard normal variate via Box–Muller from two uniforms.
+///
+/// Kept free of any particular RNG trait so callers can pass uniforms from
+/// whatever deterministic source they like.
+pub fn box_muller(u1: f64, u2: f64) -> f64 {
+    let u1 = u1.max(f64::MIN_POSITIVE); // guard log(0)
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `N(mu, sigma^2)` using the `rand` crate.
+pub fn sample<R: rand::Rng + ?Sized>(g: &Gaussian, rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen();
+    let u2: f64 = rng.gen();
+    g.mu + g.sigma * box_muller(u1, u2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn pdf_standard_normal_at_zero() {
+        let g = Gaussian::standard();
+        assert_close(g.pdf(0.0), 0.398_942_280_401_432_7, 1e-12);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_by_riemann() {
+        let g = Gaussian::new(1.5, 0.7);
+        let (lo, hi, n) = (-6.0, 9.0, 20_000);
+        let dx = (hi - lo) / n as f64;
+        let sum: f64 = (0..n).map(|i| g.pdf(lo + (i as f64 + 0.5) * dx) * dx).sum();
+        assert_close(sum, 1.0, 1e-6);
+    }
+
+    #[test]
+    fn log_pdf_matches_pdf() {
+        let g = Gaussian::new(-2.0, 3.0);
+        for x in [-5.0, 0.0, 2.5] {
+            assert_close(g.log_pdf(x), g.pdf(x).ln(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_pdf_finite_in_deep_tail() {
+        let g = Gaussian::new(0.0, 1.0);
+        let lp = g.log_pdf(50.0);
+        assert!(lp.is_finite());
+        assert_eq!(g.pdf(50.0), 0.0); // underflows, but log stays sane
+    }
+
+    #[test]
+    fn fit_recovers_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let g = Gaussian::fit(&xs).unwrap();
+        assert_close(g.mu, 5.0, 1e-12);
+        assert_close(g.sigma, 2.0, 1e-12);
+        assert!(Gaussian::fit(&[]).is_none());
+    }
+
+    #[test]
+    fn fit_weighted_uniform_equals_fit() {
+        let xs = [1.0, 2.0, 3.0, 10.0];
+        let ws = [1.0; 4];
+        let a = Gaussian::fit(&xs).unwrap();
+        let b = Gaussian::fit_weighted(&xs, &ws).unwrap();
+        assert_close(a.mu, b.mu, 1e-12);
+        assert_close(a.sigma, b.sigma, 1e-12);
+    }
+
+    #[test]
+    fn fit_weighted_ignores_zero_weight_points() {
+        let xs = [1.0, 2.0, 100.0];
+        let ws = [1.0, 1.0, 0.0];
+        let g = Gaussian::fit_weighted(&xs, &ws).unwrap();
+        assert_close(g.mu, 1.5, 1e-12);
+    }
+
+    #[test]
+    fn fit_weighted_rejects_zero_total() {
+        assert!(Gaussian::fit_weighted(&[1.0], &[0.0]).is_none());
+    }
+
+    #[test]
+    fn sigma_clamped() {
+        let g = Gaussian::new(1.0, 0.0);
+        assert_eq!(g.sigma, MIN_SIGMA);
+        let g = Gaussian::fit(&[3.0, 3.0, 3.0]).unwrap();
+        assert_eq!(g.sigma, MIN_SIGMA);
+    }
+
+    #[test]
+    fn cdf_symmetry_and_limits() {
+        let g = Gaussian::standard();
+        assert_close(g.cdf(0.0), 0.5, 1e-7);
+        assert_close(g.cdf(1.96), 0.975, 1e-3);
+        assert_close(g.cdf(-1.96), 0.025, 1e-3);
+        assert_close(g.cdf(8.0), 1.0, 1e-7);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert_close(erf(0.0), 0.0, 1e-7);
+        assert_close(erf(1.0), 0.842_700_792_949_715, 1e-6);
+        assert_close(erf(-1.0), -0.842_700_792_949_715, 1e-6);
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let g = Gaussian::new(3.0, 2.0);
+        let xs: Vec<f64> = (0..50_000).map(|_| sample(&g, &mut rng)).collect();
+        let fitted = Gaussian::fit(&xs).unwrap();
+        assert_close(fitted.mu, 3.0, 0.05);
+        assert_close(fitted.sigma, 2.0, 0.05);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = Gaussian::new(1.25, 0.5);
+        let s = serde_json::to_string(&g).unwrap();
+        let back: Gaussian = serde_json::from_str(&s).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,395 @@
+//! Baum–Welch (EM) training of the Gaussian-emission HMM.
+//!
+//! The paper trains one HMM per session cluster on the throughput sequences
+//! of the cluster's sessions via "the expectation-maximization (EM)
+//! algorithm \[8\]" (§5.2, *Offline training*). A cluster contributes many
+//! sequences, so this implementation is multi-sequence from the start:
+//! E-step statistics are accumulated across sequences, and the M-step
+//! reestimates `(pi, P, emissions)` from the pooled posteriors.
+//!
+//! Numerical notes:
+//! - forward/backward are the scaled recursions from [`super::forward`];
+//! - transition counts get a tiny additive floor so no row of `P` ever
+//!   becomes exactly zero (keeps the chain ergodic and the filter sane);
+//! - state emission fits are clamped to `MIN_SIGMA` by [`Gaussian::new`].
+
+use super::forward::{backward, forward};
+use super::init::kmeans_init;
+use super::{Emission, Hmm};
+use crate::gaussian::Gaussian;
+use crate::matrix::Matrix;
+
+/// Emission family to fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmissionFamily {
+    /// Gaussian over raw observations (the paper's choice).
+    Gaussian,
+    /// Gaussian over `ln w` (ablation).
+    LogNormal,
+}
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of hidden states `N`. The paper uses 6 (picked by 4-fold CV).
+    pub n_states: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Stop when the relative log-likelihood improvement drops below this.
+    pub tol: f64,
+    /// Seed for the k-means initialization.
+    pub seed: u64,
+    /// Emission family.
+    pub family: EmissionFamily,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            n_states: 6,
+            max_iters: 50,
+            tol: 1e-5,
+            seed: 0,
+            family: EmissionFamily::Gaussian,
+        }
+    }
+}
+
+/// What training produced, beyond the model itself.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Log-likelihood after each EM iteration (total over all sequences).
+    pub log_likelihoods: Vec<f64>,
+    /// Number of EM iterations actually run.
+    pub iterations: usize,
+    /// Whether the tolerance criterion (rather than the iteration cap)
+    /// stopped training.
+    pub converged: bool,
+}
+
+/// Additive smoothing applied to transition counts so no transition
+/// probability collapses to exactly zero.
+const TRANSITION_FLOOR: f64 = 1e-6;
+
+/// Trains an HMM on `sequences` with Baum–Welch EM.
+///
+/// Returns `None` when there is no usable data (no sequences, or all
+/// sequences empty, or fewer distinct observations than states would make
+/// initialization degenerate — in that case we still train but states may
+/// coincide; only truly empty input is rejected).
+pub fn train(sequences: &[Vec<f64>], config: &TrainConfig) -> Option<(Hmm, TrainReport)> {
+    assert!(config.n_states >= 1, "need at least one state");
+    let nonempty: Vec<&Vec<f64>> = sequences.iter().filter(|s| !s.is_empty()).collect();
+    if nonempty.is_empty() {
+        return None;
+    }
+    if config.family == EmissionFamily::LogNormal
+        && nonempty.iter().any(|s| s.iter().any(|&w| w <= 0.0))
+    {
+        return None; // log-normal cannot emit non-positive observations
+    }
+
+    let mut hmm = kmeans_init(&nonempty, config)?;
+    let n = config.n_states;
+
+    let mut lls = Vec::with_capacity(config.max_iters);
+    let mut converged = false;
+
+    for _iter in 0..config.max_iters {
+        // --- E step: accumulate statistics over all sequences ---
+        let mut ll_total = 0.0;
+        let mut pi_acc = vec![0.0; n];
+        let mut xi_acc = Matrix::zeros(n, n); // sum_t xi_t(i, j)
+        let mut gamma_trans_acc = vec![0.0; n]; // sum_{t<T} gamma_t(i)
+        // Weighted-emission accumulators: for each state, (sum w*g, sum g,
+        // sum w^2*g) over all observations.
+        let mut em_w = vec![0.0; n];
+        let mut em_wx = vec![0.0; n];
+        let mut em_wxx = vec![0.0; n];
+
+        for seq in &nonempty {
+            let f = forward(&hmm, seq);
+            ll_total += f.log_likelihood;
+            let beta = backward(&hmm, seq, &f.scales);
+            let t_max = seq.len();
+
+            // gamma_t(i) ∝ alpha_t(i) beta_t(i)
+            let mut gamma = vec![vec![0.0; n]; t_max];
+            for t in 0..t_max {
+                for i in 0..n {
+                    gamma[t][i] = f.alpha[t][i] * beta[t][i];
+                }
+                super::normalize(&mut gamma[t]);
+            }
+
+            for i in 0..n {
+                pi_acc[i] += gamma[0][i];
+            }
+            for (t, &w) in seq.iter().enumerate() {
+                let x = match config.family {
+                    EmissionFamily::Gaussian => w,
+                    EmissionFamily::LogNormal => w.ln(),
+                };
+                for i in 0..n {
+                    let g = gamma[t][i];
+                    em_w[i] += g;
+                    em_wx[i] += g * x;
+                    em_wxx[i] += g * x * x;
+                }
+            }
+
+            // xi_t(i, j) ∝ alpha_t(i) P_ij e_j(w_{t+1}) beta_{t+1}(j)
+            for t in 0..t_max.saturating_sub(1) {
+                let mut xi = Matrix::zeros(n, n);
+                let mut total = 0.0;
+                for i in 0..n {
+                    for j in 0..n {
+                        let v = f.alpha[t][i]
+                            * hmm.transition[(i, j)]
+                            * hmm.emissions[j].pdf(seq[t + 1])
+                            * beta[t + 1][j];
+                        xi[(i, j)] = v;
+                        total += v;
+                    }
+                }
+                if total > 0.0 && total.is_finite() {
+                    for i in 0..n {
+                        for j in 0..n {
+                            xi_acc[(i, j)] += xi[(i, j)] / total;
+                        }
+                        gamma_trans_acc[i] += gamma[t][i];
+                    }
+                }
+            }
+        }
+        lls.push(ll_total);
+
+        // Convergence check against the previous iteration's likelihood.
+        if lls.len() >= 2 {
+            let prev = lls[lls.len() - 2];
+            let rel = (ll_total - prev).abs() / prev.abs().max(1.0);
+            if rel < config.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        // --- M step ---
+        let mut initial = pi_acc;
+        super::normalize(&mut initial);
+
+        let mut transition = Matrix::zeros(n, n);
+        for i in 0..n {
+            let denom = gamma_trans_acc[i];
+            for j in 0..n {
+                let num = xi_acc[(i, j)] + TRANSITION_FLOOR;
+                transition[(i, j)] = if denom > 0.0 {
+                    num / (denom + TRANSITION_FLOOR * n as f64)
+                } else {
+                    // State never occupied before the last step: keep it
+                    // maximally self-persistent so it stays identifiable.
+                    if i == j {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                };
+            }
+            let row: Vec<f64> = transition.row(i).to_vec();
+            let mut row = row;
+            super::normalize(&mut row);
+            transition.row_mut(i).copy_from_slice(&row);
+        }
+
+        let emissions: Vec<Emission> = (0..n)
+            .map(|i| {
+                let (mu, sigma) = if em_w[i] > 0.0 {
+                    let mu = em_wx[i] / em_w[i];
+                    let var = (em_wxx[i] / em_w[i] - mu * mu).max(0.0);
+                    (mu, var.sqrt())
+                } else {
+                    // Dead state: keep the previous parameters.
+                    match hmm.emissions[i] {
+                        Emission::Gaussian(g) | Emission::LogNormal(g) => (g.mu, g.sigma),
+                    }
+                };
+                let g = Gaussian::new(mu, sigma);
+                match config.family {
+                    EmissionFamily::Gaussian => Emission::Gaussian(g),
+                    EmissionFamily::LogNormal => Emission::LogNormal(g),
+                }
+            })
+            .collect();
+
+        hmm = Hmm::new(initial, transition, emissions);
+    }
+
+    let iterations = lls.len();
+    Some((
+        hmm,
+        TrainReport {
+            log_likelihoods: lls,
+            iterations,
+            converged,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::toy_hmm;
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_training_set(n_seqs: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+        let hmm = toy_hmm();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n_seqs)
+            .map(|_| hmm.sample_sequence(len, &mut rng).1)
+            .collect()
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let cfg = TrainConfig::default();
+        assert!(train(&[], &cfg).is_none());
+        assert!(train(&[vec![]], &cfg).is_none());
+    }
+
+    #[test]
+    fn lognormal_rejects_nonpositive_observations() {
+        let cfg = TrainConfig {
+            family: EmissionFamily::LogNormal,
+            n_states: 2,
+            ..Default::default()
+        };
+        assert!(train(&[vec![1.0, -0.5, 2.0]], &cfg).is_none());
+        assert!(train(&[vec![1.0, 0.5, 2.0]], &cfg).is_some());
+    }
+
+    #[test]
+    fn log_likelihood_is_monotone_nondecreasing() {
+        let seqs = sample_training_set(20, 100, 5);
+        let cfg = TrainConfig {
+            n_states: 3,
+            max_iters: 30,
+            tol: 0.0, // run all iterations
+            seed: 1,
+            family: EmissionFamily::Gaussian,
+        };
+        let (_, report) = train(&seqs, &cfg).unwrap();
+        for w in report.log_likelihoods.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-6 * w[0].abs().max(1.0),
+                "EM decreased log-likelihood: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_generating_parameters() {
+        // Train on data from the Figure-8 HMM and check the learned state
+        // means land close to {0.20, 1.43, 2.41} and self-transitions are
+        // strong.
+        let seqs = sample_training_set(60, 200, 9);
+        let cfg = TrainConfig {
+            n_states: 3,
+            max_iters: 60,
+            tol: 1e-7,
+            seed: 2,
+            family: EmissionFamily::Gaussian,
+        };
+        let (hmm, _) = train(&seqs, &cfg).unwrap();
+        let mut mus: Vec<f64> = hmm.emissions.iter().map(|e| e.mean()).collect();
+        mus.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let truth = [0.20, 1.43, 2.41];
+        for (m, t) in mus.iter().zip(&truth) {
+            assert!((m - t).abs() < 0.15, "mean {m} far from {t} (all: {mus:?})");
+        }
+        for i in 0..3 {
+            assert!(
+                hmm.transition[(i, i)] > 0.8,
+                "state {i} lost persistence: {:?}",
+                hmm.transition.row(i)
+            );
+        }
+    }
+
+    #[test]
+    fn trained_model_is_valid() {
+        let seqs = sample_training_set(10, 80, 17);
+        let cfg = TrainConfig {
+            n_states: 4,
+            ..Default::default()
+        };
+        let (hmm, report) = train(&seqs, &cfg).unwrap();
+        assert!(hmm.validate().is_ok());
+        assert!(report.iterations >= 1);
+    }
+
+    #[test]
+    fn converges_before_cap_on_easy_data() {
+        let seqs = sample_training_set(30, 150, 23);
+        let cfg = TrainConfig {
+            n_states: 3,
+            max_iters: 200,
+            tol: 1e-6,
+            seed: 3,
+            family: EmissionFamily::Gaussian,
+        };
+        let (_, report) = train(&seqs, &cfg).unwrap();
+        assert!(report.converged, "did not converge in 200 iterations");
+        assert!(report.iterations < 200);
+    }
+
+    #[test]
+    fn single_state_degenerates_to_gaussian_fit() {
+        let seqs = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0]];
+        let cfg = TrainConfig {
+            n_states: 1,
+            ..Default::default()
+        };
+        let (hmm, _) = train(&seqs, &cfg).unwrap();
+        assert_eq!(hmm.n_states(), 1);
+        assert!((hmm.emissions[0].mean() - 3.0).abs() < 1e-6);
+        assert!((hmm.transition[(0, 0)] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_states_never_hurt_training_likelihood_much() {
+        // A 4-state fit of 3-state data should reach at least the 3-state
+        // likelihood (up to EM local optima slack).
+        let seqs = sample_training_set(20, 120, 31);
+        let mk = |n| TrainConfig {
+            n_states: n,
+            max_iters: 60,
+            tol: 1e-7,
+            seed: 4,
+            family: EmissionFamily::Gaussian,
+        };
+        let (_, r3) = train(&seqs, &mk(3)).unwrap();
+        let (_, r4) = train(&seqs, &mk(4)).unwrap();
+        let ll3 = *r3.log_likelihoods.last().unwrap();
+        let ll4 = *r4.log_likelihoods.last().unwrap();
+        assert!(ll4 > ll3 - 0.01 * ll3.abs(), "ll4 {ll4} << ll3 {ll3}");
+    }
+
+    #[test]
+    fn lognormal_family_trains_on_positive_data() {
+        let seqs = sample_training_set(10, 100, 41)
+            .into_iter()
+            .map(|s| s.into_iter().map(|w| w.abs().max(0.01)).collect())
+            .collect::<Vec<Vec<f64>>>();
+        let cfg = TrainConfig {
+            n_states: 3,
+            family: EmissionFamily::LogNormal,
+            ..Default::default()
+        };
+        let (hmm, _) = train(&seqs, &cfg).unwrap();
+        assert!(matches!(hmm.emissions[0], Emission::LogNormal(_)));
+        assert!(hmm.validate().is_ok());
+    }
+}

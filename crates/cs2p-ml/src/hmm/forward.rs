@@ -1,0 +1,231 @@
+//! Scaled forward and backward recursions (Rabiner's method).
+//!
+//! Raw forward probabilities underflow after a few dozen epochs, so each
+//! step's `alpha` vector is renormalized and the scale factor remembered;
+//! the sequence log-likelihood is the sum of log scale factors. The same
+//! scales are reused in the backward pass so that
+//! `gamma_t(i) ∝ alpha_t(i) * beta_t(i)` stays well-conditioned — exactly
+//! what Baum–Welch needs.
+
+use super::Hmm;
+
+/// Output of the scaled forward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardResult {
+    /// `alpha[t][i] = P(X_t = i | W_{1..t})` — *scaled* forward variables,
+    /// i.e. each row is already normalized to sum to 1.
+    pub alpha: Vec<Vec<f64>>,
+    /// Per-step normalizers `c_t = P(W_t | W_{1..t-1})`.
+    pub scales: Vec<f64>,
+    /// `log P(W_{1..T})` under the model.
+    pub log_likelihood: f64,
+}
+
+/// Runs the scaled forward recursion over `obs`.
+///
+/// An empty observation sequence yields empty tables and log-likelihood 0.
+#[allow(clippy::needless_range_loop)] // index loops mirror the textbook recursions
+pub fn forward(hmm: &Hmm, obs: &[f64]) -> ForwardResult {
+    let n = hmm.n_states();
+    let mut alpha = Vec::with_capacity(obs.len());
+    let mut scales = Vec::with_capacity(obs.len());
+    let mut log_likelihood = 0.0;
+
+    let mut prev: Vec<f64> = Vec::new();
+    for (t, &w) in obs.iter().enumerate() {
+        let mut cur = vec![0.0; n];
+        if t == 0 {
+            for i in 0..n {
+                cur[i] = hmm.initial[i] * hmm.emissions[i].pdf(w);
+            }
+        } else {
+            for j in 0..n {
+                let mut sum = 0.0;
+                for i in 0..n {
+                    sum += prev[i] * hmm.transition[(i, j)];
+                }
+                cur[j] = sum * hmm.emissions[j].pdf(w);
+            }
+        }
+        let c: f64 = cur.iter().sum();
+        if c > 0.0 && c.is_finite() {
+            for x in cur.iter_mut() {
+                *x /= c;
+            }
+            log_likelihood += c.ln();
+            scales.push(c);
+        } else {
+            // Observation impossible under every state (deep tail): reset to
+            // the propagated prior (or initial) and charge a large penalty
+            // so the likelihood still reflects the miss.
+            let fallback = if t == 0 {
+                hmm.initial.clone()
+            } else {
+                hmm.propagate(&prev)
+            };
+            cur = fallback;
+            log_likelihood += f64::MIN_POSITIVE.ln();
+            scales.push(f64::MIN_POSITIVE);
+        }
+        alpha.push(cur.clone());
+        prev = cur;
+    }
+
+    ForwardResult {
+        alpha,
+        scales,
+        log_likelihood,
+    }
+}
+
+/// Runs the scaled backward recursion, reusing the forward scales.
+///
+/// Returns `beta[t][i]`, scaled such that `alpha[t][i] * beta[t][i]`,
+/// normalized over `i`, equals the smoothed posterior `gamma_t(i)`.
+#[allow(clippy::needless_range_loop)] // index loops mirror the textbook recursions
+pub fn backward(hmm: &Hmm, obs: &[f64], scales: &[f64]) -> Vec<Vec<f64>> {
+    let n = hmm.n_states();
+    let t_max = obs.len();
+    let mut beta = vec![vec![0.0; n]; t_max];
+    if t_max == 0 {
+        return beta;
+    }
+    for i in 0..n {
+        beta[t_max - 1][i] = 1.0;
+    }
+    for t in (0..t_max - 1).rev() {
+        let c = scales[t + 1].max(f64::MIN_POSITIVE);
+        for i in 0..n {
+            let mut sum = 0.0;
+            for j in 0..n {
+                sum += hmm.transition[(i, j)] * hmm.emissions[j].pdf(obs[t + 1]) * beta[t + 1][j];
+            }
+            beta[t][i] = sum / c;
+        }
+    }
+    beta
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::super::toy_hmm;
+    use super::*;
+
+    #[test]
+    fn forward_rows_are_normalized() {
+        let hmm = toy_hmm();
+        let obs = [1.4, 1.5, 2.3, 2.5, 0.2, 0.25];
+        let f = forward(&hmm, &obs);
+        assert_eq!(f.alpha.len(), obs.len());
+        for row in &f.alpha {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_identifies_obvious_state() {
+        let hmm = toy_hmm();
+        // Observations sitting on state 1's mean (2.41) should concentrate
+        // the posterior there.
+        let obs = [2.41, 2.41, 2.41, 2.41];
+        let f = forward(&hmm, &obs);
+        let last = f.alpha.last().unwrap();
+        let argmax = last
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 1);
+        assert!(last[1] > 0.95);
+    }
+
+    #[test]
+    fn log_likelihood_matches_bruteforce_two_steps() {
+        // Brute-force P(w1, w2) = sum_{i,j} pi_i e_i(w1) P_ij e_j(w2).
+        let hmm = toy_hmm();
+        let obs = [1.3, 2.2];
+        let mut p = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                p += hmm.initial[i]
+                    * hmm.emissions[i].pdf(obs[0])
+                    * hmm.transition[(i, j)]
+                    * hmm.emissions[j].pdf(obs[1]);
+            }
+        }
+        let f = forward(&hmm, &obs);
+        assert!((f.log_likelihood - p.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forward_no_underflow_on_long_sequence() {
+        let hmm = toy_hmm();
+        let obs: Vec<f64> = (0..5_000).map(|i| 1.4 + 0.01 * ((i % 7) as f64)).collect();
+        let f = forward(&hmm, &obs);
+        assert!(f.log_likelihood.is_finite());
+        for row in &f.alpha {
+            assert!(row.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn forward_survives_impossible_observation() {
+        let hmm = toy_hmm();
+        // 1e6 Mbps is essentially impossible under every state.
+        let obs = [1.4, 1.0e6, 1.4];
+        let f = forward(&hmm, &obs);
+        assert!(f.log_likelihood.is_finite());
+        for row in &f.alpha {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_empty_sequence() {
+        let hmm = toy_hmm();
+        let f = forward(&hmm, &[]);
+        assert!(f.alpha.is_empty());
+        assert_eq!(f.log_likelihood, 0.0);
+    }
+
+    #[test]
+    fn backward_terminal_is_ones() {
+        let hmm = toy_hmm();
+        let obs = [1.4, 2.3, 0.2];
+        let f = forward(&hmm, &obs);
+        let b = backward(&hmm, &obs, &f.scales);
+        assert_eq!(b.last().unwrap(), &vec![1.0; 3]);
+    }
+
+    #[test]
+    fn gamma_from_alpha_beta_is_valid_posterior() {
+        let hmm = toy_hmm();
+        let obs = [1.4, 1.5, 2.4, 2.3, 0.2];
+        let f = forward(&hmm, &obs);
+        let b = backward(&hmm, &obs, &f.scales);
+        for t in 0..obs.len() {
+            let mut gamma: Vec<f64> = (0..3).map(|i| f.alpha[t][i] * b[t][i]).collect();
+            let sum: f64 = gamma.iter().sum();
+            assert!(sum > 0.0);
+            for g in gamma.iter_mut() {
+                *g /= sum;
+            }
+            assert!(gamma.iter().all(|&g| (0.0..=1.0).contains(&g)));
+        }
+    }
+
+    #[test]
+    fn gamma_at_last_step_equals_filtered_alpha() {
+        // beta_T = 1, so gamma_T must equal alpha_T exactly.
+        let hmm = toy_hmm();
+        let obs = [1.4, 2.4, 0.2, 0.22];
+        let f = forward(&hmm, &obs);
+        let b = backward(&hmm, &obs, &f.scales);
+        let t = obs.len() - 1;
+        for i in 0..3 {
+            assert!((f.alpha[t][i] * b[t][i] - f.alpha[t][i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Viterbi decoding: the most likely hidden-state path for an observation
+//! sequence.
+//!
+//! The paper's Figure 4a segments an example session into state episodes
+//! ("we can split the timeseries into roughly segments, and each segment
+//! belongs to one of the four states"); Viterbi is the principled way to
+//! produce that segmentation from a trained model. All arithmetic is in
+//! log space, so arbitrarily long sequences decode without underflow.
+
+use super::Hmm;
+
+/// Result of Viterbi decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViterbiPath {
+    /// Most likely state index per observation.
+    pub states: Vec<usize>,
+    /// Log-probability of the joint `(path, observations)`.
+    pub log_probability: f64,
+}
+
+impl ViterbiPath {
+    /// Collapses the path into `(state, start, len)` episodes — the
+    /// "segments" of the paper's Figure 4a.
+    pub fn episodes(&self) -> Vec<(usize, usize, usize)> {
+        let mut out = Vec::new();
+        let mut iter = self.states.iter().enumerate();
+        let Some((_, &first)) = iter.next() else {
+            return out;
+        };
+        let (mut state, mut start, mut len) = (first, 0usize, 1usize);
+        for (t, &s) in iter {
+            if s == state {
+                len += 1;
+            } else {
+                out.push((state, start, len));
+                state = s;
+                start = t;
+                len = 1;
+            }
+        }
+        out.push((state, start, len));
+        out
+    }
+}
+
+/// Decodes the most likely state sequence for `obs` under `hmm`.
+///
+/// Returns `None` for an empty observation sequence.
+pub fn viterbi(hmm: &Hmm, obs: &[f64]) -> Option<ViterbiPath> {
+    if obs.is_empty() {
+        return None;
+    }
+    let n = hmm.n_states();
+    // log pi + log e(w_0)
+    let mut delta: Vec<f64> = (0..n)
+        .map(|i| safe_ln(hmm.initial[i]) + hmm.emissions[i].log_pdf(obs[0]))
+        .collect();
+    // Backpointers per step (skipping t = 0).
+    let mut back: Vec<Vec<usize>> = Vec::with_capacity(obs.len() - 1);
+
+    for &w in &obs[1..] {
+        let mut next = vec![f64::NEG_INFINITY; n];
+        let mut ptr = vec![0usize; n];
+        for (j, nj) in next.iter_mut().enumerate() {
+            let mut best = f64::NEG_INFINITY;
+            let mut arg = 0;
+            for (i, &di) in delta.iter().enumerate() {
+                let v = di + safe_ln(hmm.transition[(i, j)]);
+                if v > best {
+                    best = v;
+                    arg = i;
+                }
+            }
+            *nj = best + hmm.emissions[j].log_pdf(w);
+            ptr[j] = arg;
+        }
+        back.push(ptr);
+        delta = next;
+    }
+
+    let (mut state, &log_probability) = delta
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .expect("non-empty state set");
+    let mut states = vec![0usize; obs.len()];
+    states[obs.len() - 1] = state;
+    for (t, ptr) in back.iter().enumerate().rev() {
+        state = ptr[state];
+        states[t] = state;
+    }
+    Some(ViterbiPath {
+        states,
+        log_probability,
+    })
+}
+
+fn safe_ln(p: f64) -> f64 {
+    if p > 0.0 {
+        p.ln()
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::toy_hmm;
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn empty_sequence_returns_none() {
+        assert!(viterbi(&toy_hmm(), &[]).is_none());
+    }
+
+    #[test]
+    fn decodes_obvious_segments() {
+        let hmm = toy_hmm();
+        // 5 epochs near state 0's mean (1.43), then 5 near state 2's (0.20).
+        let obs = [1.4, 1.45, 1.42, 1.5, 1.38, 0.2, 0.21, 0.19, 0.2, 0.22];
+        let path = viterbi(&hmm, &obs).unwrap();
+        assert_eq!(&path.states[..5], &[0; 5]);
+        assert_eq!(&path.states[5..], &[2; 5]);
+        let eps = path.episodes();
+        assert_eq!(eps, vec![(0, 0, 5), (2, 5, 5)]);
+        assert!(path.log_probability.is_finite());
+    }
+
+    #[test]
+    fn stickiness_suppresses_single_epoch_flickers() {
+        let hmm = toy_hmm();
+        // One borderline observation (1.9 sits between states 0 and 1) in a
+        // run of clear state-0 observations: the sticky prior should keep
+        // the path in state 0 rather than paying two transitions.
+        let obs = [1.43, 1.45, 1.9, 1.44, 1.42];
+        let path = viterbi(&hmm, &obs).unwrap();
+        assert_eq!(path.states, vec![0; 5]);
+    }
+
+    #[test]
+    fn recovers_sampled_state_path_mostly() {
+        let hmm = toy_hmm();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let (truth, obs) = hmm.sample_sequence(400, &mut rng);
+        let path = viterbi(&hmm, &obs).unwrap();
+        let agree = truth
+            .iter()
+            .zip(&path.states)
+            .filter(|(a, b)| a == b)
+            .count();
+        let rate = agree as f64 / truth.len() as f64;
+        assert!(rate > 0.9, "Viterbi agreement {rate}");
+    }
+
+    #[test]
+    fn viterbi_beats_or_matches_any_other_path_likelihood() {
+        // Joint log-likelihood of the decoded path must be >= that of the
+        // naive per-step argmax path.
+        let hmm = toy_hmm();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let (_, obs) = hmm.sample_sequence(50, &mut rng);
+        let path = viterbi(&hmm, &obs).unwrap();
+
+        let joint = |states: &[usize]| {
+            let mut ll = safe_ln(hmm.initial[states[0]]) + hmm.emissions[states[0]].log_pdf(obs[0]);
+            for t in 1..states.len() {
+                ll += safe_ln(hmm.transition[(states[t - 1], states[t])])
+                    + hmm.emissions[states[t]].log_pdf(obs[t]);
+            }
+            ll
+        };
+        assert!((joint(&path.states) - path.log_probability).abs() < 1e-9);
+
+        let greedy: Vec<usize> = obs
+            .iter()
+            .map(|&w| {
+                (0..hmm.n_states())
+                    .max_by(|&a, &b| {
+                        hmm.emissions[a]
+                            .log_pdf(w)
+                            .partial_cmp(&hmm.emissions[b].log_pdf(w))
+                            .unwrap()
+                    })
+                    .unwrap()
+            })
+            .collect();
+        assert!(path.log_probability >= joint(&greedy) - 1e-9);
+    }
+
+    #[test]
+    fn episodes_of_constant_path() {
+        let hmm = toy_hmm();
+        let obs = [2.4; 7];
+        let path = viterbi(&hmm, &obs).unwrap();
+        let eps = path.episodes();
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].2, 7);
+    }
+
+    #[test]
+    fn long_sequence_no_underflow() {
+        let hmm = toy_hmm();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let (_, obs) = hmm.sample_sequence(20_000, &mut rng);
+        let path = viterbi(&hmm, &obs).unwrap();
+        assert!(path.log_probability.is_finite());
+        assert_eq!(path.states.len(), 20_000);
+    }
+}

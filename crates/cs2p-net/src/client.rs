@@ -1,0 +1,304 @@
+//! The player-side HTTP client and the remote predictor.
+//!
+//! [`HttpClient`] is a tiny blocking client with one keep-alive connection
+//! (reconnecting on failure). [`RemotePredictor`] makes the prediction
+//! server look like any other [`ThroughputPredictor`]: `observe` buffers
+//! the measurement, and the next prediction request flushes it in the POST
+//! — exactly the Dash.js flow of §6 ("it sends a POST request (containing
+//! the actual throughput of the last epoch) to the server and fetches the
+//! result of throughput prediction").
+
+use crate::http::{read_response, write_request, Request, Response};
+use crate::protocol::{PredictRequest, PredictResponse, SessionLog};
+use bytes::Bytes;
+use cs2p_core::ThroughputPredictor;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A blocking HTTP/1.1 client holding one keep-alive connection.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    connection: Option<(BufReader<TcpStream>, BufWriter<TcpStream>)>,
+}
+
+impl HttpClient {
+    /// A client for the given server address (not yet connected).
+    pub fn new(addr: SocketAddr) -> Self {
+        HttpClient {
+            addr,
+            connection: None,
+        }
+    }
+
+    fn connect(&mut self) -> io::Result<&mut (BufReader<TcpStream>, BufWriter<TcpStream>)> {
+        if self.connection.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5))?;
+            stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+            stream.set_nodelay(true)?;
+            let reader = BufReader::new(stream.try_clone()?);
+            let writer = BufWriter::new(stream);
+            self.connection = Some((reader, writer));
+        }
+        Ok(self.connection.as_mut().unwrap())
+    }
+
+    /// Sends one request, reusing the connection; retries once on a broken
+    /// keep-alive connection.
+    pub fn send(&mut self, req: &Request) -> io::Result<Response> {
+        for attempt in 0..2 {
+            match self.try_send(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if attempt == 0 => {
+                    // Stale keep-alive connection: reconnect and retry.
+                    self.connection = None;
+                    let _ = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!()
+    }
+
+    fn try_send(&mut self, req: &Request) -> io::Result<Response> {
+        let (reader, writer) = self.connect()?;
+        write_request(writer, req)?;
+        read_response(reader)
+    }
+
+    /// POSTs a JSON value, expecting a 2xx JSON reply.
+    pub fn post_json<T: serde::Serialize, R: serde::de::DeserializeOwned>(
+        &mut self,
+        path: &str,
+        value: &T,
+    ) -> io::Result<R> {
+        let body = serde_json::to_vec(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let resp = self.send(&Request::new("POST", path, body))?;
+        if !(200..300).contains(&resp.status) {
+            return Err(io::Error::other(format!(
+                "server returned {}: {}",
+                resp.status,
+                String::from_utf8_lossy(&resp.body)
+            )));
+        }
+        serde_json::from_slice(&resp.body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// GETs a path, expecting a 2xx reply.
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        let resp = self.send(&Request::new("GET", path, Bytes::new()))?;
+        if !(200..300).contains(&resp.status) {
+            return Err(io::Error::other(format!("server returned {}", resp.status)));
+        }
+        Ok(resp)
+    }
+}
+
+/// A [`ThroughputPredictor`] backed by the prediction server.
+///
+/// Caches the last fetched prediction window so that an MPC controller
+/// asking for horizons 1..h costs one HTTP round trip per chunk, not h.
+#[derive(Debug)]
+pub struct RemotePredictor {
+    client: HttpClient,
+    session_id: u64,
+    features: Vec<u32>,
+    /// Measurement not yet shipped to the server.
+    pending_measurement: Option<f64>,
+    /// Whether the session has been registered (first request sent).
+    registered: bool,
+    /// Cached predictions from the last POST (index 0 = next epoch).
+    cache: Vec<f64>,
+    /// Whether the cache reflects the initial (cluster-median) prediction.
+    cache_initial: bool,
+    /// Horizon to request per POST.
+    fetch_horizon: usize,
+}
+
+impl RemotePredictor {
+    /// A remote predictor for one session.
+    pub fn new(addr: SocketAddr, session_id: u64, features: Vec<u32>) -> Self {
+        RemotePredictor {
+            client: HttpClient::new(addr),
+            session_id,
+            features,
+            pending_measurement: None,
+            registered: false,
+            cache: Vec::new(),
+            cache_initial: false,
+            fetch_horizon: 8,
+        }
+    }
+
+    /// Ensures the cache covers `k` epochs ahead, POSTing if necessary.
+    /// Returns `None` on network failure (prediction is best-effort; the
+    /// player degrades to no-prediction behaviour rather than stalling).
+    fn ensure_cache(&mut self, k: usize) -> Option<()> {
+        let dirty = self.pending_measurement.is_some() || !self.registered;
+        if !dirty && self.cache.len() >= k {
+            return Some(());
+        }
+        let preq = PredictRequest {
+            session_id: self.session_id,
+            features: if self.registered {
+                None
+            } else {
+                Some(self.features.clone())
+            },
+            measured_mbps: self.pending_measurement,
+            horizon: self.fetch_horizon.max(k),
+        };
+        let resp: PredictResponse = self.client.post_json("/predict", &preq).ok()?;
+        self.registered = true;
+        self.pending_measurement = None;
+        self.cache = resp.predictions_mbps;
+        self.cache_initial = resp.initial;
+        Some(())
+    }
+
+    /// Uploads a session log (fire-and-forget semantics on error).
+    pub fn upload_log(&mut self, log: &SessionLog) -> io::Result<()> {
+        let body = serde_json::to_vec(log)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let resp = self.client.send(&Request::new("POST", "/log", body))?;
+        if resp.status == 204 {
+            Ok(())
+        } else {
+            Err(io::Error::other(format!("log upload failed: {}", resp.status)))
+        }
+    }
+}
+
+impl ThroughputPredictor for RemotePredictor {
+    fn name(&self) -> &str {
+        "CS2P-remote"
+    }
+
+    fn predict_initial(&mut self) -> Option<f64> {
+        self.ensure_cache(1)?;
+        if self.cache_initial {
+            self.cache.first().copied()
+        } else {
+            None
+        }
+    }
+
+    fn predict_ahead(&mut self, k: usize) -> Option<f64> {
+        self.ensure_cache(k)?;
+        self.cache.get(k - 1).copied()
+    }
+
+    fn observe(&mut self, throughput: f64) {
+        // If two observations land without an intervening prediction, ship
+        // the first immediately so the server's filter sees every epoch.
+        if self.pending_measurement.is_some() {
+            let _ = self.ensure_cache(1);
+        }
+        self.pending_measurement = Some(throughput);
+    }
+
+    fn reset(&mut self) {
+        self.pending_measurement = None;
+        self.registered = false;
+        self.cache.clear();
+        self.cache_initial = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::serve;
+    use cs2p_core::engine::EngineConfig;
+    use cs2p_core::{Dataset, FeatureSchema, FeatureVector, PredictionEngine, Session};
+
+    fn tiny_engine() -> PredictionEngine {
+        let schema = FeatureSchema::new(vec!["isp"]);
+        let sessions: Vec<Session> = (0..40)
+            .map(|k| {
+                let isp = (k % 2) as u32;
+                let tp = if isp == 0 { 1.0 } else { 5.0 };
+                Session::new(k, FeatureVector(vec![isp]), k * 50, 6, vec![tp; 8])
+            })
+            .collect();
+        let d = Dataset::new(schema, sessions);
+        let mut config = EngineConfig::default();
+        config.cluster.min_cluster_size = 5;
+        config.hmm.n_states = 2;
+        config.hmm.max_iters = 10;
+        PredictionEngine::train(&d, &config).unwrap().0
+    }
+
+    #[test]
+    fn remote_predictor_mirrors_algorithm_one() {
+        let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let mut p = RemotePredictor::new(server.addr(), 1, vec![1]);
+
+        let init = p.predict_initial().unwrap();
+        assert!((init - 5.0).abs() < 0.5);
+
+        p.observe(5.2);
+        let mid = p.predict_next().unwrap();
+        assert!((mid - 5.0).abs() < 0.5);
+        assert!(p.predict_initial().is_none()); // no longer initial
+
+        // One observation + several horizon queries = 2 POSTs total.
+        let _ = p.predict_ahead(3).unwrap();
+        let _ = p.predict_ahead(5).unwrap();
+        assert_eq!(server.predictions_served(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn double_observe_flushes_intermediate_measurement() {
+        let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let mut p = RemotePredictor::new(server.addr(), 2, vec![0]);
+        let _ = p.predict_initial();
+        p.observe(1.0);
+        p.observe(1.1); // must push the first to the server
+        let _ = p.predict_next().unwrap();
+        assert_eq!(server.predictions_served(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn network_failure_degrades_to_none() {
+        // Point at a port nobody listens on.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut p = RemotePredictor::new(addr, 1, vec![0]);
+        assert_eq!(p.predict_initial(), None);
+        assert_eq!(p.predict_next(), None);
+    }
+
+    #[test]
+    fn reset_restarts_session() {
+        let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let mut p = RemotePredictor::new(server.addr(), 3, vec![1]);
+        let _ = p.predict_initial();
+        p.observe(5.0);
+        let _ = p.predict_next();
+        p.reset();
+        // After reset the first prediction is initial again (server keeps
+        // the old session state, but a fresh session id would normally be
+        // used; here the same id resumes server-side midstream state).
+        p.session_id = 4;
+        let init = p.predict_initial();
+        assert!(init.is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn http_client_reconnects_after_server_restart_failure() {
+        let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let mut client = HttpClient::new(server.addr());
+        let h1 = client.get("/healthz").unwrap();
+        assert_eq!(h1.status, 200);
+        // Second request on the same connection also works (keep-alive).
+        let h2 = client.get("/healthz").unwrap();
+        assert_eq!(h2.status, 200);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,36 @@
+//! # cs2p-net — the player/server deployment substrate
+//!
+//! §6 of the paper implements CS2P as a Dash.js player talking to a
+//! Node.js prediction server: before each chunk the player POSTs the last
+//! epoch's measured throughput and receives the next prediction; trained
+//! models are compact enough (<5 KB) to ship to clients instead. This
+//! crate reproduces that loop over real sockets:
+//!
+//! - [`http`]: a minimal blocking HTTP/1.1 (Content-Length framing,
+//!   keep-alive, strict limits);
+//! - [`protocol`]: the JSON messages (`/predict`, `/model`, `/log`,
+//!   `/healthz`);
+//! - [`server`]: the prediction-engine server — thread-per-connection,
+//!   per-session HMM filter state under a lock;
+//! - [`client`]: the blocking client and [`client::RemotePredictor`],
+//!   which exposes the server as a [`cs2p_core::ThroughputPredictor`];
+//! - [`dash`]: the player (BufferController/AbrController equivalents on
+//!   top of `cs2p-abr`), the client-side local-model deployment, and the
+//!   end-to-end pilot session helper.
+//!
+//! Only the *bottleneck link* is simulated (chunks are not actually
+//! transferred — we have no CDN); every prediction and log crosses a real
+//! TCP connection, matching what §7.5's pilot measures.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod dash;
+pub mod http;
+pub mod protocol;
+pub mod server;
+
+pub use client::{HttpClient, RemotePredictor};
+pub use dash::{play_remote_session, AbrKind, DashPlayer, LocalModelPredictor, Manifest, PlayerConfig};
+pub use protocol::{Health, LogStats, PredictRequest, PredictResponse, SessionLog, StrategyStats};
+pub use server::{serve, ServerHandle};

@@ -1,0 +1,264 @@
+//! The JSON wire protocol between players and the Prediction Engine.
+//!
+//! Mirrors §6 of the paper: before requesting each chunk the player POSTs
+//! the measured throughput of the last epoch and gets back the throughput
+//! prediction; on startup it can instead fetch its cluster's model and
+//! predict locally (the client-side deployment of §5.3). Completed
+//! sessions POST a QoE log.
+//!
+//! Endpoints:
+//! - `POST /predict` — [`PredictRequest`] → [`PredictResponse`]
+//! - `GET /model?features=a,b,c` — [`cs2p_core::ClientModel`] JSON
+//! - `POST /log` — [`SessionLog`] (stored server-side)
+//! - `GET /logs` — all stored [`SessionLog`]s
+//! - `GET /healthz` — liveness + counters
+
+use serde::{Deserialize, Serialize};
+
+/// A prediction request. The first request of a session carries
+/// `features` and no measurement; subsequent ones carry the last epoch's
+/// measured throughput.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Client-chosen session identifier (unique per video session).
+    pub session_id: u64,
+    /// Session features, aligned with the engine's schema. Required on the
+    /// first request; ignored afterwards.
+    pub features: Option<Vec<u32>>,
+    /// Measured throughput of the last epoch, Mbps. Absent on the first
+    /// request (Algorithm 1's initial epoch).
+    pub measured_mbps: Option<f64>,
+    /// How many epochs ahead to predict (≥ 1).
+    pub horizon: usize,
+}
+
+/// A prediction response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// Predictions for the next `horizon` epochs, Mbps.
+    pub predictions_mbps: Vec<f64>,
+    /// True when this is the session's initial (cluster-median) prediction.
+    pub initial: bool,
+    /// Number of sessions in the cluster backing this prediction.
+    pub cluster_sessions: usize,
+}
+
+/// The per-session log a player uploads when playback ends (§6: "log
+/// information including QoE, bitrates, rebuffer time, startup delay,
+/// predicted/actual throughput and bitrate adaptation strategy").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionLog {
+    /// Session identifier.
+    pub session_id: u64,
+    /// Adaptation strategy name (e.g. `"CS2P+MPC"`).
+    pub strategy: String,
+    /// Final QoE value.
+    pub qoe: f64,
+    /// Average bitrate, kbps.
+    pub avg_bitrate_kbps: f64,
+    /// Fraction of chunks without rebuffering.
+    pub good_ratio: f64,
+    /// Total rebuffer time, seconds.
+    pub rebuffer_seconds: f64,
+    /// Startup delay, seconds.
+    pub startup_delay_seconds: f64,
+    /// Per-chunk `(predicted, actual)` throughput, Mbps; `predicted` may
+    /// be missing for methods without an initial prediction.
+    pub throughput_pairs: Vec<(Option<f64>, f64)>,
+    /// Bitrate chosen per chunk, kbps.
+    pub bitrates_kbps: Vec<f64>,
+}
+
+/// Per-strategy aggregate over the uploaded session logs — what the
+/// paper's operators read off their log server to compare CS2P+MPC
+/// against HM+MPC in the §7.5 pilot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyStats {
+    /// Strategy label the sessions reported.
+    pub strategy: String,
+    /// Number of sessions.
+    pub n_sessions: usize,
+    /// Mean QoE.
+    pub mean_qoe: f64,
+    /// Mean average bitrate, kbps.
+    pub mean_bitrate_kbps: f64,
+    /// Mean fraction of stall-free chunks.
+    pub mean_good_ratio: f64,
+    /// Mean total rebuffer time, seconds.
+    pub mean_rebuffer_seconds: f64,
+    /// Mean startup delay, seconds.
+    pub mean_startup_seconds: f64,
+}
+
+/// `GET /stats` payload: one row per strategy seen in the logs, sorted by
+/// strategy name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogStats {
+    /// Aggregates per strategy.
+    pub strategies: Vec<StrategyStats>,
+}
+
+impl LogStats {
+    /// Computes the aggregates from raw logs.
+    pub fn from_logs(logs: &[SessionLog]) -> Self {
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<&str, Vec<&SessionLog>> = BTreeMap::new();
+        for log in logs {
+            groups.entry(log.strategy.as_str()).or_default().push(log);
+        }
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        let strategies = groups
+            .into_iter()
+            .map(|(strategy, logs)| StrategyStats {
+                strategy: strategy.to_string(),
+                n_sessions: logs.len(),
+                mean_qoe: mean(&logs.iter().map(|l| l.qoe).collect::<Vec<_>>()),
+                mean_bitrate_kbps: mean(
+                    &logs.iter().map(|l| l.avg_bitrate_kbps).collect::<Vec<_>>(),
+                ),
+                mean_good_ratio: mean(&logs.iter().map(|l| l.good_ratio).collect::<Vec<_>>()),
+                mean_rebuffer_seconds: mean(
+                    &logs.iter().map(|l| l.rebuffer_seconds).collect::<Vec<_>>(),
+                ),
+                mean_startup_seconds: mean(
+                    &logs
+                        .iter()
+                        .map(|l| l.startup_delay_seconds)
+                        .collect::<Vec<_>>(),
+                ),
+            })
+            .collect();
+        LogStats { strategies }
+    }
+}
+
+/// Health/counters payload for `GET /healthz`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Health {
+    /// Always `"ok"`.
+    pub status: String,
+    /// Cluster models loaded.
+    pub n_models: usize,
+    /// Live sessions in the server's table.
+    pub n_sessions: usize,
+    /// Predictions served since start.
+    pub predictions_served: u64,
+    /// Session logs stored.
+    pub n_logs: usize,
+}
+
+/// Parses the `features=` query parameter of `GET /model`.
+pub fn parse_features_query(path: &str) -> Option<Vec<u32>> {
+    let query = path.split_once('?')?.1;
+    for pair in query.split('&') {
+        if let Some(value) = pair.strip_prefix("features=") {
+            let mut out = Vec::new();
+            for tok in value.split(',') {
+                out.push(tok.parse().ok()?);
+            }
+            return Some(out);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_request_roundtrip() {
+        let req = PredictRequest {
+            session_id: 7,
+            features: Some(vec![1, 2, 3]),
+            measured_mbps: None,
+            horizon: 5,
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: PredictRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+    }
+
+    #[test]
+    fn predict_response_roundtrip() {
+        let resp = PredictResponse {
+            predictions_mbps: vec![1.5, 1.4, 1.4],
+            initial: false,
+            cluster_sessions: 250,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: PredictResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn session_log_roundtrip() {
+        let log = SessionLog {
+            session_id: 1,
+            strategy: "CS2P+MPC".into(),
+            qoe: 1234.5,
+            avg_bitrate_kbps: 2000.0,
+            good_ratio: 0.98,
+            rebuffer_seconds: 0.4,
+            startup_delay_seconds: 1.1,
+            throughput_pairs: vec![(Some(2.0), 2.1), (None, 1.9)],
+            bitrates_kbps: vec![2000.0, 2000.0],
+        };
+        let json = serde_json::to_string(&log).unwrap();
+        let back: SessionLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn log_stats_groups_by_strategy() {
+        let mk = |strategy: &str, qoe: f64, bitrate: f64| SessionLog {
+            session_id: 0,
+            strategy: strategy.into(),
+            qoe,
+            avg_bitrate_kbps: bitrate,
+            good_ratio: 1.0,
+            rebuffer_seconds: 0.0,
+            startup_delay_seconds: 1.0,
+            throughput_pairs: vec![],
+            bitrates_kbps: vec![],
+        };
+        let logs = vec![
+            mk("CS2P+MPC", 100.0, 2000.0),
+            mk("CS2P+MPC", 200.0, 3000.0),
+            mk("HM+MPC", 50.0, 1000.0),
+        ];
+        let stats = LogStats::from_logs(&logs);
+        assert_eq!(stats.strategies.len(), 2);
+        let cs2p = &stats.strategies[0];
+        assert_eq!(cs2p.strategy, "CS2P+MPC");
+        assert_eq!(cs2p.n_sessions, 2);
+        assert!((cs2p.mean_qoe - 150.0).abs() < 1e-12);
+        assert!((cs2p.mean_bitrate_kbps - 2500.0).abs() < 1e-12);
+        let hm = &stats.strategies[1];
+        assert_eq!(hm.strategy, "HM+MPC");
+        assert_eq!(hm.n_sessions, 1);
+    }
+
+    #[test]
+    fn log_stats_of_empty_logs() {
+        let stats = LogStats::from_logs(&[]);
+        assert!(stats.strategies.is_empty());
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: LogStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
+    }
+
+    #[test]
+    fn features_query_parsing() {
+        assert_eq!(
+            parse_features_query("/model?features=1,2,3"),
+            Some(vec![1, 2, 3])
+        );
+        assert_eq!(
+            parse_features_query("/model?other=x&features=9"),
+            Some(vec![9])
+        );
+        assert_eq!(parse_features_query("/model"), None);
+        assert_eq!(parse_features_query("/model?features=1,bogus"), None);
+    }
+}

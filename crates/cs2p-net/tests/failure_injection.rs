@@ -1,0 +1,118 @@
+//! Failure injection: the player must degrade gracefully — never panic,
+//! never stall the playback loop — when the prediction server misbehaves.
+
+use cs2p_core::engine::EngineConfig;
+use cs2p_core::{Dataset, FeatureSchema, FeatureVector, PredictionEngine, Session};
+use cs2p_core::ThroughputPredictor;
+use cs2p_net::dash::{DashPlayer, Manifest, PlayerConfig};
+use cs2p_net::{serve, RemotePredictor};
+
+fn tiny_engine() -> PredictionEngine {
+    let schema = FeatureSchema::new(vec!["isp"]);
+    let sessions: Vec<Session> = (0..40)
+        .map(|k| {
+            let isp = (k % 2) as u32;
+            let tp = if isp == 0 { 1.0 } else { 5.0 };
+            Session::new(k, FeatureVector(vec![isp]), k * 50, 6, vec![tp; 8])
+        })
+        .collect();
+    let d = Dataset::new(schema, sessions);
+    let mut config = EngineConfig::default();
+    config.cluster.min_cluster_size = 5;
+    config.hmm.n_states = 2;
+    config.hmm.max_iters = 10;
+    PredictionEngine::train(&d, &config).unwrap().0
+}
+
+#[test]
+fn server_death_mid_session_degrades_but_playback_finishes() {
+    let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    let mut predictor = RemotePredictor::new(addr, 1, vec![1]);
+    // Warm up: a few successful epochs.
+    assert!(predictor.predict_initial().is_some());
+    predictor.observe(5.0);
+    assert!(predictor.predict_next().is_some());
+
+    // Kill the server mid-session. The open keep-alive connection may
+    // drain one final request before closing.
+    server.shutdown();
+    predictor.observe(5.0);
+    let _ = predictor.predict_next();
+
+    // Subsequent predictions fail soft (None), observe never panics.
+    predictor.observe(5.0);
+    assert_eq!(predictor.predict_next(), None);
+    predictor.observe(4.8);
+    assert_eq!(predictor.predict_ahead(3), None);
+
+    // The player plays the entire video anyway: MPC falls back to the
+    // conservative no-prediction path.
+    let player = DashPlayer::new(
+        Manifest::envivio(),
+        PlayerConfig {
+            prediction_seeded_start: false,
+            ..Default::default()
+        },
+    );
+    let trace = vec![5.0; 120];
+    let mut dead = RemotePredictor::new(addr, 2, vec![1]);
+    let log = player.play(&trace, 6.0, &mut dead, 2, "CS2P+MPC");
+    assert_eq!(log.bitrates_kbps.len(), 43);
+    assert!(log.qoe.is_finite());
+    // Every chunk got the lowest rung — the documented no-information
+    // behaviour — rather than crashing or hanging.
+    assert!(log.bitrates_kbps.iter().all(|&b| b == 350.0));
+}
+
+#[test]
+fn server_restart_is_picked_up_by_reconnecting_client() {
+    // First server instance.
+    let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+    let mut predictor = RemotePredictor::new(addr, 9, vec![0]);
+    assert!(predictor.predict_initial().is_some());
+    let port = addr.port();
+    server.shutdown();
+
+    // Dead in between. The previous keep-alive connection may drain one
+    // final request before closing; the one after that must fail soft.
+    predictor.observe(1.0);
+    let _ = predictor.predict_next();
+    predictor.observe(1.0);
+    assert_eq!(predictor.predict_next(), None);
+
+    // Restart on the same port (may occasionally be taken; skip if so).
+    let Ok(server2) = serve(tiny_engine(), &format!("127.0.0.1:{port}")) else {
+        return;
+    };
+    // The keep-alive client reconnects transparently; the session state
+    // was lost server-side, so the predictor re-registers via features.
+    predictor.reset();
+    assert!(predictor.predict_initial().is_some());
+    server2.shutdown();
+}
+
+#[test]
+fn malformed_server_responses_do_not_panic_client() {
+    // A fake "server" that answers garbage to whatever arrives.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        for stream in listener.incoming().take(2) {
+            let Ok(mut s) = stream else {
+                break;
+            };
+            use std::io::{Read, Write};
+            let mut buf = [0u8; 1024];
+            let _ = s.read(&mut buf);
+            let _ = s.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\n\r\n{not}");
+        }
+    });
+
+    let mut predictor = RemotePredictor::new(addr, 3, vec![0]);
+    // Invalid JSON body -> soft failure, no panic.
+    assert_eq!(predictor.predict_initial(), None);
+    let _ = handle;
+}

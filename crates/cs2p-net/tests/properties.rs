@@ -1,0 +1,111 @@
+//! Property-based tests over the HTTP layer: any request/response we can
+//! construct must survive a wire round trip byte-for-byte, and malformed
+//! inputs must produce errors, never panics.
+
+use bytes::Bytes;
+use cs2p_net::http::{
+    read_request, read_response, write_request, write_response, Request, Response,
+};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+fn arb_token() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,15}".prop_map(|s| s)
+}
+
+fn arb_headers() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec(
+        (arb_token(), "[ -~&&[^\r\n]]{0,30}".prop_map(|v| v.trim().to_string())),
+        0..8,
+    )
+}
+
+fn arb_body() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..512)
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrips(
+        method in "[A-Z]{3,7}",
+        path in "/[a-z0-9/_-]{0,20}",
+        headers in arb_headers(),
+        body in arb_body()
+    ) {
+        let mut req = Request::new(&method, &path, Bytes::from(body));
+        req.headers = headers;
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let back = read_request(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap();
+        prop_assert_eq!(&back.method, &req.method);
+        prop_assert_eq!(&back.path, &req.path);
+        prop_assert_eq!(&back.body, &req.body);
+        // The header list survives verbatim, order and duplicates included
+        // (names were generated lowercase and values pre-trimmed, so the
+        // parser's normalization is the identity here). The writer appends
+        // a framing content-length header; drop it before comparing.
+        let received: Vec<(String, String)> = back
+            .headers
+            .iter()
+            .filter(|(n, _)| n != "content-length")
+            .cloned()
+            .collect();
+        prop_assert_eq!(&received, &req.headers);
+    }
+
+    #[test]
+    fn response_roundtrips(
+        status in 100u16..600,
+        headers in arb_headers(),
+        body in arb_body()
+    ) {
+        let mut resp = Response::new(status, Bytes::from(body));
+        resp.headers = headers;
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let back = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        prop_assert_eq!(back.status, resp.status);
+        prop_assert_eq!(back.body, resp.body);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser(garbage in prop::collection::vec(any::<u8>(), 0..2048)) {
+        // Any outcome is fine except a panic.
+        let _ = read_request(&mut BufReader::new(&garbage[..]));
+        let _ = read_response(&mut BufReader::new(&garbage[..]));
+    }
+
+    #[test]
+    fn truncated_valid_requests_error_cleanly(
+        body in prop::collection::vec(any::<u8>(), 1..256),
+        cut_frac in 0.0f64..1.0
+    ) {
+        let req = Request::new("POST", "/predict", Bytes::from(body));
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let cut = ((wire.len() - 1) as f64 * cut_frac) as usize;
+        let truncated = &wire[..cut];
+        match read_request(&mut BufReader::new(truncated)) {
+            Ok(None) => prop_assert_eq!(cut, 0), // clean EOF only at zero bytes
+            Ok(Some(_)) => prop_assert!(false, "parsed a truncated request"),
+            Err(_) => {} // expected
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_all_parse(n in 1usize..6, body in arb_body()) {
+        let mut wire = Vec::new();
+        for i in 0..n {
+            let req = Request::new("POST", &format!("/r{i}"), Bytes::from(body.clone()));
+            write_request(&mut wire, &req).unwrap();
+        }
+        let mut reader = BufReader::new(&wire[..]);
+        for i in 0..n {
+            let r = read_request(&mut reader).unwrap().unwrap();
+            prop_assert_eq!(r.path, format!("/r{i}"));
+        }
+        prop_assert!(read_request(&mut reader).unwrap().is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! Trace-file persistence: datasets as JSON on disk.
+//!
+//! Real deployments would log sessions continuously; for the reproduction
+//! we persist generated datasets so experiments can share exact inputs and
+//! the examples can run against files rather than regenerating.
+
+use cs2p_core::Dataset;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Saves a dataset as pretty-printed JSON.
+pub fn save_json(dataset: &Dataset, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string(dataset)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+/// Loads a dataset from JSON.
+pub fn load_json(path: &Path) -> io::Result<Dataset> {
+    let data = fs::read_to_string(path)?;
+    serde_json::from_str(&data).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let (d, _) = generate(&SynthConfig {
+            n_sessions: 50,
+            ..Default::default()
+        });
+        let dir = std::env::temp_dir().join("cs2p_format_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dataset.json");
+        save_json(&d, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(d, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_json(Path::new("/nonexistent/cs2p/nope.json")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn corrupt_file_is_invalid_data() {
+        let dir = std::env::temp_dir().join("cs2p_format_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{broken").unwrap();
+        let err = load_json(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+}

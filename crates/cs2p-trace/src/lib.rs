@@ -1,0 +1,30 @@
+//! # cs2p-trace — synthetic dataset substrate
+//!
+//! The paper's dataset (20M+ iQiyi sessions, September 2015) is
+//! proprietary, so this crate builds the closest synthetic equivalent that
+//! preserves the *structure* the paper's analysis establishes:
+//!
+//! - [`world`]: a ground-truth world in which every (ISP, city, server)
+//!   path owns a sticky Markov-modulated Gaussian process (Observation 2),
+//!   base capacities combine multiplicatively with a triple-specific
+//!   interaction term (Observation 4), client prefixes attach to
+//!   ISP/AS/province/city (Observation 3), and a diurnal curve modulates
+//!   load.
+//! - [`synth`]: session generation over the world — arrival times,
+//!   log-normal durations matched to Figure 3a, per-epoch throughput.
+//! - [`fcc`]: a second, feature-rich dataset in the style of FCC MBA,
+//!   used for the §7.2 initial-prediction comparison.
+//! - [`format`](mod@crate::format): JSON persistence of datasets.
+//! - [`stats`]: Table-2 / Figure-3 / Observation-1 summary statistics.
+
+#![warn(missing_docs)]
+
+pub mod fcc;
+pub mod format;
+pub mod stats;
+pub mod synth;
+pub mod world;
+
+pub use stats::DatasetStats;
+pub use synth::{generate, SynthConfig};
+pub use world::{World, WorldConfig};

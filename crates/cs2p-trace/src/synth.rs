@@ -1,0 +1,342 @@
+//! Session generation over the ground-truth [`World`].
+//!
+//! Each synthetic session picks a client prefix (hence ISP/AS/province/
+//! city), a server, a start time with a diurnal arrival profile, and a
+//! duration from a log-normal matched to the paper's Figure 3a. Its
+//! per-epoch throughput trace is then sampled from the (ISP, city, server)
+//! path profile's HMM, scaled by the hour-of-day factor and a small
+//! per-session last-mile jitter.
+
+use crate::world::{World, WorldConfig};
+use cs2p_core::features::{FeatureSchema, FeatureVector};
+use cs2p_core::{Dataset, Session};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of dataset synthesis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Number of sessions to generate.
+    pub n_sessions: usize,
+    /// Number of days covered (the paper trains on day 1, tests on day 2).
+    pub days: u64,
+    /// Epoch length in seconds (paper: 6).
+    pub epoch_seconds: u32,
+    /// Log-normal duration parameters, in *epochs*: `exp(mu)` is the
+    /// median session length.
+    pub duration_ln_mu: f64,
+    /// Log-normal sigma of the duration.
+    pub duration_ln_sigma: f64,
+    /// Hard bounds on session length in epochs.
+    pub min_epochs: usize,
+    /// Upper bound on session length in epochs.
+    pub max_epochs: usize,
+    /// Per-session last-mile jitter (log-normal sigma on a constant
+    /// multiplier; 0 disables).
+    pub session_jitter_sigma: f64,
+    /// Negative MA(1) coefficient of the within-state measurement noise.
+    ///
+    /// Per-epoch throughput of a TCP flow measured over fixed windows is
+    /// anti-correlated epoch to epoch (a window that caught the top of the
+    /// sawtooth is followed by one that catches the drain). `0` disables
+    /// (iid noise).
+    pub noise_ma_theta: f64,
+    /// Per-session transient-dip probability range: each session draws a
+    /// dip rate uniformly from this range, and each epoch then dips with
+    /// that probability — a one-epoch multiplicative throughput collapse
+    /// from cross-traffic bursts.
+    ///
+    /// Dips are the real-world reason history predictors fare so poorly in
+    /// the paper (LS ~18% median error vs CS2P's ~7%): a dip costs LS two
+    /// mispredictions (the dip itself and the epoch after), while a
+    /// trained HMM learns a low-persistence dip state and recovers in one.
+    pub dip_prob_range: (f64, f64),
+    /// Dip depth range: the multiplicative factor applied during a dip.
+    pub dip_depth_range: (f64, f64),
+    /// RNG seed (independent of the world seed).
+    pub seed: u64,
+    /// The world to generate over.
+    pub world: WorldConfig,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            n_sessions: 20_000,
+            days: 2,
+            epoch_seconds: 6,
+            // exp(3.0) ~ 20 epochs ~ 120 s median duration (Figure 3a).
+            duration_ln_mu: 3.0,
+            duration_ln_sigma: 0.8,
+            min_epochs: 2,
+            max_epochs: 600,
+            session_jitter_sigma: 0.03,
+            noise_ma_theta: 0.8,
+            dip_prob_range: (0.02, 0.12),
+            dip_depth_range: (0.3, 0.65),
+            seed: 1,
+            world: WorldConfig::default(),
+        }
+    }
+}
+
+/// Generates a dataset (and the world it came from) deterministically.
+pub fn generate(config: &SynthConfig) -> (Dataset, World) {
+    let world = World::new(config.world.clone());
+    let dataset = generate_over(&world, config);
+    (dataset, world)
+}
+
+/// Generates sessions over an existing world.
+pub fn generate_over(world: &World, config: &SynthConfig) -> Dataset {
+    assert!(config.min_epochs >= 1 && config.max_epochs >= config.min_epochs);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x53_59_4E_54); // "SYNT"
+    let schema = FeatureSchema::iqiyi();
+    let n_servers = world.config().n_servers;
+
+    let mut sessions = Vec::with_capacity(config.n_sessions);
+    for id in 0..config.n_sessions as u64 {
+        let prefix = rng.gen_range(0..world.n_prefixes()) as u32;
+        let info = world.prefix_info(prefix);
+        let server = rng.gen_range(0..n_servers) as u32;
+
+        let start_time = sample_start_time(&mut rng, config.days);
+        let n_epochs = sample_duration(&mut rng, config);
+
+        let profile = world.path_profile(info.isp, info.city, server);
+        // Sample the hidden congestion-state path, then synthesize the
+        // within-state measurement noise as a negative MA(1): the per-state
+        // emission sigma of the profile is the *total* noise scale, so the
+        // innovations are shrunk by sqrt(1 + theta^2) to preserve it.
+        let (states, _) = profile.hmm.sample_sequence(n_epochs, &mut rng);
+        let theta = config.noise_ma_theta;
+        let innov_scale = 1.0 / (1.0 + theta * theta).sqrt();
+        let mut prev_nu = 0.0;
+
+        let jitter = if config.session_jitter_sigma > 0.0 {
+            lognormal(&mut rng, 0.0, config.session_jitter_sigma)
+        } else {
+            1.0
+        };
+        let dip_prob = rng.gen_range(config.dip_prob_range.0..=config.dip_prob_range.1);
+        let throughput: Vec<f64> = states
+            .iter()
+            .enumerate()
+            .map(|(t, &state)| {
+                let (mu, sigma) = match &profile.hmm.emissions[state] {
+                    cs2p_ml::hmm::Emission::Gaussian(g)
+                    | cs2p_ml::hmm::Emission::LogNormal(g) => (g.mu, g.sigma),
+                };
+                let nu = standard_normal(&mut rng);
+                let eps = (nu - theta * prev_nu) * innov_scale;
+                prev_nu = nu;
+                let mut w = mu + sigma * eps;
+                if rng.gen::<f64>() < dip_prob {
+                    w *= rng.gen_range(config.dip_depth_range.0..=config.dip_depth_range.1);
+                }
+                let hour =
+                    ((start_time + t as u64 * config.epoch_seconds as u64) / 3600) % 24;
+                (w * World::diurnal_factor(hour) * jitter).max(0.01)
+            })
+            .collect();
+
+        let features = FeatureVector(vec![
+            prefix,
+            info.isp,
+            info.asn,
+            info.province,
+            info.city,
+            server,
+        ]);
+        sessions.push(Session::new(
+            id,
+            features,
+            start_time,
+            config.epoch_seconds,
+            throughput,
+        ));
+    }
+    Dataset::new(schema, sessions)
+}
+
+/// Start times follow the diurnal arrival intensity: more sessions in the
+/// evening, fewer at night (rejection sampling over the day).
+fn sample_start_time<R: Rng + ?Sized>(rng: &mut R, days: u64) -> u64 {
+    loop {
+        let t = rng.gen_range(0..days * 86_400);
+        let hour = (t / 3600) % 24;
+        // Arrival intensity peaks where capacity dips (evening usage).
+        let intensity = 1.0 - (World::diurnal_factor(hour) - 1.0) * 2.0;
+        if rng.gen::<f64>() < intensity.clamp(0.2, 1.0) {
+            return t;
+        }
+    }
+}
+
+fn sample_duration<R: Rng + ?Sized>(rng: &mut R, config: &SynthConfig) -> usize {
+    let v = lognormal(rng, config.duration_ln_mu, config.duration_ln_sigma);
+    (v.round() as usize).clamp(config.min_epochs, config.max_epochs)
+}
+
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen();
+    let u2: f64 = rng.gen();
+    cs2p_ml::gaussian::box_muller(u1, u2)
+}
+
+fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs2p_ml::stats;
+
+    fn small_config(n: usize) -> SynthConfig {
+        SynthConfig {
+            n_sessions: n,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a, _) = generate(&small_config(200));
+        let (b, _) = generate(&small_config(200));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sessions_respect_bounds() {
+        let cfg = small_config(500);
+        let (d, _) = generate(&cfg);
+        assert_eq!(d.len(), 500);
+        for s in d.sessions() {
+            assert!(s.n_epochs() >= cfg.min_epochs && s.n_epochs() <= cfg.max_epochs);
+            assert!(s.start_time < cfg.days * 86_400);
+            assert!(s.throughput.iter().all(|&w| w > 0.0));
+        }
+    }
+
+    #[test]
+    fn features_are_internally_consistent() {
+        let (d, world) = generate(&small_config(300));
+        for s in d.sessions() {
+            let prefix = s.features.get(0);
+            let info = world.prefix_info(prefix);
+            assert_eq!(s.features.get(1), info.isp);
+            assert_eq!(s.features.get(2), info.asn);
+            assert_eq!(s.features.get(3), info.province);
+            assert_eq!(s.features.get(4), info.city);
+        }
+    }
+
+    #[test]
+    fn observation1_holds_throughput_varies_within_sessions() {
+        // About half the sessions should have CoV >= ~20-30%.
+        let (d, _) = generate(&small_config(1_000));
+        let covs: Vec<f64> = d
+            .sessions()
+            .iter()
+            .filter(|s| s.n_epochs() >= 10)
+            .filter_map(|s| s.throughput_cov())
+            .collect();
+        assert!(covs.len() > 100);
+        let median_cov = stats::median(&covs).unwrap();
+        assert!(
+            median_cov > 0.08,
+            "traces too smooth: median CoV {median_cov}"
+        );
+    }
+
+    #[test]
+    fn observation3_holds_same_cluster_sessions_are_similar() {
+        // Sessions sharing (ISP, city, server) should have far more similar
+        // mean throughput than random pairs.
+        let (d, _) = generate(&small_config(4_000));
+        use std::collections::HashMap;
+        let mut groups: HashMap<(u32, u32, u32), Vec<f64>> = HashMap::new();
+        for s in d.sessions() {
+            if let Some(m) = s.mean_throughput() {
+                groups
+                    .entry((s.features.get(1), s.features.get(4), s.features.get(5)))
+                    .or_default()
+                    .push(m);
+            }
+        }
+        let mut within = Vec::new();
+        for (_, v) in groups.iter().filter(|(_, v)| v.len() >= 5) {
+            within.push(stats::coefficient_of_variation(v).unwrap());
+        }
+        let all: Vec<f64> = d.sessions().iter().filter_map(|s| s.mean_throughput()).collect();
+        let global_cov = stats::coefficient_of_variation(&all).unwrap();
+        let within_cov = stats::mean(&within).unwrap();
+        assert!(
+            within_cov < 0.6 * global_cov,
+            "within-cluster CoV {within_cov} not << global {global_cov}"
+        );
+    }
+
+    #[test]
+    fn observation4_holds_single_features_insufficient() {
+        // Grouping by ISP alone must leave much more spread than grouping
+        // by (ISP, city, server): the Figure 6 effect.
+        let (d, _) = generate(&small_config(4_000));
+        use std::collections::HashMap;
+        let mut by_isp: HashMap<u32, Vec<f64>> = HashMap::new();
+        let mut by_triple: HashMap<(u32, u32, u32), Vec<f64>> = HashMap::new();
+        for s in d.sessions() {
+            if let Some(m) = s.mean_throughput() {
+                by_isp.entry(s.features.get(1)).or_default().push(m);
+                by_triple
+                    .entry((s.features.get(1), s.features.get(4), s.features.get(5)))
+                    .or_default()
+                    .push(m);
+            }
+        }
+        let cov_of = |groups: Vec<&Vec<f64>>| {
+            let covs: Vec<f64> = groups
+                .iter()
+                .filter(|v| v.len() >= 5)
+                .filter_map(|v| stats::coefficient_of_variation(v))
+                .collect();
+            stats::mean(&covs).unwrap()
+        };
+        let isp_cov = cov_of(by_isp.values().collect());
+        let triple_cov = cov_of(by_triple.values().collect());
+        assert!(
+            triple_cov < 0.7 * isp_cov,
+            "triple CoV {triple_cov} vs ISP CoV {isp_cov}"
+        );
+    }
+
+    #[test]
+    fn duration_distribution_is_heavy_tailed() {
+        let (d, _) = generate(&small_config(2_000));
+        let durations: Vec<f64> = d
+            .sessions()
+            .iter()
+            .map(|s| s.duration_seconds() as f64)
+            .collect();
+        let median = stats::median(&durations).unwrap();
+        let p95 = stats::percentile(&durations, 95.0).unwrap();
+        // Median around 2 minutes, p95 several times larger (Figure 3a).
+        assert!((60.0..=600.0).contains(&median), "median {median}");
+        assert!(p95 > 2.5 * median, "p95 {p95} vs median {median}");
+    }
+
+    #[test]
+    fn throughput_distribution_is_broadband_like() {
+        let (d, _) = generate(&small_config(2_000));
+        let mut epochs = Vec::new();
+        for s in d.sessions() {
+            epochs.extend_from_slice(&s.throughput);
+        }
+        let median = stats::median(&epochs).unwrap();
+        // Figure 3b: most mass in the low single-digit Mbps.
+        assert!((1.0..=15.0).contains(&median), "median epoch {median}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests over the synthetic-world generator.
+
+use cs2p_trace::synth::{generate, generate_over, SynthConfig};
+use cs2p_trace::world::{World, WorldConfig};
+use proptest::prelude::*;
+
+fn arb_world_config() -> impl Strategy<Value = WorldConfig> {
+    (2usize..5, 2usize..4, 1usize..3, 2usize..4, 10usize..60, 2usize..5, any::<u64>()).prop_map(
+        |(isps, provs, cpp, servers, prefixes, states, seed)| WorldConfig {
+            n_isps: isps,
+            n_provinces: provs,
+            cities_per_province: cpp,
+            n_servers: servers,
+            n_prefixes: prefixes,
+            ases_per_isp: 2,
+            n_states: states,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_profile_is_a_valid_sticky_hmm(cfg in arb_world_config()) {
+        let world = World::new(cfg.clone());
+        for isp in 0..cfg.n_isps as u32 {
+            let profile = world.path_profile(isp, 0, 0);
+            prop_assert!(profile.hmm.validate().is_ok());
+            prop_assert!(profile.base_mbps > 0.0);
+            for i in 0..profile.hmm.n_states() {
+                prop_assert!(profile.hmm.transition[(i, i)] >= 0.9);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_sessions_are_well_formed(cfg in arb_world_config(), n in 20usize..150) {
+        let synth = SynthConfig {
+            n_sessions: n,
+            world: cfg,
+            ..Default::default()
+        };
+        let (dataset, world) = generate(&synth);
+        prop_assert_eq!(dataset.len(), n);
+        for s in dataset.sessions() {
+            prop_assert!(s.n_epochs() >= synth.min_epochs);
+            prop_assert!(s.n_epochs() <= synth.max_epochs);
+            prop_assert!(s.start_time < synth.days * 86_400);
+            prop_assert!(s.throughput.iter().all(|&w| w > 0.0 && w.is_finite()));
+            // Feature consistency with the world's prefix table.
+            let info = world.prefix_info(s.features.get(0));
+            prop_assert_eq!(s.features.get(1), info.isp);
+            prop_assert_eq!(s.features.get(2), info.asn);
+            prop_assert_eq!(s.features.get(3), info.province);
+            prop_assert_eq!(s.features.get(4), info.city);
+            prop_assert!((s.features.get(5) as usize) < world.config().n_servers);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed(cfg in arb_world_config(), seed in any::<u64>()) {
+        let synth = SynthConfig {
+            n_sessions: 40,
+            seed,
+            world: cfg.clone(),
+            ..Default::default()
+        };
+        let world = World::new(cfg);
+        let a = generate_over(&world, &synth);
+        let b = generate_over(&world, &synth);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_data(cfg in arb_world_config(), seed in any::<u64>()) {
+        let world = World::new(cfg);
+        let mk = |s| SynthConfig {
+            n_sessions: 40,
+            seed: s,
+            world: world.config().clone(),
+            ..Default::default()
+        };
+        let a = generate_over(&world, &mk(seed));
+        let b = generate_over(&world, &mk(seed.wrapping_add(1)));
+        prop_assert_ne!(a, b);
+    }
+
+    #[test]
+    fn diurnal_factor_is_bounded_and_periodic(hour in 0u64..2_000) {
+        let f = World::diurnal_factor(hour);
+        prop_assert!((0.8..=1.2).contains(&f));
+        prop_assert!((f - World::diurnal_factor(hour + 24)).abs() < 1e-12);
+    }
+}

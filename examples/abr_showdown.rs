@@ -1,0 +1,119 @@
+//! ABR showdown: play the Envivio video over recorded throughput traces
+//! with every adaptation strategy of the paper's evaluation and compare
+//! QoE — the §7.3 experiment in miniature.
+//!
+//! ```text
+//! cargo run --release --example abr_showdown
+//! ```
+
+use cs2p::abr::{
+    normalized_qoe, offline_optimal_qoe, simulate, BufferBased, Festive, Mpc, OptimalConfig,
+    QoeParams, RateBased, RobustMpc, SimConfig,
+};
+use cs2p::core::baselines::{HarmonicMean, LastSample};
+use cs2p::core::{EngineConfig, PredictionEngine, ThroughputPredictor};
+use cs2p::ml::stats;
+use cs2p::trace::{generate, SynthConfig};
+
+fn main() {
+    println!("preparing dataset and engine ...");
+    let (dataset, _world) = generate(&SynthConfig {
+        n_sessions: 4_000,
+        ..Default::default()
+    });
+    let (train, test) = dataset.split_at_day(1);
+    let mut config = EngineConfig::small_data();
+    config.hmm.n_states = 5;
+    let (engine, _) = PredictionEngine::train(&train, &config).expect("training failed");
+
+    // Pick constrained traces long enough for the whole video.
+    let sessions: Vec<usize> = (0..test.len())
+        .filter(|&i| {
+            let s = test.get(i);
+            s.n_epochs() >= 30
+                && stats::median(&s.throughput).map(|m| m < 6.0).unwrap_or(false)
+        })
+        .take(40)
+        .collect();
+    println!("playing {} sessions per strategy\n", sessions.len());
+
+    let qoe_params = QoeParams {
+        mu_startup: 0.0,
+        ..QoeParams::default()
+    };
+    let cfg = SimConfig {
+        qoe: qoe_params,
+        prediction_seeded_start: false,
+        ..Default::default()
+    };
+
+    // Offline optimal per trace, for normalization.
+    let optima: Vec<f64> = sessions
+        .iter()
+        .map(|&i| {
+            offline_optimal_qoe(
+                &test.get(i).throughput,
+                6.0,
+                &cfg.video,
+                &OptimalConfig {
+                    quantum: 1.0,
+                    qoe: qoe_params,
+                },
+            )
+        })
+        .collect();
+
+    let strategies: &[&str] =
+        &["CS2P+MPC", "CS2P+RobustMPC", "HM+MPC", "LS+MPC", "RB", "FESTIVE", "BB"];
+    println!(
+        "{:<15} | {:>9} | {:>9} | {:>9} | {:>8}",
+        "strategy", "med nQoE", "avg kbps", "rebuf s", "good %"
+    );
+    for &name in strategies {
+        let mut nqoes = Vec::new();
+        let mut bitrates = Vec::new();
+        let mut rebufs = Vec::new();
+        let mut goods = Vec::new();
+        for (&i, &opt) in sessions.iter().zip(&optima) {
+            let session = test.get(i);
+            let trace = &session.throughput;
+            let mut predictor: Box<dyn ThroughputPredictor> = match name {
+                "CS2P+MPC" | "CS2P+RobustMPC" => Box::new(engine.predictor(&session.features)),
+                "HM+MPC" | "FESTIVE" | "RB" => Box::new(HarmonicMean::new()),
+                "LS+MPC" => Box::new(LastSample::new()),
+                _ => Box::new(LastSample::new()), // BB ignores predictions
+            };
+            let outcome = match name {
+                "RB" => simulate(trace, 6.0, predictor.as_mut(), &mut RateBased::default(), &cfg),
+                "FESTIVE" => {
+                    simulate(trace, 6.0, predictor.as_mut(), &mut Festive::default(), &cfg)
+                }
+                "BB" => simulate(
+                    trace,
+                    6.0,
+                    predictor.as_mut(),
+                    &mut BufferBased::default(),
+                    &cfg,
+                ),
+                "CS2P+RobustMPC" => {
+                    simulate(trace, 6.0, predictor.as_mut(), &mut RobustMpc::default(), &cfg)
+                }
+                _ => simulate(trace, 6.0, predictor.as_mut(), &mut Mpc::default(), &cfg),
+            };
+            if let Some(n) = normalized_qoe(outcome.qoe(&qoe_params), opt) {
+                nqoes.push(n);
+            }
+            bitrates.push(outcome.avg_bitrate_kbps());
+            rebufs.push(outcome.total_rebuffer_seconds());
+            goods.push(outcome.good_ratio());
+        }
+        println!(
+            "{:<15} | {:>9.3} | {:>9.0} | {:>9.1} | {:>7.1}%",
+            name,
+            stats::median(&nqoes).unwrap_or(f64::NAN),
+            stats::mean(&bitrates).unwrap_or(f64::NAN),
+            stats::mean(&rebufs).unwrap_or(f64::NAN),
+            stats::mean(&goods).unwrap_or(f64::NAN) * 100.0
+        );
+    }
+}

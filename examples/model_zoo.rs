@@ -1,0 +1,74 @@
+//! Model zoo: train, persist and inspect CS2P models — the dataset and
+//! model-bundle I/O workflow (generate → train → save → reload → serve).
+//!
+//! ```text
+//! cargo run --release --example model_zoo [output-dir]
+//! ```
+
+use cs2p::core::{ClientModel, EngineConfig, ModelBundle, PredictionEngine};
+use cs2p::trace::format::{load_json, save_json};
+use cs2p::trace::{generate, DatasetStats, SynthConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("cs2p-model-zoo"));
+    std::fs::create_dir_all(&dir).expect("create output dir");
+
+    // Generate and persist the dataset.
+    println!("generating dataset ...");
+    let (dataset, _world) = generate(&SynthConfig {
+        n_sessions: 2_000,
+        ..Default::default()
+    });
+    let data_path = dir.join("dataset.json");
+    save_json(&dataset, &data_path).expect("save dataset");
+    println!("dataset: {} sessions -> {}", dataset.len(), data_path.display());
+
+    // Reload (round trip through disk) and summarize (Table 2 style).
+    let reloaded = load_json(&data_path).expect("load dataset");
+    let stats = DatasetStats::compute(&reloaded).expect("stats");
+    println!("\n{}", stats.table2());
+    println!(
+        "median duration {:.0} s, median epoch throughput {:.2} Mbps",
+        stats.median_duration(),
+        stats.median_throughput()
+    );
+
+    // Train and persist the model bundle.
+    println!("\ntraining engine ...");
+    let (train, _test) = reloaded.split_at_day(1);
+    let mut config = EngineConfig::small_data();
+    config.hmm.n_states = 4;
+    let (engine, summary) = PredictionEngine::train(&train, &config).expect("training failed");
+    println!("trained {} cluster models", summary.n_models);
+
+    let bundle = ModelBundle::from_engine(&engine);
+    let bundle_json = bundle.to_json().expect("serialize bundle");
+    let bundle_path = dir.join("models.json");
+    std::fs::write(&bundle_path, &bundle_json).expect("write bundle");
+    println!(
+        "model bundle: {} bytes -> {}",
+        bundle_json.len(),
+        bundle_path.display()
+    );
+
+    // Reload the bundle and extract one client's compact model.
+    let rebuilt = ModelBundle::from_json(&bundle_json)
+        .expect("parse bundle")
+        .into_engine();
+    let features = &train.get(0).features;
+    let client = ClientModel::for_client(&rebuilt, features);
+    println!(
+        "client model for features {:?}: {} bytes on the wire (paper bound: 5 KB), \
+         {} HMM states, initial median {:.2} Mbps",
+        features.0,
+        client.wire_size(),
+        client.model.hmm.n_states(),
+        client.model.initial_median
+    );
+    assert!(client.wire_size() < 5 * 1024, "client model exceeds 5 KB");
+    println!("\nall artifacts in {}", dir.display());
+}

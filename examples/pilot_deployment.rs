@@ -1,0 +1,107 @@
+//! Pilot deployment (§6 / §7.5): a real prediction server on localhost
+//! TCP, real DASH players POSTing measurements and fetching predictions
+//! before every chunk, client-side model downloads, and session-log
+//! uploads — the full CS2P deployment loop.
+//!
+//! ```text
+//! cargo run --release --example pilot_deployment
+//! ```
+
+use cs2p::core::{EngineConfig, PredictionEngine};
+use cs2p::ml::stats;
+use cs2p::net::{
+    play_remote_session, serve, DashPlayer, HttpClient, LocalModelPredictor, Manifest,
+    PlayerConfig,
+};
+use cs2p::trace::{generate, SynthConfig};
+
+fn main() {
+    println!("training the Prediction Engine ...");
+    let (dataset, _world) = generate(&SynthConfig {
+        n_sessions: 3_000,
+        ..Default::default()
+    });
+    let (train, test) = dataset.split_at_day(1);
+    let mut config = EngineConfig::small_data();
+    config.hmm.n_states = 5;
+    let (engine, _) = PredictionEngine::train(&train, &config).expect("training failed");
+
+    // Start the server — the Node.js server of §6, in Rust, on an
+    // ephemeral localhost port.
+    let server = serve(engine, "127.0.0.1:0").expect("server start");
+    println!("prediction server listening on {}", server.addr());
+
+    // Health check over real HTTP.
+    let mut client = HttpClient::new(server.addr());
+    let health = client.get("/healthz").expect("healthz");
+    println!("GET /healthz -> {}", String::from_utf8_lossy(&health.body));
+
+    // Server-side deployment: players consult the server per chunk.
+    let player = DashPlayer::new(
+        Manifest::envivio(),
+        PlayerConfig {
+            prediction_seeded_start: false,
+            ..Default::default()
+        },
+    );
+    let sessions: Vec<usize> = (0..test.len())
+        .filter(|&i| test.get(i).n_epochs() >= 30)
+        .take(10)
+        .collect();
+
+    println!("\nplaying {} sessions through the server:", sessions.len());
+    let mut qoes = Vec::new();
+    for (k, &i) in sessions.iter().enumerate() {
+        let session = test.get(i);
+        let log = play_remote_session(
+            server.addr(),
+            &player,
+            &session.throughput,
+            6.0,
+            k as u64,
+            session.features.0.clone(),
+        )
+        .expect("session failed");
+        println!(
+            "  session {k}: qoe {:>9.0}, avg {:>4.0} kbps, rebuffer {:>5.1} s, startup {:.1} s",
+            log.qoe, log.avg_bitrate_kbps, log.rebuffer_seconds, log.startup_delay_seconds
+        );
+        qoes.push(log.qoe);
+    }
+    println!(
+        "mean QoE {:.0}; server stats: {} predictions served, {} logs stored",
+        stats::mean(&qoes).unwrap(),
+        server.predictions_served(),
+        server.logs().len()
+    );
+
+    // The log server's own view (GET /stats), as the paper's operators
+    // would read it.
+    let resp = client.get("/stats").expect("stats");
+    let log_stats: cs2p::net::LogStats = serde_json::from_slice(&resp.body).expect("stats json");
+    for row in &log_stats.strategies {
+        println!(
+            "server-side aggregate [{}]: {} sessions, mean QoE {:.0}, {:.0} kbps, good {:.2}",
+            row.strategy, row.n_sessions, row.mean_qoe, row.mean_bitrate_kbps, row.mean_good_ratio
+        );
+    }
+
+    // Client-side deployment (§5.3): download the cluster model once
+    // (<5 KB) and predict locally.
+    let session = test.get(sessions[0]);
+    let mut local =
+        LocalModelPredictor::download(server.addr(), &session.features.0).expect("model download");
+    use cs2p::core::ThroughputPredictor;
+    println!(
+        "\nclient-side model downloaded; initial prediction {:.2} Mbps",
+        local.predict_initial().unwrap()
+    );
+    local.observe(session.throughput[0]);
+    println!(
+        "after one observation, next-epoch prediction {:.2} Mbps",
+        local.predict_next().unwrap()
+    );
+
+    server.shutdown();
+    println!("\nserver shut down cleanly");
+}

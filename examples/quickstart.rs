@@ -1,0 +1,68 @@
+//! Quickstart: train a CS2P Prediction Engine on synthetic sessions and
+//! drive Algorithm 1 on a fresh session.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cs2p::core::{EngineConfig, PredictionEngine, ThroughputPredictor};
+use cs2p::trace::{generate, SynthConfig};
+
+fn main() {
+    // 1. Data: two days of synthetic sessions over the ground-truth world
+    //    (day 1 trains, day 2 tests) — the stand-in for the paper's iQiyi
+    //    dataset.
+    println!("generating synthetic dataset ...");
+    let (dataset, _world) = generate(&SynthConfig {
+        n_sessions: 4_000,
+        ..Default::default()
+    });
+    let (train, test) = dataset.split_at_day(1);
+    println!("  {} training sessions, {} test sessions", train.len(), test.len());
+
+    // 2. Offline stage (Figure 1): cluster similar sessions, train one
+    //    Gaussian-emission HMM per cluster plus the median initial
+    //    predictor.
+    println!("training the Prediction Engine ...");
+    let mut config = EngineConfig::small_data();
+    config.hmm.n_states = 5;
+    let (engine, summary) = PredictionEngine::train(&train, &config).expect("training failed");
+    println!(
+        "  {} cluster models over {} feature combinations ({:.1}% global fallback)",
+        summary.n_models,
+        summary.n_combos,
+        summary.global_fallback_fraction * 100.0
+    );
+
+    // 3. Online stage (Algorithm 1) on one test session.
+    let session = test
+        .sessions()
+        .iter()
+        .find(|s| s.n_epochs() >= 20)
+        .expect("no long session");
+    let mut predictor = engine.predictor(&session.features);
+
+    let initial = predictor.predict_initial().unwrap();
+    println!("\nsession {} (features {:?})", session.id, session.features.0);
+    println!("  initial prediction: {initial:.2} Mbps (actual {:.2})",
+        session.initial_throughput().unwrap());
+
+    let mut total_err = 0.0;
+    let mut count = 0;
+    predictor.observe(session.throughput[0]);
+    for t in 1..session.n_epochs() {
+        let predicted = predictor.predict_next().unwrap();
+        let actual = session.throughput[t];
+        if t <= 6 {
+            println!("  epoch {t:>2}: predicted {predicted:>5.2} Mbps, actual {actual:>5.2} Mbps");
+        }
+        total_err += (predicted - actual).abs() / actual;
+        count += 1;
+        predictor.observe(actual);
+    }
+    println!(
+        "  mean midstream error over {} epochs: {:.1}%",
+        count,
+        total_err / count as f64 * 100.0
+    );
+}

@@ -1,0 +1,56 @@
+//! # CS2P — Cross Session Stateful Predictor
+//!
+//! A full reproduction of *CS2P: Improving Video Bitrate Selection and
+//! Adaptation with Data-Driven Throughput Prediction* (Sun, Yin, Jiang,
+//! Sekar, Lin, Wang, Liu, Sinopoli — SIGCOMM 2016), as a Rust workspace.
+//!
+//! This facade crate re-exports every sub-crate so downstream users can
+//! depend on `cs2p` alone:
+//!
+//! - [`ml`] — HMM/EM, CART, GBRT, SVR, AR, statistics (the ML substrate);
+//! - [`core`] — session clustering, the Prediction Engine, Algorithm 1,
+//!   every baseline predictor;
+//! - [`trace`] — the synthetic ground-truth world and dataset generators;
+//! - [`abr`] — the QoE model, playback simulator, ABR algorithms
+//!   (BB/RB/FESTIVE/MPC), offline-optimal DP;
+//! - [`net`] — the prediction server, HTTP client, and DASH player;
+//! - [`eval`] — one experiment driver per paper table/figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cs2p::core::{EngineConfig, PredictionEngine, ThroughputPredictor};
+//! use cs2p::trace::{generate, SynthConfig};
+//!
+//! // Generate a synthetic dataset over the ground-truth world.
+//! let (dataset, _world) = generate(&SynthConfig {
+//!     n_sessions: 800,
+//!     ..Default::default()
+//! });
+//! let (train, test) = dataset.split_at_day(1);
+//!
+//! // Offline stage: cluster sessions and train per-cluster HMMs.
+//! let mut config = EngineConfig::default();
+//! config.cluster.min_cluster_size = 10;
+//! config.hmm.n_states = 3;
+//! config.hmm.max_iters = 10;
+//! let (engine, _summary) = PredictionEngine::train(&train, &config).unwrap();
+//!
+//! // Online stage (Algorithm 1): initial + midstream prediction.
+//! let session = test.get(0);
+//! let mut predictor = engine.predictor(&session.features);
+//! let initial = predictor.predict_initial().unwrap();
+//! assert!(initial > 0.0);
+//! for &w in &session.throughput {
+//!     predictor.observe(w);
+//!     let next = predictor.predict_next().unwrap();
+//!     assert!(next > 0.0);
+//! }
+//! ```
+
+pub use cs2p_abr as abr;
+pub use cs2p_core as core;
+pub use cs2p_eval as eval;
+pub use cs2p_ml as ml;
+pub use cs2p_net as net;
+pub use cs2p_trace as trace;

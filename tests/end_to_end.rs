@@ -1,0 +1,181 @@
+//! Integration tests spanning the whole workspace: data generation →
+//! training → prediction → adaptation → deployment.
+
+use cs2p::abr::{simulate, Mpc, QoeParams, SimConfig};
+use cs2p::core::{
+    abs_normalized_error, ClientModel, EngineConfig, ModelBundle, PredictionEngine,
+    ThroughputPredictor,
+};
+use cs2p::ml::stats;
+use cs2p::net::{play_remote_session, serve, DashPlayer, Manifest, PlayerConfig};
+use cs2p::trace::{generate, SynthConfig};
+
+fn materials() -> (cs2p::core::Dataset, cs2p::core::Dataset, PredictionEngine) {
+    let (dataset, _world) = generate(&SynthConfig {
+        n_sessions: 2_000,
+        seed: 42,
+        ..Default::default()
+    });
+    let (train, test) = dataset.split_at_day(1);
+    let mut config = EngineConfig::small_data();
+    config.hmm.max_iters = 12;
+    let (engine, _) = PredictionEngine::train(&train, &config).expect("training failed");
+    (train, test, engine)
+}
+
+#[test]
+fn trained_engine_beats_last_sample_on_held_out_day() {
+    let (_train, test, engine) = materials();
+    let mut cs2p_errs = Vec::new();
+    let mut ls_errs = Vec::new();
+    for s in test.sessions().iter().filter(|s| s.n_epochs() >= 8).take(300) {
+        let mut p = engine.predictor(&s.features);
+        let mut last = s.throughput[0];
+        p.observe(last);
+        let mut pe = Vec::new();
+        let mut le = Vec::new();
+        for t in 1..s.n_epochs() {
+            let actual = s.throughput[t];
+            pe.push(abs_normalized_error(p.predict_next().unwrap(), actual));
+            le.push(abs_normalized_error(last, actual));
+            p.observe(actual);
+            last = actual;
+        }
+        cs2p_errs.push(stats::median(&pe).unwrap());
+        ls_errs.push(stats::median(&le).unwrap());
+    }
+    let cs2p = stats::median(&cs2p_errs).unwrap();
+    let ls = stats::median(&ls_errs).unwrap();
+    assert!(
+        cs2p < ls,
+        "CS2P median error {cs2p:.4} should beat last-sample {ls:.4}"
+    );
+}
+
+#[test]
+fn model_bundle_survives_disk_and_reproduces_predictions() {
+    let (_train, test, engine) = materials();
+    let json = ModelBundle::from_engine(&engine).to_json().unwrap();
+    let rebuilt = ModelBundle::from_json(&json).unwrap().into_engine();
+
+    for s in test.sessions().iter().take(20) {
+        let mut a = engine.predictor(&s.features);
+        let mut b = rebuilt.predictor(&s.features);
+        assert_eq!(a.predict_initial(), b.predict_initial());
+        for &w in s.throughput.iter().take(5) {
+            a.observe(w);
+            b.observe(w);
+            assert_eq!(a.predict_next(), b.predict_next());
+        }
+    }
+}
+
+#[test]
+fn client_model_fits_the_papers_size_budget() {
+    let (_train, test, engine) = materials();
+    for s in test.sessions().iter().take(50) {
+        let cm = ClientModel::for_client(&engine, &s.features);
+        assert!(
+            cm.wire_size() < 5 * 1024,
+            "client model {} bytes for features {:?}",
+            cm.wire_size(),
+            s.features.0
+        );
+    }
+}
+
+#[test]
+fn cs2p_mpc_plays_video_without_heavy_stalls_on_adequate_links() {
+    let (_train, test, engine) = materials();
+    let cfg = SimConfig {
+        prediction_seeded_start: false,
+        ..Default::default()
+    };
+    let qoe = QoeParams::default();
+    let mut good_ratios = Vec::new();
+    for s in test.sessions().iter() {
+        if s.n_epochs() < 30 {
+            continue;
+        }
+        let median = stats::median(&s.throughput).unwrap();
+        if median < 1.5 {
+            continue; // link can't sustain much of the ladder anyway
+        }
+        let mut p = engine.predictor(&s.features);
+        let mut mpc = Mpc::default();
+        let outcome = simulate(&s.throughput, 6.0, &mut p, &mut mpc, &cfg);
+        assert!(outcome.qoe(&qoe).is_finite());
+        good_ratios.push(outcome.good_ratio());
+        if good_ratios.len() >= 25 {
+            break;
+        }
+    }
+    assert!(good_ratios.len() >= 10, "too few adequate sessions in test split");
+    // Aggregate quality: mostly stall-free playback (individual sessions
+    // may still hit midstream collapses no online algorithm survives).
+    let mean_good = stats::mean(&good_ratios).unwrap();
+    assert!(mean_good > 0.85, "mean good ratio {mean_good}");
+    let bad = good_ratios.iter().filter(|&&g| g < 0.7).count();
+    assert!(
+        bad * 5 <= good_ratios.len(),
+        "{bad}/{} sessions below 0.7 good ratio",
+        good_ratios.len()
+    );
+}
+
+#[test]
+fn full_deployment_loop_over_real_sockets() {
+    let (_train, test, engine) = materials();
+    let server = serve(engine, "127.0.0.1:0").expect("server start");
+    let player = DashPlayer::new(
+        Manifest::envivio(),
+        PlayerConfig {
+            prediction_seeded_start: false,
+            ..Default::default()
+        },
+    );
+
+    let mut n = 0;
+    for s in test.sessions().iter().filter(|s| s.n_epochs() >= 30).take(5) {
+        let log = play_remote_session(
+            server.addr(),
+            &player,
+            &s.throughput,
+            6.0,
+            s.id,
+            s.features.0.clone(),
+        )
+        .expect("remote session");
+        assert_eq!(log.bitrates_kbps.len(), 43);
+        assert!(log.qoe.is_finite());
+        n += 1;
+    }
+    assert_eq!(server.logs().len(), n);
+    // Each chunk costs at most ~2 HTTP round trips (register + predicts).
+    assert!(server.predictions_served() >= (n * 43) as u64);
+    server.shutdown();
+}
+
+#[test]
+fn determinism_across_full_pipeline() {
+    let run = || {
+        let (dataset, _world) = generate(&SynthConfig {
+            n_sessions: 600,
+            seed: 9,
+            ..Default::default()
+        });
+        let (train, test) = dataset.split_at_day(1);
+        let mut config = EngineConfig::small_data();
+        config.hmm.max_iters = 8;
+        let (engine, summary) = PredictionEngine::train(&train, &config).unwrap();
+        let s = test.get(0);
+        let mut p = engine.predictor(&s.features);
+        let mut preds = vec![p.predict_initial().unwrap()];
+        for &w in s.throughput.iter().take(10) {
+            p.observe(w);
+            preds.push(p.predict_next().unwrap());
+        }
+        (summary.n_models, preds)
+    };
+    assert_eq!(run(), run());
+}
