@@ -32,7 +32,9 @@ fn ablation_clustering_and_calibration(c: &mut Criterion) {
 
     let cs2p = median_err(m, &indices, |s| Box::new(engine.predictor(&s.features)));
     let uncal = median_err(m, &indices, |s| {
-        Box::new(Cs2pPredictor::without_calibration(engine.lookup(&s.features)))
+        Box::new(Cs2pPredictor::without_calibration(
+            engine.lookup(&s.features),
+        ))
     });
     let ghm = median_err(m, &indices, |_| Box::new(engine.global_predictor()));
     let median_only = median_err(m, &indices, |s| {

@@ -32,7 +32,9 @@ fn bench_dataset_figs(c: &mut Criterion) {
     );
     let mut g = c.benchmark_group("dataset_analysis");
     g.sample_size(10);
-    g.bench_function("obs1_variability", |b| b.iter(|| black_box(dataset_figs::obs1(m))));
+    g.bench_function("obs1_variability", |b| {
+        b.iter(|| black_box(dataset_figs::obs1(m)))
+    });
 
     let r = dataset_figs::fig4(m);
     println!(
@@ -53,7 +55,9 @@ fn bench_dataset_figs(c: &mut Criterion) {
             .map(|cdf| (cdf.median() * 100.0).round() / 100.0)
             .collect::<Vec<_>>()
     );
-    g.bench_function("fig5_cluster_cdfs", |b| b.iter(|| black_box(dataset_figs::fig5(m))));
+    g.bench_function("fig5_cluster_cdfs", |b| {
+        b.iter(|| black_box(dataset_figs::fig5(m)))
+    });
 
     let r = dataset_figs::fig6(m);
     let (triple, best_single) = r.triple_vs_best_single();
@@ -68,8 +72,14 @@ fn bench_prediction_figs(c: &mut Criterion) {
     let m = materials();
 
     let r = prediction::fig8(m);
-    println!("[fig8] {} states over cluster {}", r.states.len(), r.cluster);
-    c.bench_function("fig8_example_hmm", |b| b.iter(|| black_box(prediction::fig8(m))));
+    println!(
+        "[fig8] {} states over cluster {}",
+        r.states.len(),
+        r.cluster
+    );
+    c.bench_function("fig8_example_hmm", |b| {
+        b.iter(|| black_box(prediction::fig8(m)))
+    });
 
     let r = prediction::fig9a(m);
     println!(

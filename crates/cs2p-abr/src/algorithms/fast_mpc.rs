@@ -69,8 +69,7 @@ impl FastMpc {
         assert!(config.pred_bins >= 2);
         assert!(config.pred_min > 0.0 && config.pred_max > config.pred_min);
 
-        let ratio = (config.pred_max / config.pred_min)
-            .powf(1.0 / (config.pred_bins - 1) as f64);
+        let ratio = (config.pred_max / config.pred_min).powf(1.0 / (config.pred_bins - 1) as f64);
         let pred_edges: Vec<f64> = (0..config.pred_bins)
             .map(|i| config.pred_min * ratio.powi(i as i32))
             .collect();
@@ -181,7 +180,11 @@ mod tests {
         let f = fast();
         // (5 levels + none) x 31 buffer bins x 32 pred bins.
         assert_eq!(f.table_len(), 6 * 31 * 32);
-        assert!(f.table_bytes() < 8 * 1024, "table {} bytes", f.table_bytes());
+        assert!(
+            f.table_bytes() < 8 * 1024,
+            "table {} bytes",
+            f.table_bytes()
+        );
     }
 
     #[test]
@@ -223,7 +226,10 @@ mod tests {
     #[test]
     fn out_of_range_predictions_clamp() {
         let f = fast();
-        assert_eq!(f.lookup(20.0, 0.0001, Some(0)), f.lookup(20.0, 0.05, Some(0)));
+        assert_eq!(
+            f.lookup(20.0, 0.0001, Some(0)),
+            f.lookup(20.0, 0.05, Some(0))
+        );
         assert_eq!(
             f.lookup(20.0, 1000.0, Some(4)),
             f.lookup(20.0, 40.0, Some(4))

@@ -40,11 +40,7 @@ impl RobustMpc {
 
     /// Current discount divisor `1 + max recent error`.
     pub fn discount(&self) -> f64 {
-        1.0 + self
-            .recent_errors
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max)
+        1.0 + self.recent_errors.iter().copied().fold(0.0f64, f64::max)
     }
 }
 
@@ -131,7 +127,11 @@ mod tests {
         let mut ctx = test_ctx(&video, &preds, 20.0, Some(2), 6);
         ctx.last_actual_mbps = Some(2.0);
         robust.select_level(&ctx);
-        assert!((robust.discount() - 2.0).abs() < 1e-9, "{}", robust.discount());
+        assert!(
+            (robust.discount() - 2.0).abs() < 1e-9,
+            "{}",
+            robust.discount()
+        );
     }
 
     #[test]

@@ -94,11 +94,7 @@ pub fn offline_optimal_qoe(
                 let buffer = state.b as f64 * q;
                 let (stall_penalty, new_buffer, elapsed) = if chunk == 0 {
                     // First chunk: download time is startup delay.
-                    (
-                        config.qoe.mu_startup * d,
-                        video.chunk_seconds,
-                        d,
-                    )
+                    (config.qoe.mu_startup * d, video.chunk_seconds, d)
                 } else {
                     let rebuf = (d - buffer).max(0.0);
                     let nb = (buffer - d).max(0.0) + video.chunk_seconds;
@@ -131,9 +127,7 @@ pub fn offline_optimal_qoe(
         layer = next;
     }
 
-    layer
-        .values()
-        .fold(f64::NEG_INFINITY, |acc, &v| acc.max(v))
+    layer.values().fold(f64::NEG_INFINITY, |acc, &v| acc.max(v))
 }
 
 /// Normalized QoE (the paper's n-QoE): `actual / optimal`, defined only
@@ -203,7 +197,10 @@ mod tests {
         let opt = offline_optimal_qoe(&trace, 6.0, &video, &OptimalConfig::default());
 
         for (name, algo) in [
-            ("mpc", &mut Mpc::default() as &mut dyn crate::algorithms::AbrAlgorithm),
+            (
+                "mpc",
+                &mut Mpc::default() as &mut dyn crate::algorithms::AbrAlgorithm,
+            ),
             ("rb", &mut RateBased::default()),
         ] {
             let mut oracle = NoisyOracle::new(trace.clone(), 0.0, 0);

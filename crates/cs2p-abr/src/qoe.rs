@@ -77,7 +77,9 @@ impl SessionOutcome {
             .map(|w| (w[1].bitrate_kbps - w[0].bitrate_kbps).abs())
             .sum();
         let rebuffer: f64 = self.chunks.iter().map(|c| c.rebuffer_seconds).sum();
-        quality - params.lambda * smoothness - params.mu_rebuffer * rebuffer
+        quality
+            - params.lambda * smoothness
+            - params.mu_rebuffer * rebuffer
             - params.mu_startup * self.startup_delay_seconds
     }
 

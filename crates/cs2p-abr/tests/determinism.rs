@@ -1,0 +1,67 @@
+//! Simulator determinism, checked through `cs2p-testkit`: the same
+//! trace, predictor, and ABR must reproduce the same outcome bit for
+//! bit, for every ABR algorithm and for both oracle and model-driven
+//! predictors.
+
+use cs2p_abr::{simulate, BufferBased, FixedBitrate, Mpc, RateBased, SimConfig};
+use cs2p_core::{NoisyOracle, ThroughputPredictor};
+use cs2p_testkit::{invariants, scenarios};
+
+fn trace() -> Vec<f64> {
+    scenarios::adequate_trace(50, 4.0, 17)
+}
+
+#[test]
+fn fixed_bitrate_playback_is_deterministic() {
+    let trace = trace();
+    invariants::assert_simulator_deterministic(|| {
+        let mut oracle = NoisyOracle::new(trace.clone(), 0.15, 3);
+        let mut abr = FixedBitrate::new(2);
+        simulate(&trace, 6.0, &mut oracle, &mut abr, &SimConfig::default())
+    });
+}
+
+#[test]
+fn rate_based_playback_is_deterministic() {
+    let trace = trace();
+    invariants::assert_simulator_deterministic(|| {
+        let mut oracle = NoisyOracle::new(trace.clone(), 0.15, 3);
+        let mut abr = RateBased::default();
+        simulate(&trace, 6.0, &mut oracle, &mut abr, &SimConfig::default())
+    });
+}
+
+#[test]
+fn buffer_based_playback_is_deterministic() {
+    let trace = trace();
+    invariants::assert_simulator_deterministic(|| {
+        let mut oracle = NoisyOracle::new(trace.clone(), 0.15, 3);
+        let mut abr = BufferBased::default();
+        simulate(&trace, 6.0, &mut oracle, &mut abr, &SimConfig::default())
+    });
+}
+
+#[test]
+fn mpc_playback_is_deterministic() {
+    let trace = trace();
+    invariants::assert_simulator_deterministic(|| {
+        let mut oracle = NoisyOracle::new(trace.clone(), 0.15, 3);
+        let mut abr = Mpc::default();
+        simulate(&trace, 6.0, &mut oracle, &mut abr, &SimConfig::default())
+    });
+}
+
+/// Same property with a trained CS2P predictor in the loop — covers the
+/// whole predict → observe → adapt cycle, not just the oracle path.
+#[test]
+fn mpc_with_trained_predictor_is_deterministic() {
+    let trace = trace();
+    let engine = scenarios::tiny_engine();
+    let features = cs2p_core::FeatureVector(vec![1]);
+    invariants::assert_simulator_deterministic(|| {
+        let mut p = engine.predictor(&features);
+        p.reset();
+        let mut abr = Mpc::default();
+        simulate(&trace, 6.0, &mut p, &mut abr, &SimConfig::default())
+    });
+}

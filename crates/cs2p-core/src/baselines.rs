@@ -354,8 +354,7 @@ impl MlBaseline {
                 }
                 let mut row = enc.clone();
                 row.push(s.throughput[t - 1]);
-                let hm = stats::harmonic_mean(&s.throughput[..t])
-                    .unwrap_or(s.throughput[t - 1]);
+                let hm = stats::harmonic_mean(&s.throughput[..t]).unwrap_or(s.throughput[t - 1]);
                 row.push(hm);
                 xm.push(row);
                 ym.push(s.throughput[t]);

@@ -283,7 +283,8 @@ impl<'a> ClusterFinder<'a> {
                 let better_fallback = match &qualifying_without_est {
                     None => true,
                     Some((cur, cur_n)) => {
-                        set.len() > cur.set.len() || (set.len() == cur.set.len() && members.len() > *cur_n)
+                        set.len() > cur.set.len()
+                            || (set.len() == cur.set.len() && members.len() > *cur_n)
                     }
                 };
                 if better_fallback {

@@ -144,13 +144,8 @@ impl PredictionEngine {
 
         // The global model doubles as the fallback and the GHM baseline.
         let all_indices: Vec<usize> = (0..dataset.len()).collect();
-        let global = Self::train_cluster_model(
-            dataset,
-            ClusterSpec::GLOBAL,
-            vec![],
-            &all_indices,
-            config,
-        )?;
+        let global =
+            Self::train_cluster_model(dataset, ClusterSpec::GLOBAL, vec![], &all_indices, config)?;
 
         // One search per distinct full-feature combination, in a
         // deterministic order.
@@ -170,11 +165,10 @@ impl PredictionEngine {
         // independent, so combos are dealt round-robin to workers and
         // results reassembled in combo order — bitwise identical to the
         // sequential run.
-        let searches: Vec<crate::cluster::SpecSearch> = run_parallel(
-            config.n_threads,
-            combo_list.len(),
-            |i| finder.find_best_spec(&combo_list[i], reference_time),
-        );
+        let searches: Vec<crate::cluster::SpecSearch> =
+            run_parallel(config.n_threads, combo_list.len(), |i| {
+                finder.find_best_spec(&combo_list[i], reference_time)
+            });
 
         // Phase 2 (sequential): deduplicate (spec, key) clusters.
         let mut combos: Vec<(FeatureVector, Option<usize>)> = Vec::new();
@@ -204,14 +198,11 @@ impl PredictionEngine {
         }
 
         // Phase 3 (parallel): Baum–Welch per distinct cluster.
-        let trained: Vec<Option<ClusterModel>> = run_parallel(
-            config.n_threads,
-            cluster_jobs.len(),
-            |i| {
+        let trained: Vec<Option<ClusterModel>> =
+            run_parallel(config.n_threads, cluster_jobs.len(), |i| {
                 let (spec, key, members) = &cluster_jobs[i];
                 Self::train_cluster_model(dataset, *spec, key.clone(), members, config)
-            },
-        );
+            });
 
         // Phase 4 (sequential): compact failed trainings out of the model
         // list, remapping combo -> model ids.
@@ -416,7 +407,9 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let workers = if n_threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         n_threads
     }

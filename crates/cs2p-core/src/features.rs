@@ -208,7 +208,7 @@ mod tests {
         let s = FeatureSchema::new(vec!["a", "b", "c"]);
         let subsets = s.all_nonempty_subsets();
         assert_eq!(subsets.len(), 7); // 2^3 - 1
-        // Sorted by popcount: singletons first, full set last.
+                                      // Sorted by popcount: singletons first, full set last.
         assert_eq!(subsets[0].len(), 1);
         assert_eq!(subsets.last().unwrap().len(), 3);
         assert_eq!(*subsets.last().unwrap(), s.full_set());

@@ -1,0 +1,51 @@
+//! Cross-cutting invariants of the prediction engine, checked through
+//! `cs2p-testkit`: thread-count independence of training, model-bundle
+//! round-trips, and golden-fixture regression of serialized models and
+//! prediction traces.
+
+use cs2p_core::engine::PredictionEngine;
+use cs2p_core::model_io::ModelBundle;
+use cs2p_testkit::{golden, invariants, scenarios, TrainedScenario};
+
+/// Training must produce bit-identical models for `n_threads` in
+/// {1, 2, 8} and for `train_sequential`, on both a hand-built dataset
+/// and a generated synthetic-world dataset (the parallel spec search and
+/// Baum-Welch phases must not let scheduling order leak into results).
+#[test]
+fn training_is_thread_count_independent() {
+    let d = scenarios::two_regime_dataset(60, 21);
+    let config = scenarios::two_regime_config();
+    invariants::assert_thread_count_independence(&d, &config, &[1, 2, 8]);
+}
+
+#[test]
+fn training_is_thread_count_independent_on_synthetic_world() {
+    let sc = TrainedScenario::small();
+    invariants::assert_thread_count_independence(&sc.train, &sc.config, &[1, 2, 8]);
+}
+
+#[test]
+fn bundle_roundtrip_reproduces_predictions_exactly() {
+    let sc = TrainedScenario::small();
+    invariants::assert_bundle_roundtrip(&sc.engine, &sc.test, 20, 5);
+}
+
+/// Golden regression: the serialized model trained on the canonical
+/// two-regime dataset. Catches any unintended change to training
+/// numerics, model structure, or the serialization schema.
+#[test]
+fn golden_model_bundle_two_regime() {
+    let d = scenarios::two_regime_dataset(30, 7);
+    let (engine, _) = PredictionEngine::train(&d, &scenarios::two_regime_config()).unwrap();
+    let json = ModelBundle::from_engine(&engine).to_json().unwrap();
+    golden::check_golden("model_bundle_two_regime", &json);
+}
+
+/// Golden regression: per-session prediction traces (Algorithm 1 output)
+/// on held-out sessions of the small synthetic-world scenario.
+#[test]
+fn golden_prediction_traces_small_world() {
+    let sc = TrainedScenario::small();
+    let traces: Vec<Vec<(Option<f64>, f64)>> = (0..3).map(|i| sc.prediction_trace(i)).collect();
+    golden::check_golden_value("prediction_traces_small_world", &traces);
+}

@@ -9,9 +9,9 @@ use proptest::prelude::*;
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     prop::collection::vec(
         (
-            0u32..4,              // feature a
-            0u32..3,              // feature b
-            0u64..100_000,        // start time
+            0u32..4,       // feature a
+            0u32..3,       // feature b
+            0u64..100_000, // start time
             prop::collection::vec(0.05f64..30.0, 1..20),
         ),
         1..60,
@@ -21,9 +21,7 @@ fn arb_dataset() -> impl Strategy<Value = Dataset> {
         let sessions = rows
             .into_iter()
             .enumerate()
-            .map(|(i, (a, b, t, tp))| {
-                Session::new(i as u64, FeatureVector(vec![a, b]), t, 6, tp)
-            })
+            .map(|(i, (a, b, t, tp))| Session::new(i as u64, FeatureVector(vec![a, b]), t, 6, tp))
             .collect();
         Dataset::new(schema, sessions)
     })

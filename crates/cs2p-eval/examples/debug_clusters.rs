@@ -1,10 +1,10 @@
 //! Diagnostic: where does CS2P's midstream error come from?
 
+use cs2p_core::ThroughputPredictor;
 use cs2p_eval::experiments::prediction::AR_ORDER;
 use cs2p_eval::runner::{midstream_errors, per_session_medians};
 use cs2p_eval::{EvalConfig, Materials};
 use cs2p_ml::stats;
-use cs2p_core::ThroughputPredictor;
 
 fn main() {
     let m = Materials::prepare(EvalConfig::small());
@@ -153,7 +153,10 @@ fn main() {
             filter: hmm.filter(),
         })
     }));
-    println!("oracle-HMM median {:.4}", stats::median(&oracle_errs).unwrap());
+    println!(
+        "oracle-HMM median {:.4}",
+        stats::median(&oracle_errs).unwrap()
+    );
     let _ = AR_ORDER;
 
     // Constrained sessions (median < 6 Mbps): signed bias of CS2P

@@ -10,8 +10,8 @@ use cs2p_eval::{EvalConfig, Materials};
 use std::process::ExitCode;
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "fig2", "fig3", "table2", "obs1", "fig4", "fig5", "fig6", "fig8", "fig9a",
-    "fig9b", "fig9c", "fcc", "qoe-mid", "qoe-init", "sens", "pilot",
+    "table1", "fig2", "fig3", "table2", "obs1", "fig4", "fig5", "fig6", "fig8", "fig9a", "fig9b",
+    "fig9c", "fcc", "qoe-mid", "qoe-init", "sens", "pilot",
 ];
 
 fn usage() -> ExitCode {
@@ -27,24 +27,26 @@ fn main() -> ExitCode {
     };
 
     let mut config = EvalConfig::default();
+    // `--small` carries its own pinned seed; an explicit `--seed` must win
+    // regardless of flag order, so it is applied after the loop.
+    let mut explicit_seed = None;
     let mut iter = args.iter().skip(1);
     while let Some(flag) = iter.next() {
         match flag.as_str() {
-            "--small" => {
-                let seed = config.seed;
-                config = EvalConfig::small();
-                config.seed = seed;
-            }
+            "--small" => config = EvalConfig::small(),
             "--sessions" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.n_sessions = n,
                 None => return usage(),
             },
             "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(s) => config.seed = s,
+                Some(s) => explicit_seed = Some(s),
                 None => return usage(),
             },
             _ => return usage(),
         }
+    }
+    if let Some(seed) = explicit_seed {
+        config.seed = seed;
     }
 
     let ids: Vec<&str> = if which == "all" {

@@ -58,9 +58,20 @@ pub struct Obs1Report {
 impl fmt::Display for Obs1Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Observation 1 — intra-session throughput variability")?;
-        writeln!(f, "  sessions with CoV >= 30%: {:.1}%", self.cov_ge_30 * 100.0)?;
-        writeln!(f, "  sessions with CoV >= 50%: {:.1}%", self.cov_ge_50 * 100.0)?;
-        writeln!(f, "  simple-predictor midstream error (median / p75 of per-session medians):")?;
+        writeln!(
+            f,
+            "  sessions with CoV >= 30%: {:.1}%",
+            self.cov_ge_30 * 100.0
+        )?;
+        writeln!(
+            f,
+            "  sessions with CoV >= 50%: {:.1}%",
+            self.cov_ge_50 * 100.0
+        )?;
+        writeln!(
+            f,
+            "  simple-predictor midstream error (median / p75 of per-session medians):"
+        )?;
         for (name, med, p75) in &self.baseline_errors {
             writeln!(f, "    {name}: {med:.3} / {p75:.3}")?;
         }
@@ -85,11 +96,20 @@ pub fn obs1(materials: &Materials) -> Obs1Report {
             stats::percentile(&meds, 75.0).unwrap_or(f64::NAN),
         ));
     };
-    add("LS", midstream_errors(test, &indices, |_| Box::new(LastSample::new())));
-    add("HM", midstream_errors(test, &indices, |_| Box::new(HarmonicMean::new())));
-    add("AR", midstream_errors(test, &indices, |_| {
-        Box::new(AutoRegressive::new(super::prediction::AR_ORDER))
-    }));
+    add(
+        "LS",
+        midstream_errors(test, &indices, |_| Box::new(LastSample::new())),
+    );
+    add(
+        "HM",
+        midstream_errors(test, &indices, |_| Box::new(HarmonicMean::new())),
+    );
+    add(
+        "AR",
+        midstream_errors(test, &indices, |_| {
+            Box::new(AutoRegressive::new(super::prediction::AR_ORDER))
+        }),
+    );
 
     Obs1Report {
         cov_ge_30,
@@ -128,14 +148,22 @@ impl Fig4Report {
 
 impl fmt::Display for Fig4Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 4a — example session trace ({} epochs)", self.example_trace.len())?;
+        writeln!(
+            f,
+            "Figure 4a — example session trace ({} epochs)",
+            self.example_trace.len()
+        )?;
         let show = self.example_trace.len().min(40);
         let cells: Vec<String> = self.example_trace[..show]
             .iter()
             .map(|w| format!("{w:.2}"))
             .collect();
         writeln!(f, "  [{} ...] Mbps", cells.join(", "))?;
-        writeln!(f, "  lag-1 autocorrelation: {:.3}", self.example_lag1_autocorr)?;
+        writeln!(
+            f,
+            "  lag-1 autocorrelation: {:.3}",
+            self.example_lag1_autocorr
+        )?;
         writeln!(
             f,
             "  Viterbi segmentation: {} episodes, mean length {:.1} epochs",
@@ -144,12 +172,20 @@ impl fmt::Display for Fig4Report {
         )?;
         for &(state, start, len) in self.episodes.iter().take(12) {
             let (mu, _) = self.model_states[state];
-            writeln!(f, "    epochs {start:>4}..{:<4} state {state} (~{mu:.2} Mbps)", start + len)?;
+            writeln!(
+                f,
+                "    epochs {start:>4}..{:<4} state {state} (~{mu:.2} Mbps)",
+                start + len
+            )?;
         }
         if self.episodes.len() > 12 {
             writeln!(f, "    ... {} more episodes", self.episodes.len() - 12)?;
         }
-        writeln!(f, "Figure 4b — consecutive-epoch pairs for one /16 prefix: {} points", self.scatter.len())?;
+        writeln!(
+            f,
+            "Figure 4b — consecutive-epoch pairs for one /16 prefix: {} points",
+            self.scatter.len()
+        )?;
         Ok(())
     }
 }
@@ -246,10 +282,7 @@ pub fn fig5(materials: &Materials) -> Fig5Report {
         .into_iter()
         .take(3)
         .filter_map(|(key, sample)| {
-            NamedCdf::new(
-                &format!("isp{}-c{}-s{}", key.0, key.1, key.2),
-                sample,
-            )
+            NamedCdf::new(&format!("isp{}-c{}-s{}", key.0, key.1, key.2), sample)
         })
         .collect();
     Fig5Report { cdfs }
@@ -284,7 +317,10 @@ impl fmt::Display for Fig6Report {
             self.triple.0, self.triple.1, self.triple.2
         )?;
         for (label, spread, n) in &self.spreads {
-            writeln!(f, "  {label:<10} stddev = {spread:.3} Mbps over {n} sessions")?;
+            writeln!(
+                f,
+                "  {label:<10} stddev = {spread:.3} Mbps over {n} sessions"
+            )?;
         }
         Ok(())
     }

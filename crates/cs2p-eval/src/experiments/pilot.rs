@@ -3,7 +3,9 @@
 //! forecast.
 
 use crate::context::Materials;
-use cs2p_abr::{predict_total_rebuffer, simulate_fixed_rebuffer, Mpc, QoeParams, SimConfig, VideoSpec};
+use cs2p_abr::{
+    predict_total_rebuffer, simulate_fixed_rebuffer, Mpc, QoeParams, SimConfig, VideoSpec,
+};
 use cs2p_core::baselines::HarmonicMean;
 use cs2p_ml::stats;
 use cs2p_net::dash::{outcome_to_log, DashPlayer, Manifest, PlayerConfig};
@@ -39,16 +41,41 @@ impl PilotReport {
 
 impl fmt::Display for PilotReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "§7.5 pilot — real player/server loop over localhost ({} sessions each)", self.n_sessions)?;
-        writeln!(f, "  mean QoE:        CS2P+MPC {:.0} vs HM+MPC {:.0} ({:+.1}%)",
-            self.qoe.0, self.qoe.1, self.qoe_improvement * 100.0)?;
-        writeln!(f, "  mean avg bitrate: CS2P+MPC {:.0} vs HM+MPC {:.0} kbps ({:+.1}%)",
-            self.avg_bitrate.0, self.avg_bitrate.1, self.bitrate_improvement * 100.0)?;
-        writeln!(f, "  mean good ratio:  CS2P+MPC {:.3} vs HM+MPC {:.3}",
-            self.good_ratio.0, self.good_ratio.1)?;
-        writeln!(f, "  rebuffer forecast/actual correlation: {:.3} over {} sessions",
-            self.rebuffer_correlation(), self.rebuffer_pairs.len())?;
-        writeln!(f, "  predictions served over HTTP: {}", self.predictions_served)?;
+        writeln!(
+            f,
+            "§7.5 pilot — real player/server loop over localhost ({} sessions each)",
+            self.n_sessions
+        )?;
+        writeln!(
+            f,
+            "  mean QoE:        CS2P+MPC {:.0} vs HM+MPC {:.0} ({:+.1}%)",
+            self.qoe.0,
+            self.qoe.1,
+            self.qoe_improvement * 100.0
+        )?;
+        writeln!(
+            f,
+            "  mean avg bitrate: CS2P+MPC {:.0} vs HM+MPC {:.0} kbps ({:+.1}%)",
+            self.avg_bitrate.0,
+            self.avg_bitrate.1,
+            self.bitrate_improvement * 100.0
+        )?;
+        writeln!(
+            f,
+            "  mean good ratio:  CS2P+MPC {:.3} vs HM+MPC {:.3}",
+            self.good_ratio.0, self.good_ratio.1
+        )?;
+        writeln!(
+            f,
+            "  rebuffer forecast/actual correlation: {:.3} over {} sessions",
+            self.rebuffer_correlation(),
+            self.rebuffer_pairs.len()
+        )?;
+        writeln!(
+            f,
+            "  predictions served over HTTP: {}",
+            self.predictions_served
+        )?;
         Ok(())
     }
 }
@@ -99,7 +126,12 @@ pub fn pilot(materials: &Materials, max_sessions: usize) -> PilotReport {
             ..Default::default()
         };
         let outcome = cs2p_abr::simulate(trace, 6.0, &mut hm, &mut mpc, &cfg);
-        hm_logs.push(outcome_to_log(&outcome, &qoe_params, 20_000 + k as u64, "HM+MPC"));
+        hm_logs.push(outcome_to_log(
+            &outcome,
+            &qoe_params,
+            20_000 + k as u64,
+            "HM+MPC",
+        ));
 
         // Rebuffer forecast at session start: the cluster model's HMM,
         // played at the rung the initial prediction calls sustainable
@@ -120,10 +152,7 @@ pub fn pilot(materials: &Materials, max_sessions: usize) -> PilotReport {
         let v: Vec<f64> = logs.iter().map(f).collect();
         stats::mean(&v).unwrap_or(f64::NAN)
     };
-    let qoe = (
-        mean(&cs2p_logs, &|l| l.qoe),
-        mean(&hm_logs, &|l| l.qoe),
-    );
+    let qoe = (mean(&cs2p_logs, &|l| l.qoe), mean(&hm_logs, &|l| l.qoe));
     let avg_bitrate = (
         mean(&cs2p_logs, &|l| l.avg_bitrate_kbps),
         mean(&hm_logs, &|l| l.avg_bitrate_kbps),
@@ -183,7 +212,11 @@ mod tests {
     fn pilot_runs_end_to_end_and_cs2p_wins() {
         let r = pilot(materials(), 24);
         assert_eq!(r.n_sessions, 24);
-        assert!(r.predictions_served > 100, "served {}", r.predictions_served);
+        assert!(
+            r.predictions_served > 100,
+            "served {}",
+            r.predictions_served
+        );
         assert!(
             r.qoe_improvement > 0.0,
             "CS2P+MPC QoE {} vs HM+MPC {}",

@@ -52,7 +52,9 @@ pub fn fig8(materials: &Materials) -> Fig8Report {
             }
         })
         .collect();
-    let transitions: Vec<Vec<f64>> = (0..n).map(|i| model.hmm.transition.row(i).to_vec()).collect();
+    let transitions: Vec<Vec<f64>> = (0..n)
+        .map(|i| model.hmm.transition.row(i).to_vec())
+        .collect();
     Fig8Report {
         cluster: format!(
             "{} key={:?}",
@@ -68,7 +70,11 @@ pub fn fig8(materials: &Materials) -> Fig8Report {
 impl fmt::Display for Fig8Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Figure 8 — example cluster HMM")?;
-        writeln!(f, "cluster: {} ({} sessions)", self.cluster, self.n_sessions)?;
+        writeln!(
+            f,
+            "cluster: {} ({} sessions)",
+            self.cluster, self.n_sessions
+        )?;
         for (i, (mu, sigma)) in self.states.iter().enumerate() {
             writeln!(f, "  state {i}: N({mu:.2}, {sigma:.2}^2) Mbps")?;
         }
@@ -96,7 +102,10 @@ pub struct ErrorCdfReport {
 impl ErrorCdfReport {
     /// Median error of a named series.
     pub fn median_of(&self, name: &str) -> Option<f64> {
-        self.cdfs.iter().find(|c| c.name == name).map(NamedCdf::median)
+        self.cdfs
+            .iter()
+            .find(|c| c.name == name)
+            .map(NamedCdf::median)
     }
 
     /// Relative reduction of CS2P's median error vs the best baseline.
@@ -124,7 +133,11 @@ impl fmt::Display for ErrorCdfReport {
             writeln!(f, "  median[{}] = {:.4}", c.name, c.median())?;
         }
         if let Some(imp) = self.cs2p_median_improvement() {
-            writeln!(f, "  CS2P median improvement over best baseline: {:.1}%", imp * 100.0)?;
+            writeln!(
+                f,
+                "  CS2P median improvement over best baseline: {:.1}%",
+                imp * 100.0
+            )?;
         }
         Ok(())
     }
@@ -142,33 +155,51 @@ pub fn fig9a(materials: &Materials) -> ErrorCdfReport {
         .schema()
         .index_of("ClientIPPrefix")
         .expect("iQiyi schema");
-    let server_col = materials.train.schema().index_of("Server").expect("iQiyi schema");
+    let server_col = materials
+        .train
+        .schema()
+        .index_of("Server")
+        .expect("iQiyi schema");
     let lm_client_table = lm_table(&materials.train, prefix_col);
     let lm_server_table = lm_table(&materials.train, server_col);
 
     let mut cdfs = Vec::new();
     let engine = &materials.engine;
-    push_cdf(&mut cdfs, "CS2P", &initial_errors(test, &indices, |s| {
-        Box::new(engine.predictor(&s.features))
-    }));
+    push_cdf(
+        &mut cdfs,
+        "CS2P",
+        &initial_errors(test, &indices, |s| Box::new(engine.predictor(&s.features))),
+    );
     if let Some(gbr) = &materials.gbr {
-        push_cdf(&mut cdfs, "GBR", &initial_errors(test, &indices, |s| {
-            Box::new(gbr.session(&s.features))
-        }));
+        push_cdf(
+            &mut cdfs,
+            "GBR",
+            &initial_errors(test, &indices, |s| Box::new(gbr.session(&s.features))),
+        );
     }
     if let Some(svr) = &materials.svr {
-        push_cdf(&mut cdfs, "SVR", &initial_errors(test, &indices, |s| {
-            Box::new(svr.session(&s.features))
-        }));
+        push_cdf(
+            &mut cdfs,
+            "SVR",
+            &initial_errors(test, &indices, |s| Box::new(svr.session(&s.features))),
+        );
     }
-    push_cdf(&mut cdfs, "LM-client", &initial_errors(test, &indices, |s| {
-        let v = lm_client_table.get(&s.features.get(prefix_col)).copied();
-        Box::new(LastMile::from_value("LM-client", v))
-    }));
-    push_cdf(&mut cdfs, "LM-server", &initial_errors(test, &indices, |s| {
-        let v = lm_server_table.get(&s.features.get(server_col)).copied();
-        Box::new(LastMile::from_value("LM-server", v))
-    }));
+    push_cdf(
+        &mut cdfs,
+        "LM-client",
+        &initial_errors(test, &indices, |s| {
+            let v = lm_client_table.get(&s.features.get(prefix_col)).copied();
+            Box::new(LastMile::from_value("LM-client", v))
+        }),
+    );
+    push_cdf(
+        &mut cdfs,
+        "LM-server",
+        &initial_errors(test, &indices, |s| {
+            let v = lm_server_table.get(&s.features.get(server_col)).copied();
+            Box::new(LastMile::from_value("LM-server", v))
+        }),
+    );
 
     ErrorCdfReport {
         title: "Figure 9a — initial-epoch prediction error CDF".into(),
@@ -188,26 +219,37 @@ pub fn fig9b(materials: &Materials) -> ErrorCdfReport {
         push_cdf(&mut cdfs, name, &per_session_medians(&per_session));
     };
 
-    add("CS2P", midstream_errors(test, &indices, |s| {
-        Box::new(engine.predictor(&s.features))
-    }));
-    add("GHM", midstream_errors(test, &indices, |_| {
-        Box::new(engine.global_predictor())
-    }));
-    add("LS", midstream_errors(test, &indices, |_| Box::new(LastSample::new())));
-    add("HM", midstream_errors(test, &indices, |_| Box::new(HarmonicMean::new())));
-    add("AR", midstream_errors(test, &indices, |_| {
-        Box::new(AutoRegressive::new(AR_ORDER))
-    }));
+    add(
+        "CS2P",
+        midstream_errors(test, &indices, |s| Box::new(engine.predictor(&s.features))),
+    );
+    add(
+        "GHM",
+        midstream_errors(test, &indices, |_| Box::new(engine.global_predictor())),
+    );
+    add(
+        "LS",
+        midstream_errors(test, &indices, |_| Box::new(LastSample::new())),
+    );
+    add(
+        "HM",
+        midstream_errors(test, &indices, |_| Box::new(HarmonicMean::new())),
+    );
+    add(
+        "AR",
+        midstream_errors(test, &indices, |_| Box::new(AutoRegressive::new(AR_ORDER))),
+    );
     if let Some(gbr) = &materials.gbr {
-        add("GBR", midstream_errors(test, &indices, |s| {
-            Box::new(gbr.session(&s.features))
-        }));
+        add(
+            "GBR",
+            midstream_errors(test, &indices, |s| Box::new(gbr.session(&s.features))),
+        );
     }
     if let Some(svr) = &materials.svr {
-        add("SVR", midstream_errors(test, &indices, |s| {
-            Box::new(svr.session(&s.features))
-        }));
+        add(
+            "SVR",
+            midstream_errors(test, &indices, |s| Box::new(svr.session(&s.features))),
+        );
     }
 
     ErrorCdfReport {
@@ -240,7 +282,10 @@ impl Fig9cReport {
 
 impl fmt::Display for Fig9cReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 9c — median prediction error vs look-ahead horizon")?;
+        writeln!(
+            f,
+            "Figure 9c — median prediction error vs look-ahead horizon"
+        )?;
         write!(f, "{:>8}", "horizon")?;
         for (name, _) in &self.series {
             write!(f, " | {:>8}", &name[..name.len().min(8)])?;
@@ -288,7 +333,9 @@ pub fn fig9c(materials: &Materials, max_horizon: usize) -> Fig9cReport {
     if let Some(gbr) = &materials.gbr {
         series.push((
             "GBR".into(),
-            horizon_medians(test, &indices, &horizons, |s| Box::new(gbr.session(&s.features))),
+            horizon_medians(test, &indices, &horizons, |s| {
+                Box::new(gbr.session(&s.features))
+            }),
         ));
     }
 
@@ -337,8 +384,16 @@ pub struct FccReport {
 impl fmt::Display for FccReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "§7.2 FCC — initial-epoch error with richer features")?;
-        writeln!(f, "  FCC-like dataset median error:   {:.4}", self.fcc_median_error)?;
-        writeln!(f, "  iQiyi-like dataset median error: {:.4}", self.iqiyi_median_error)?;
+        writeln!(
+            f,
+            "  FCC-like dataset median error:   {:.4}",
+            self.fcc_median_error
+        )?;
+        writeln!(
+            f,
+            "  iQiyi-like dataset median error: {:.4}",
+            self.iqiyi_median_error
+        )?;
         Ok(())
     }
 }

@@ -3,8 +3,8 @@
 use crate::context::Materials;
 use crate::runner::{render_cdf_table, NamedCdf, REPORT_QUANTILES};
 use cs2p_abr::{
-    normalized_qoe, offline_optimal_qoe, simulate, BufferBased, Mpc, OptimalConfig,
-    QoeParams, SessionOutcome, SimConfig, VideoSpec,
+    normalized_qoe, offline_optimal_qoe, simulate, BufferBased, Mpc, OptimalConfig, QoeParams,
+    SessionOutcome, SimConfig, VideoSpec,
 };
 use cs2p_core::baselines::{AutoRegressive, HarmonicMean, LastSample};
 use cs2p_core::{NoisyOracle, Session, ThroughputPredictor};
@@ -25,12 +25,7 @@ fn sim_config() -> SimConfig {
 }
 
 fn optimal_for(trace: &[f64], video: &VideoSpec, qoe: QoeParams) -> f64 {
-    offline_optimal_qoe(
-        trace,
-        6.0,
-        video,
-        &OptimalConfig { quantum: 1.0, qoe },
-    )
+    offline_optimal_qoe(trace, 6.0, video, &OptimalConfig { quantum: 1.0, qoe })
 }
 
 // ---------------------------------------------------------------------------
@@ -64,7 +59,11 @@ pub struct Table1Report {
 
 impl fmt::Display for Table1Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 1 — initial bitrate selection strategies ({} sessions)", self.n_sessions)?;
+        writeln!(
+            f,
+            "Table 1 — initial bitrate selection strategies ({} sessions)",
+            self.n_sessions
+        )?;
         writeln!(
             f,
             "{:<22} | {:>10} | {:>8} | {:>10} | {:>8} | {:>8}",
@@ -104,9 +103,7 @@ pub fn table1(materials: &Materials, max_sessions: usize) -> Table1Report {
         let session = test.get(i);
         let trace = &session.throughput;
         // The level a clairvoyant would call sustainable on this trace.
-        let sustainable = video.highest_sustainable(
-            stats::median(trace).unwrap_or(0.0),
-        );
+        let sustainable = video.highest_sustainable(stats::median(trace).unwrap_or(0.0));
 
         // Fixed lowest bitrate.
         let mut fixed = cs2p_abr::FixedBitrate::lowest();
@@ -205,7 +202,11 @@ pub struct Fig2Report {
 
 impl fmt::Display for Fig2Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 2 — midstream n-QoE vs prediction error ({} traces)", self.n_traces)?;
+        writeln!(
+            f,
+            "Figure 2 — midstream n-QoE vs prediction error ({} traces)",
+            self.n_traces
+        )?;
         writeln!(f, "{:>8} | {:>10}", "error", "MPC n-QoE")?;
         for (e, q) in self.error_levels.iter().zip(&self.mpc_nqoe) {
             writeln!(f, "{e:>8.2} | {q:>10.3}")?;
@@ -301,7 +302,10 @@ pub struct QoeMidReport {
 impl QoeMidReport {
     /// Median n-QoE of a named strategy.
     pub fn median_nqoe(&self, name: &str) -> Option<f64> {
-        self.cdfs.iter().find(|c| c.name == name).map(NamedCdf::median)
+        self.cdfs
+            .iter()
+            .find(|c| c.name == name)
+            .map(NamedCdf::median)
     }
 
     /// Mean AvgBitrate of a named strategy.
@@ -315,7 +319,11 @@ impl QoeMidReport {
 
 impl fmt::Display for QoeMidReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "§7.3 — n-QoE by predictor (+MPC), {} traces", self.n_traces)?;
+        writeln!(
+            f,
+            "§7.3 — n-QoE by predictor (+MPC), {} traces",
+            self.n_traces
+        )?;
         write!(f, "{}", render_cdf_table(&self.cdfs, &REPORT_QUANTILES))?;
         writeln!(f, "strategy      | med n-QoE | avg kbps | good ratio")?;
         for c in &self.cdfs {
@@ -422,8 +430,16 @@ pub fn qoe_mid<'a>(materials: &'a Materials, max_traces: usize) -> QoeMidReport 
         &mut |s| Box::new(engine.predictor(&s.features)),
         Controller::RobustMpc,
     );
-    run("GHM", &mut |_| Box::new(engine.global_predictor()), Controller::Mpc);
-    run("HM", &mut |_| Box::new(HarmonicMean::new()), Controller::Mpc);
+    run(
+        "GHM",
+        &mut |_| Box::new(engine.global_predictor()),
+        Controller::Mpc,
+    );
+    run(
+        "HM",
+        &mut |_| Box::new(HarmonicMean::new()),
+        Controller::Mpc,
+    );
     run("LS", &mut |_| Box::new(LastSample::new()), Controller::Mpc);
     run(
         "AR",
@@ -498,7 +514,11 @@ impl QoeInitReport {
 
 impl fmt::Display for QoeInitReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "§7.3 — initial-chunk selection quality ({} sessions)", self.n_sessions)?;
+        writeln!(
+            f,
+            "§7.3 — initial-chunk selection quality ({} sessions)",
+            self.n_sessions
+        )?;
         writeln!(
             f,
             "{:<14} | {:>10} | {:>9} | {:>12} | {:>12}",
@@ -629,7 +649,11 @@ mod tests {
             r.mpc_nqoe[0],
             r.mpc_nqoe[2]
         );
-        assert!(r.mpc_nqoe[0] > 0.8, "perfect-prediction n-QoE {}", r.mpc_nqoe[0]);
+        assert!(
+            r.mpc_nqoe[0] > 0.8,
+            "perfect-prediction n-QoE {}",
+            r.mpc_nqoe[0]
+        );
         assert!(
             r.mpc_nqoe[0] > r.bb_nqoe,
             "MPC@0 {} !> BB {}",
@@ -657,10 +681,7 @@ mod tests {
         let robust = r.median_nqoe("CS2P+R").unwrap();
         for name in ["CS2P", "LS", "HM", "BB", "GHM", "AR"] {
             let other = r.median_nqoe(name).unwrap();
-            assert!(
-                robust >= other - 0.02,
-                "CS2P+R {robust} !>= {name} {other}"
-            );
+            assert!(robust >= other - 0.02, "CS2P+R {robust} !>= {name} {other}");
         }
     }
 
@@ -684,7 +705,11 @@ mod tests {
             cs2p.sustainable_fraction,
             top.sustainable_fraction
         );
-        assert!(cs2p.sustainable_fraction > 0.6, "{}", cs2p.sustainable_fraction);
+        assert!(
+            cs2p.sustainable_fraction > 0.6,
+            "{}",
+            cs2p.sustainable_fraction
+        );
         // And close to the clairvoyant-sustainable rung on average.
         assert!(cs2p.bitrate_vs_best > 0.6, "{}", cs2p.bitrate_vs_best);
     }

@@ -147,10 +147,8 @@ mod tests {
     #[test]
     fn grid_search_picks_minimum() {
         // Score = |candidate - 5| regardless of fold.
-        let result = grid_search(&[1, 5, 9], 20, 4, |&c, _, _| {
-            Some((c as f64 - 5.0).abs())
-        })
-        .unwrap();
+        let result =
+            grid_search(&[1, 5, 9], 20, 4, |&c, _, _| Some((c as f64 - 5.0).abs())).unwrap();
         assert_eq!(result.scores[result.best].0, 5);
     }
 

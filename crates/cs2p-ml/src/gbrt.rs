@@ -97,9 +97,7 @@ impl Gbrt {
 
     /// Predicts the target for one feature row.
     pub fn predict(&self, row: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
     }
 
     /// Predictions after each boosting stage (for learning-curve tests).

@@ -101,8 +101,8 @@ pub fn train(sequences: &[Vec<f64>], config: &TrainConfig) -> Option<(Hmm, Train
         let mut pi_acc = vec![0.0; n];
         let mut xi_acc = Matrix::zeros(n, n); // sum_t xi_t(i, j)
         let mut gamma_trans_acc = vec![0.0; n]; // sum_{t<T} gamma_t(i)
-        // Weighted-emission accumulators: for each state, (sum w*g, sum g,
-        // sum w^2*g) over all observations.
+                                                // Weighted-emission accumulators: for each state, (sum w*g, sum g,
+                                                // sum w^2*g) over all observations.
         let mut em_w = vec![0.0; n];
         let mut em_wx = vec![0.0; n];
         let mut em_wxx = vec![0.0; n];

@@ -33,7 +33,7 @@ impl<'a> HmmFilter<'a> {
         HmmFilter {
             posterior: hmm.initial.clone(),
             epoch: 0,
-        hmm,
+            hmm,
         }
     }
 
@@ -263,7 +263,7 @@ mod tests {
     }
 
     #[test]
-    fn expected_next_is_convex_combination_of_means(){
+    fn expected_next_is_convex_combination_of_means() {
         let hmm = toy_hmm();
         let mut f = hmm.filter();
         f.observe(1.0);

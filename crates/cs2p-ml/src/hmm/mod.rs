@@ -210,11 +210,7 @@ impl Hmm {
         let mut pi = vec![1.0 / n as f64; n];
         for _ in 0..10_000 {
             let next = self.propagate(&pi);
-            let diff: f64 = next
-                .iter()
-                .zip(&pi)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let diff: f64 = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
             pi = next;
             if diff < 1e-12 {
                 return Some(pi);

@@ -130,7 +130,9 @@ mod tests {
     fn sequences(n: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
         let hmm = toy_hmm();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..n).map(|_| hmm.sample_sequence(len, &mut rng).1).collect()
+        (0..n)
+            .map(|_| hmm.sample_sequence(len, &mut rng).1)
+            .collect()
     }
 
     #[test]
@@ -147,7 +149,12 @@ mod tests {
         let report = select_state_count(&seqs, &cfg).unwrap();
         // The truth has 3 states; 1 state should clearly lose, and the
         // winner should be at least 3 (4/5 may tie by overfitting slightly).
-        assert!(report.best >= 3, "picked {} ({:?})", report.best, report.errors);
+        assert!(
+            report.best >= 3,
+            "picked {} ({:?})",
+            report.best,
+            report.errors
+        );
         let err_of = |n: usize| {
             report
                 .errors

@@ -89,7 +89,10 @@ impl Svr {
         assert!(config.c > 0.0 && config.epsilon >= 0.0);
         let n = x.len();
         let n_features = x[0].len();
-        assert!(x.iter().all(|r| r.len() == n_features), "ragged feature rows");
+        assert!(
+            x.iter().all(|r| r.len() == n_features),
+            "ragged feature rows"
+        );
 
         // Gram matrix with the +1 bias augmentation.
         let mut k = vec![0.0; n * n];

@@ -66,7 +66,10 @@ impl RegressionTree {
         assert!(!x.is_empty(), "cannot fit a tree to zero samples");
         assert_eq!(x.len(), y.len(), "x/y length mismatch");
         let n_features = x[0].len();
-        assert!(x.iter().all(|r| r.len() == n_features), "ragged feature rows");
+        assert!(
+            x.iter().all(|r| r.len() == n_features),
+            "ragged feature rows"
+        );
 
         let mut nodes = Vec::new();
         let indices: Vec<usize> = (0..x.len()).collect();
@@ -87,7 +90,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -132,7 +139,11 @@ fn build(
     let stop = depth >= config.max_depth
         || indices.len() < config.min_samples_split
         || indices.len() < 2 * config.min_samples_leaf;
-    let split = if stop { None } else { best_split(x, y, indices, config) };
+    let split = if stop {
+        None
+    } else {
+        best_split(x, y, indices, config)
+    };
 
     match split {
         None => {
@@ -140,9 +151,8 @@ fn build(
             nodes.len() - 1
         }
         Some((feature, threshold)) => {
-            let (li, ri): (Vec<usize>, Vec<usize>) = indices
-                .iter()
-                .partition(|&&i| x[i][feature] <= threshold);
+            let (li, ri): (Vec<usize>, Vec<usize>) =
+                indices.iter().partition(|&&i| x[i][feature] <= threshold);
             // Reserve our slot first so child ids are stable.
             let id = nodes.len();
             nodes.push(Node::Leaf { value: mean }); // placeholder
@@ -190,8 +200,7 @@ fn best_split(
             }
             let left_n = (k + 1) as f64;
             let right_n = n - left_n;
-            if (k + 1) < config.min_samples_leaf
-                || (order.len() - k - 1) < config.min_samples_leaf
+            if (k + 1) < config.min_samples_leaf || (order.len() - k - 1) < config.min_samples_leaf
             {
                 continue;
             }
@@ -219,7 +228,10 @@ mod tests {
     fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
         // y = 1 for x < 0.5, y = 5 for x >= 0.5.
         let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] < 0.5 { 1.0 } else { 5.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] < 0.5 { 1.0 } else { 5.0 })
+            .collect();
         (x, y)
     }
 

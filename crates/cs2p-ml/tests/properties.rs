@@ -14,10 +14,7 @@ fn throughputs() -> impl Strategy<Value = Vec<f64>> {
 /// Strategy: a small row-stochastic matrix plus matching emissions -> HMM.
 fn arb_hmm() -> impl Strategy<Value = Hmm> {
     (2usize..5).prop_flat_map(|n| {
-        let rows = prop::collection::vec(
-            prop::collection::vec(0.01f64..1.0, n),
-            n,
-        );
+        let rows = prop::collection::vec(prop::collection::vec(0.01f64..1.0, n), n);
         let init = prop::collection::vec(0.01f64..1.0, n);
         let mus = prop::collection::vec(0.1f64..20.0, n);
         let sigmas = prop::collection::vec(0.01f64..2.0, n);

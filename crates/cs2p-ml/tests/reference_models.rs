@@ -1,0 +1,84 @@
+//! Deterministic regression tests over the pre-trained reference HMM
+//! from `cs2p-testkit`: training is reproducible, the model is valid,
+//! and its parameters are pinned by a golden fixture.
+
+use cs2p_ml::hmm::{train, TrainConfig};
+use cs2p_testkit::{golden, scenarios};
+
+#[test]
+fn reference_hmm_training_is_reproducible() {
+    let (a, seqs_a) = scenarios::reference_hmm(3);
+    let (b, seqs_b) = scenarios::reference_hmm(3);
+    assert_eq!(seqs_a, seqs_b, "training sequences must be deterministic");
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap(),
+        "trained parameters must be deterministic"
+    );
+}
+
+#[test]
+fn reference_hmm_is_valid_and_separates_the_regimes() {
+    let (hmm, _) = scenarios::reference_hmm(3);
+    hmm.validate().expect("reference HMM validates");
+    let mut means: Vec<f64> = hmm.emissions.iter().map(|e| e.mean()).collect();
+    means.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    // The generator emits ≈2 and ≈8 Mbps regimes; a correctly trained
+    // 2-state model recovers one state near each.
+    assert!(
+        (means[0] - 2.0).abs() < 1.0,
+        "low state mean {} far from 2.0",
+        means[0]
+    );
+    assert!(
+        (means[1] - 8.0).abs() < 1.0,
+        "high state mean {} far from 8.0",
+        means[1]
+    );
+}
+
+#[test]
+fn reference_hmm_filter_tracks_the_active_regime() {
+    let (hmm, _) = scenarios::reference_hmm(3);
+    let mut filter = hmm.filter();
+    for _ in 0..6 {
+        filter.observe(8.0);
+    }
+    let pred_high = filter.predict_next();
+    for _ in 0..6 {
+        filter.observe(2.0);
+    }
+    let pred_low = filter.predict_next();
+    assert!(
+        pred_high > pred_low,
+        "filter must follow the regime: high {pred_high} vs low {pred_low}"
+    );
+}
+
+/// EM on the reference sequences must be monotone in likelihood — the
+/// report is part of the training contract, not just the final model.
+#[test]
+fn reference_training_report_is_monotone() {
+    let (_, seqs) = scenarios::reference_hmm(3);
+    let cfg = TrainConfig {
+        n_states: 2,
+        max_iters: 20,
+        ..Default::default()
+    };
+    let (_, report) = train(&seqs, &cfg).expect("training succeeds");
+    for w in report.log_likelihoods.windows(2) {
+        assert!(
+            w[1] >= w[0] - 1e-6 * w[0].abs().max(1.0),
+            "EM decreased likelihood: {} -> {}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+/// Golden regression: the reference HMM's parameters, pinned to JSON.
+#[test]
+fn golden_reference_hmm_parameters() {
+    let (hmm, _) = scenarios::reference_hmm(3);
+    golden::check_golden_value("reference_hmm_seed3", &hmm);
+}

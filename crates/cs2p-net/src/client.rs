@@ -73,8 +73,8 @@ impl HttpClient {
         path: &str,
         value: &T,
     ) -> io::Result<R> {
-        let body = serde_json::to_vec(value)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let body =
+            serde_json::to_vec(value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let resp = self.send(&Request::new("POST", path, body))?;
         if !(200..300).contains(&resp.status) {
             return Err(io::Error::other(format!(
@@ -161,13 +161,16 @@ impl RemotePredictor {
 
     /// Uploads a session log (fire-and-forget semantics on error).
     pub fn upload_log(&mut self, log: &SessionLog) -> io::Result<()> {
-        let body = serde_json::to_vec(log)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let body =
+            serde_json::to_vec(log).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let resp = self.client.send(&Request::new("POST", "/log", body))?;
         if resp.status == 204 {
             Ok(())
         } else {
-            Err(io::Error::other(format!("log upload failed: {}", resp.status)))
+            Err(io::Error::other(format!(
+                "log upload failed: {}",
+                resp.status
+            )))
         }
     }
 }
@@ -212,25 +215,7 @@ impl ThroughputPredictor for RemotePredictor {
 mod tests {
     use super::*;
     use crate::server::serve;
-    use cs2p_core::engine::EngineConfig;
-    use cs2p_core::{Dataset, FeatureSchema, FeatureVector, PredictionEngine, Session};
-
-    fn tiny_engine() -> PredictionEngine {
-        let schema = FeatureSchema::new(vec!["isp"]);
-        let sessions: Vec<Session> = (0..40)
-            .map(|k| {
-                let isp = (k % 2) as u32;
-                let tp = if isp == 0 { 1.0 } else { 5.0 };
-                Session::new(k, FeatureVector(vec![isp]), k * 50, 6, vec![tp; 8])
-            })
-            .collect();
-        let d = Dataset::new(schema, sessions);
-        let mut config = EngineConfig::default();
-        config.cluster.min_cluster_size = 5;
-        config.hmm.n_states = 2;
-        config.hmm.max_iters = 10;
-        PredictionEngine::train(&d, &config).unwrap().0
-    }
+    use cs2p_testkit::scenarios::tiny_engine;
 
     #[test]
     fn remote_predictor_mirrors_algorithm_one() {

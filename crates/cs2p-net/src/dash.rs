@@ -11,7 +11,10 @@
 
 use crate::client::{HttpClient, RemotePredictor};
 use crate::protocol::SessionLog;
-use cs2p_abr::{simulate, AbrAlgorithm, BufferBased, Festive, FixedBitrate, Mpc, QoeParams, SessionOutcome, SimConfig, VideoSpec, RateBased};
+use cs2p_abr::{
+    simulate, AbrAlgorithm, BufferBased, Festive, FixedBitrate, Mpc, QoeParams, RateBased,
+    SessionOutcome, SimConfig, VideoSpec,
+};
 use cs2p_core::{ClientModel, ThroughputPredictor};
 use cs2p_ml::hmm::{FilterState, HmmFilter};
 use serde::{Deserialize, Serialize};
@@ -34,6 +37,43 @@ impl Manifest {
             title: "Envivio (DASH-264 reference)".into(),
             video: VideoSpec::envivio(),
         }
+    }
+
+    /// Parses a manifest from JSON and validates it, so a player is never
+    /// constructed from a spec it cannot play. Both syntactic garbage and
+    /// semantically broken manifests come back as `Err`, never a panic.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let manifest: Manifest =
+            serde_json::from_str(json).map_err(|e| format!("malformed manifest: {e}"))?;
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// Checks the playability invariants the rest of the pipeline assumes:
+    /// at least one chunk, a non-empty strictly-ascending ladder of
+    /// positive finite bitrates, and positive finite chunk length and
+    /// buffer capacity.
+    pub fn validate(&self) -> Result<(), String> {
+        let v = &self.video;
+        if v.n_chunks == 0 {
+            return Err("manifest has no chunks".into());
+        }
+        if v.bitrates_kbps.is_empty() {
+            return Err("manifest has an empty bitrate ladder".into());
+        }
+        if !v.bitrates_kbps.iter().all(|b| b.is_finite() && *b > 0.0) {
+            return Err("bitrate ladder entries must be positive and finite".into());
+        }
+        if !v.bitrates_kbps.windows(2).all(|w| w[0] < w[1]) {
+            return Err("bitrate ladder must be strictly ascending".into());
+        }
+        if !v.chunk_seconds.is_finite() || v.chunk_seconds <= 0.0 {
+            return Err("chunk length must be positive and finite".into());
+        }
+        if !v.buffer_capacity_seconds.is_finite() || v.buffer_capacity_seconds <= 0.0 {
+            return Err("buffer capacity must be positive and finite".into());
+        }
+        Ok(())
     }
 }
 
@@ -115,9 +155,19 @@ pub struct DashPlayer {
 }
 
 impl DashPlayer {
-    /// A player for one manifest.
+    /// A player for one manifest. Trusts the caller; use [`try_new`]
+    /// (or [`Manifest::from_json`]) for manifests from untrusted input.
+    ///
+    /// [`try_new`]: DashPlayer::try_new
     pub fn new(manifest: Manifest, config: PlayerConfig) -> Self {
         DashPlayer { manifest, config }
+    }
+
+    /// A player for one manifest, rejecting manifests that fail
+    /// [`Manifest::validate`] instead of failing later mid-playback.
+    pub fn try_new(manifest: Manifest, config: PlayerConfig) -> Result<Self, String> {
+        manifest.validate()?;
+        Ok(DashPlayer { manifest, config })
     }
 
     /// Plays the whole video over the simulated bottleneck `trace_mbps`,
@@ -137,7 +187,13 @@ impl DashPlayer {
             qoe: self.config.qoe,
             prediction_seeded_start: self.config.prediction_seeded_start,
         };
-        let outcome = simulate(trace_mbps, epoch_seconds, predictor, abr.as_mut(), &sim_config);
+        let outcome = simulate(
+            trace_mbps,
+            epoch_seconds,
+            predictor,
+            abr.as_mut(),
+            &sim_config,
+        );
         outcome_to_log(&outcome, &self.config.qoe, session_id, strategy)
     }
 }
@@ -178,7 +234,13 @@ pub fn play_remote_session(
 ) -> io::Result<SessionLog> {
     let mut predictor = RemotePredictor::new(server, session_id, features);
     let strategy = format!("CS2P+{}", player.config.abr.label());
-    let log = player.play(trace_mbps, epoch_seconds, &mut predictor, session_id, &strategy);
+    let log = player.play(
+        trace_mbps,
+        epoch_seconds,
+        &mut predictor,
+        session_id,
+        &strategy,
+    );
     predictor.upload_log(&log)?;
     Ok(log)
 }
@@ -249,37 +311,22 @@ impl ThroughputPredictor for LocalModelPredictor {
 mod tests {
     use super::*;
     use crate::server::serve;
-    use cs2p_core::engine::EngineConfig;
-    use cs2p_core::{Dataset, FeatureSchema, FeatureVector, PredictionEngine, Session};
-
-    fn tiny_engine() -> PredictionEngine {
-        let schema = FeatureSchema::new(vec!["isp"]);
-        let sessions: Vec<Session> = (0..40)
-            .map(|k| {
-                let isp = (k % 2) as u32;
-                let tp = if isp == 0 { 1.0 } else { 5.0 };
-                Session::new(k, FeatureVector(vec![isp]), k * 50, 6, vec![tp; 8])
-            })
-            .collect();
-        let d = Dataset::new(schema, sessions);
-        let mut config = EngineConfig::default();
-        config.cluster.min_cluster_size = 5;
-        config.hmm.n_states = 2;
-        config.hmm.max_iters = 10;
-        PredictionEngine::train(&d, &config).unwrap().0
-    }
+    use cs2p_testkit::scenarios::tiny_engine;
 
     #[test]
     fn end_to_end_remote_session() {
         let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
         let player = DashPlayer::new(Manifest::envivio(), PlayerConfig::default());
         let trace = vec![5.0; 120];
-        let log =
-            play_remote_session(server.addr(), &player, &trace, 6.0, 77, vec![1]).unwrap();
+        let log = play_remote_session(server.addr(), &player, &trace, 6.0, 77, vec![1]).unwrap();
         assert_eq!(log.strategy, "CS2P+MPC");
         assert_eq!(log.bitrates_kbps.len(), 43);
         // 5 Mbps link: mostly top-rung playback, no stalls.
-        assert!(log.avg_bitrate_kbps > 2500.0, "avg {}", log.avg_bitrate_kbps);
+        assert!(
+            log.avg_bitrate_kbps > 2500.0,
+            "avg {}",
+            log.avg_bitrate_kbps
+        );
         assert_eq!(log.rebuffer_seconds, 0.0);
         // Log arrived at the server.
         assert_eq!(server.logs().len(), 1);
@@ -362,12 +409,15 @@ mod tests {
             },
         );
         let trace = vec![5.0; 120];
-        let log =
-            play_remote_session(server.addr(), &player, &trace, 6.0, 88, vec![1]).unwrap();
+        let log = play_remote_session(server.addr(), &player, &trace, 6.0, 88, vec![1]).unwrap();
         assert_eq!(log.strategy, "CS2P+FastMPC");
         assert_eq!(log.bitrates_kbps.len(), 43);
         // On a steady 5 Mbps link, the table converges to the top rung.
-        assert!(log.avg_bitrate_kbps > 2500.0, "avg {}", log.avg_bitrate_kbps);
+        assert!(
+            log.avg_bitrate_kbps > 2500.0,
+            "avg {}",
+            log.avg_bitrate_kbps
+        );
         server.shutdown();
     }
 }

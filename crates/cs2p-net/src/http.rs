@@ -226,11 +226,10 @@ fn read_headers<R: BufRead>(reader: &mut R) -> io::Result<Vec<(String, String)>>
         if headers.len() >= MAX_HEADERS {
             return Err(bad("too many headers"));
         }
-        let (name, value) = line.split_once(':').ok_or_else(|| bad("malformed header"))?;
-        headers.push((
-            name.trim().to_ascii_lowercase(),
-            value.trim().to_string(),
-        ));
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 }
 

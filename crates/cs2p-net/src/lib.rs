@@ -31,6 +31,8 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{HttpClient, RemotePredictor};
-pub use dash::{play_remote_session, AbrKind, DashPlayer, LocalModelPredictor, Manifest, PlayerConfig};
+pub use dash::{
+    play_remote_session, AbrKind, DashPlayer, LocalModelPredictor, Manifest, PlayerConfig,
+};
 pub use protocol::{Health, LogStats, PredictRequest, PredictResponse, SessionLog, StrategyStats};
 pub use server::{serve, ServerHandle};

@@ -62,7 +62,10 @@ impl Inner {
     }
 
     fn handle(&self, req: &Request) -> Response {
-        match (req.method.as_str(), req.path.split('?').next().unwrap_or("")) {
+        match (
+            req.method.as_str(),
+            req.path.split('?').next().unwrap_or(""),
+        ) {
             ("POST", "/predict") => self.handle_predict(req),
             ("GET", "/model") => self.handle_model(req),
             ("POST", "/log") => self.handle_log(req),
@@ -288,25 +291,7 @@ fn handle_connection(stream: TcpStream, inner: Arc<Inner>) -> io::Result<()> {
 mod tests {
     use super::*;
     use crate::http::{read_response, write_request};
-    use cs2p_core::engine::EngineConfig;
-    use cs2p_core::{Dataset, FeatureSchema, Session};
-
-    fn tiny_engine() -> PredictionEngine {
-        let schema = FeatureSchema::new(vec!["isp"]);
-        let sessions: Vec<Session> = (0..40)
-            .map(|k| {
-                let isp = (k % 2) as u32;
-                let tp = if isp == 0 { 1.0 } else { 5.0 };
-                Session::new(k, FeatureVector(vec![isp]), k * 50, 6, vec![tp; 8])
-            })
-            .collect();
-        let d = Dataset::new(schema, sessions);
-        let mut config = EngineConfig::default();
-        config.cluster.min_cluster_size = 5;
-        config.hmm.n_states = 2;
-        config.hmm.max_iters = 10;
-        PredictionEngine::train(&d, &config).unwrap().0
-    }
+    use cs2p_testkit::scenarios::tiny_engine;
 
     fn send(addr: SocketAddr, req: &Request) -> Response {
         let stream = TcpStream::connect(addr).unwrap();
@@ -527,10 +512,7 @@ mod tests {
         // NaN doesn't survive JSON serialization as a number; build by hand.
         let _ = body;
         let raw = br#"{"session_id":8,"features":null,"measured_mbps":-1.0,"horizon":1}"#;
-        let resp = send(
-            server.addr(),
-            &Request::new("POST", "/predict", &raw[..]),
-        );
+        let resp = send(server.addr(), &Request::new("POST", "/predict", &raw[..]));
         assert_eq!(resp.status, 400);
         server.shutdown();
     }

@@ -1,28 +1,11 @@
 //! Failure injection: the player must degrade gracefully — never panic,
-//! never stall the playback loop — when the prediction server misbehaves.
+//! never stall the playback loop — when the prediction server misbehaves
+//! or the manifest is broken.
 
-use cs2p_core::engine::EngineConfig;
-use cs2p_core::{Dataset, FeatureSchema, FeatureVector, PredictionEngine, Session};
 use cs2p_core::ThroughputPredictor;
-use cs2p_net::dash::{DashPlayer, Manifest, PlayerConfig};
-use cs2p_net::{serve, RemotePredictor};
-
-fn tiny_engine() -> PredictionEngine {
-    let schema = FeatureSchema::new(vec!["isp"]);
-    let sessions: Vec<Session> = (0..40)
-        .map(|k| {
-            let isp = (k % 2) as u32;
-            let tp = if isp == 0 { 1.0 } else { 5.0 };
-            Session::new(k, FeatureVector(vec![isp]), k * 50, 6, vec![tp; 8])
-        })
-        .collect();
-    let d = Dataset::new(schema, sessions);
-    let mut config = EngineConfig::default();
-    config.cluster.min_cluster_size = 5;
-    config.hmm.n_states = 2;
-    config.hmm.max_iters = 10;
-    PredictionEngine::train(&d, &config).unwrap().0
-}
+use cs2p_net::dash::{AbrKind, DashPlayer, Manifest, PlayerConfig};
+use cs2p_net::{serve, RemotePredictor, ServerHandle};
+use cs2p_testkit::scenarios::tiny_engine;
 
 #[test]
 fn server_death_mid_session_degrades_but_playback_finishes() {
@@ -64,6 +47,85 @@ fn server_death_mid_session_degrades_but_playback_finishes() {
     // Every chunk got the lowest rung — the documented no-information
     // behaviour — rather than crashing or hanging.
     assert!(log.bitrates_kbps.iter().all(|&b| b == 350.0));
+}
+
+/// Remote predictor whose server dies *during* playback: after
+/// `kill_after` observed epochs it shuts the server down, deterministically
+/// injecting the disconnect mid-session from inside the playback loop.
+struct DisconnectingPredictor {
+    inner: RemotePredictor,
+    server: Option<ServerHandle>,
+    kill_after: usize,
+    observed: usize,
+}
+
+impl ThroughputPredictor for DisconnectingPredictor {
+    fn name(&self) -> &str {
+        "CS2P-disconnecting"
+    }
+
+    fn predict_initial(&mut self) -> Option<f64> {
+        self.inner.predict_initial()
+    }
+
+    fn predict_ahead(&mut self, k: usize) -> Option<f64> {
+        self.inner.predict_ahead(k)
+    }
+
+    fn observe(&mut self, throughput: f64) {
+        self.observed += 1;
+        if self.observed == self.kill_after {
+            if let Some(server) = self.server.take() {
+                server.shutdown();
+            }
+        }
+        self.inner.observe(throughput);
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[test]
+fn server_disconnect_during_playback_finishes_the_video() {
+    let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    let player = DashPlayer::new(
+        Manifest::envivio(),
+        PlayerConfig {
+            prediction_seeded_start: false,
+            ..Default::default()
+        },
+    );
+    let trace = vec![5.0; 120];
+    let mut predictor = DisconnectingPredictor {
+        inner: RemotePredictor::new(addr, 4, vec![1]),
+        server: Some(server),
+        kill_after: 10,
+        observed: 0,
+    };
+    let log = player.play(&trace, 6.0, &mut predictor, 4, "CS2P+MPC");
+
+    // The server died after 10 chunks but the whole video still played.
+    assert!(predictor.server.is_none(), "kill switch must have fired");
+    assert_eq!(log.bitrates_kbps.len(), 43);
+    assert!(log.qoe.is_finite());
+    assert!(log.rebuffer_seconds.is_finite());
+    // Early chunks had predictions and climbed the ladder; after the
+    // disconnect MPC degrades to its conservative no-prediction path
+    // rather than panicking or freezing playback.
+    let had_pred = log
+        .throughput_pairs
+        .iter()
+        .filter(|(pred, _)| pred.is_some())
+        .count();
+    assert!(had_pred > 0, "no predictions served before the kill");
+    assert!(
+        had_pred < log.throughput_pairs.len(),
+        "every chunk kept a prediction — the disconnect never bit"
+    );
 }
 
 #[test]
@@ -115,4 +177,62 @@ fn malformed_server_responses_do_not_panic_client() {
     // Invalid JSON body -> soft failure, no panic.
     assert_eq!(predictor.predict_initial(), None);
     let _ = handle;
+}
+
+#[test]
+fn syntactically_malformed_manifests_are_rejected_not_panicked_on() {
+    for garbage in [
+        "",
+        "{not json",
+        "[1,2,3]",
+        r#"{"title":"x"}"#,
+        r#"{"title":"x","video":{"chunk_seconds":"six"}}"#,
+    ] {
+        let err = Manifest::from_json(garbage);
+        assert!(err.is_err(), "garbage manifest {garbage:?} was accepted");
+    }
+}
+
+#[test]
+fn semantically_broken_manifests_are_rejected_up_front() {
+    let good = Manifest::envivio();
+    assert!(good.validate().is_ok());
+
+    let mut empty_ladder = good.clone();
+    empty_ladder.video.bitrates_kbps.clear();
+    assert!(empty_ladder.validate().is_err());
+    assert!(DashPlayer::try_new(empty_ladder, PlayerConfig::default()).is_err());
+
+    let mut zero_chunks = good.clone();
+    zero_chunks.video.n_chunks = 0;
+    assert!(zero_chunks.validate().is_err());
+
+    let mut descending = good.clone();
+    descending.video.bitrates_kbps.reverse();
+    assert!(descending.validate().is_err());
+
+    let mut nan_rate = good.clone();
+    nan_rate.video.bitrates_kbps[0] = f64::NAN;
+    assert!(nan_rate.validate().is_err());
+
+    let mut zero_epoch = good.clone();
+    zero_epoch.video.chunk_seconds = 0.0;
+    assert!(zero_epoch.validate().is_err());
+
+    let mut no_buffer = good.clone();
+    no_buffer.video.buffer_capacity_seconds = -1.0;
+    assert!(no_buffer.validate().is_err());
+
+    // A round trip through JSON of a valid manifest still validates.
+    let json = serde_json::to_string(&good).unwrap();
+    let reparsed = Manifest::from_json(&json).unwrap();
+    assert_eq!(reparsed, good);
+    assert!(DashPlayer::try_new(
+        reparsed,
+        PlayerConfig {
+            abr: AbrKind::Bb,
+            ..Default::default()
+        }
+    )
+    .is_ok());
 }

@@ -15,7 +15,10 @@ fn arb_token() -> impl Strategy<Value = String> {
 
 fn arb_headers() -> impl Strategy<Value = Vec<(String, String)>> {
     prop::collection::vec(
-        (arb_token(), "[ -~&&[^\r\n]]{0,30}".prop_map(|v| v.trim().to_string())),
+        (
+            arb_token(),
+            "[ -~&&[^\r\n]]{0,30}".prop_map(|v| v.trim().to_string()),
+        ),
         0..8,
     )
 }

@@ -1,0 +1,26 @@
+//! Test support shared by every crate in the workspace.
+//!
+//! Three pillars, mirroring how the test suite is organized (see
+//! TESTING.md at the repository root):
+//!
+//! - [`scenarios`]: deterministic scenario builders — fixed-seed synthetic
+//!   worlds, canned datasets with stable train/test splits, pre-trained
+//!   reference models. Two calls with the same arguments produce
+//!   identical values on every platform and every run.
+//! - [`golden`]: a golden-fixture regression harness. Serialized models
+//!   and prediction traces are compared against JSON files checked in
+//!   under `crates/cs2p-testkit/fixtures/`; set `UPDATE_GOLDEN=1` to
+//!   regenerate them.
+//! - [`invariants`]: reusable assertions for properties that many crates
+//!   care about — thread-count independence of training, model-bundle
+//!   round-trips, simulator determinism.
+//!
+//! This crate is a dev-dependency of the other crates; never depend on it
+//! from library code.
+
+pub mod golden;
+pub mod invariants;
+pub mod scenarios;
+
+pub use golden::{check_golden, check_golden_value};
+pub use scenarios::TrainedScenario;

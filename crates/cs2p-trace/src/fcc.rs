@@ -125,10 +125,10 @@ pub fn generate(config: &FccConfig) -> Dataset {
 
         let start_time = rng.gen_range(0..config.days * 86_400);
         // Per-line utilization varies a bit line to line.
-        let line_util = tech.utilization() * (1.0 + rng.gen_range(-0.05..0.05));
+        let line_util = tech.utilization() * (1.0 + rng.gen_range(-0.05..0.05f64));
         let throughput: Vec<f64> = (0..config.epochs_per_session)
             .map(|_| {
-                let noise = 1.0 + rng.gen_range(-1.0..1.0) * tech.noise();
+                let noise = 1.0 + rng.gen_range(-1.0..1.0f64) * tech.noise();
                 (down * line_util * noise).max(0.05)
             })
             .collect();

@@ -126,8 +126,9 @@ pub fn generate_over(world: &World, config: &SynthConfig) -> Dataset {
             .enumerate()
             .map(|(t, &state)| {
                 let (mu, sigma) = match &profile.hmm.emissions[state] {
-                    cs2p_ml::hmm::Emission::Gaussian(g)
-                    | cs2p_ml::hmm::Emission::LogNormal(g) => (g.mu, g.sigma),
+                    cs2p_ml::hmm::Emission::Gaussian(g) | cs2p_ml::hmm::Emission::LogNormal(g) => {
+                        (g.mu, g.sigma)
+                    }
                 };
                 let nu = standard_normal(&mut rng);
                 let eps = (nu - theta * prev_nu) * innov_scale;
@@ -136,8 +137,7 @@ pub fn generate_over(world: &World, config: &SynthConfig) -> Dataset {
                 if rng.gen::<f64>() < dip_prob {
                     w *= rng.gen_range(config.dip_depth_range.0..=config.dip_depth_range.1);
                 }
-                let hour =
-                    ((start_time + t as u64 * config.epoch_seconds as u64) / 3600) % 24;
+                let hour = ((start_time + t as u64 * config.epoch_seconds as u64) / 3600) % 24;
                 (w * World::diurnal_factor(hour) * jitter).max(0.01)
             })
             .collect();
@@ -271,7 +271,11 @@ mod tests {
         for (_, v) in groups.iter().filter(|(_, v)| v.len() >= 5) {
             within.push(stats::coefficient_of_variation(v).unwrap());
         }
-        let all: Vec<f64> = d.sessions().iter().filter_map(|s| s.mean_throughput()).collect();
+        let all: Vec<f64> = d
+            .sessions()
+            .iter()
+            .filter_map(|s| s.mean_throughput())
+            .collect();
         let global_cov = stats::coefficient_of_variation(&all).unwrap();
         let within_cov = stats::mean(&within).unwrap();
         assert!(

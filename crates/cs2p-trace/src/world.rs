@@ -127,8 +127,8 @@ impl World {
         let prefixes: Vec<PrefixInfo> = (0..config.n_prefixes)
             .map(|_| {
                 let isp = rng.gen_range(0..config.n_isps) as u32;
-                let asn = isp * config.ases_per_isp as u32
-                    + rng.gen_range(0..config.ases_per_isp) as u32;
+                let asn =
+                    isp * config.ases_per_isp as u32 + rng.gen_range(0..config.ases_per_isp) as u32;
                 let province = rng.gen_range(0..config.n_provinces) as u32;
                 let city = province * config.cities_per_province as u32
                     + rng.gen_range(0..config.cities_per_province) as u32;
@@ -222,7 +222,7 @@ impl World {
         let emissions: Vec<Emission> = (0..n)
             .map(|i| {
                 let mean = (base * STATE_LEVELS[i]).max(0.45);
-                let sigma = (mean * rng.gen_range(0.11..0.19)).max(1e-3);
+                let sigma = (mean * rng.gen_range(0.11..0.19f64)).max(1e-3);
                 Emission::Gaussian(Gaussian::new(mean, sigma))
             })
             .collect();
@@ -309,10 +309,8 @@ mod tests {
         // effects. Check that base(i,c,s) ratios across servers differ by
         // city — impossible under a purely multiplicative model.
         let w = World::new(WorldConfig::default());
-        let r_city0 =
-            w.path_profile(0, 0, 0).base_mbps / w.path_profile(0, 0, 1).base_mbps;
-        let r_city1 =
-            w.path_profile(0, 1, 0).base_mbps / w.path_profile(0, 1, 1).base_mbps;
+        let r_city0 = w.path_profile(0, 0, 0).base_mbps / w.path_profile(0, 0, 1).base_mbps;
+        let r_city1 = w.path_profile(0, 1, 0).base_mbps / w.path_profile(0, 1, 1).base_mbps;
         assert!(
             (r_city0 - r_city1).abs() > 1e-6,
             "interaction term missing: {r_city0} == {r_city1}"

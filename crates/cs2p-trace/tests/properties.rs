@@ -1,22 +1,32 @@
 //! Property-based tests over the synthetic-world generator.
 
+use cs2p_testkit::scenarios;
 use cs2p_trace::synth::{generate, generate_over, SynthConfig};
 use cs2p_trace::world::{World, WorldConfig};
 use proptest::prelude::*;
 
 fn arb_world_config() -> impl Strategy<Value = WorldConfig> {
-    (2usize..5, 2usize..4, 1usize..3, 2usize..4, 10usize..60, 2usize..5, any::<u64>()).prop_map(
-        |(isps, provs, cpp, servers, prefixes, states, seed)| WorldConfig {
-            n_isps: isps,
-            n_provinces: provs,
-            cities_per_province: cpp,
-            n_servers: servers,
-            n_prefixes: prefixes,
-            ases_per_isp: 2,
-            n_states: states,
-            seed,
-        },
+    (
+        2usize..5,
+        2usize..4,
+        1usize..3,
+        2usize..4,
+        10usize..60,
+        2usize..5,
+        any::<u64>(),
     )
+        .prop_map(
+            |(isps, provs, cpp, servers, prefixes, states, seed)| WorldConfig {
+                n_isps: isps,
+                n_provinces: provs,
+                cities_per_province: cpp,
+                n_servers: servers,
+                n_prefixes: prefixes,
+                ases_per_isp: 2,
+                n_states: states,
+                seed,
+            },
+        )
 }
 
 proptest! {
@@ -92,5 +102,60 @@ proptest! {
         let f = World::diurnal_factor(hour);
         prop_assert!((0.8..=1.2).contains(&f));
         prop_assert!((f - World::diurnal_factor(hour + 24)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epochs_respect_the_configured_epoch_length(
+        seed in any::<u64>(),
+        epoch_seconds in 1u32..30,
+    ) {
+        let synth = SynthConfig {
+            epoch_seconds,
+            ..scenarios::small_synth(30, seed)
+        };
+        let (dataset, _) = generate(&synth);
+        for s in dataset.sessions() {
+            prop_assert_eq!(s.epoch_seconds, epoch_seconds);
+            prop_assert_eq!(
+                s.duration_seconds(),
+                s.n_epochs() as u64 * epoch_seconds as u64
+            );
+            prop_assert_eq!(s.end_time(), s.start_time + s.duration_seconds());
+        }
+    }
+
+    #[test]
+    fn split_at_day_partitions_without_loss_or_overlap(
+        seed in any::<u64>(),
+        day in 0u64..5,
+    ) {
+        let synth = SynthConfig {
+            days: 3,
+            ..scenarios::small_synth(60, seed)
+        };
+        let (dataset, _) = generate(&synth);
+        let (before, after) = dataset.split_at_day(day);
+        let cut = day * 86_400;
+
+        // No session lost and none duplicated.
+        prop_assert_eq!(before.len() + after.len(), dataset.len());
+        let mut ids: Vec<u64> = before
+            .sessions()
+            .iter()
+            .chain(after.sessions())
+            .map(|s| s.id)
+            .collect();
+        ids.sort_unstable();
+        let mut expected: Vec<u64> = dataset.sessions().iter().map(|s| s.id).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(ids, expected);
+
+        // Each side lands strictly on its side of the boundary.
+        prop_assert!(before.sessions().iter().all(|s| s.start_time < cut));
+        prop_assert!(after.sessions().iter().all(|s| s.start_time >= cut));
+
+        // Both halves keep the schema.
+        prop_assert_eq!(before.schema(), dataset.schema());
+        prop_assert_eq!(after.schema(), dataset.schema());
     }
 }

@@ -1,0 +1,153 @@
+//! Offline vendored, minimal `criterion`-compatible bench harness.
+//!
+//! Implements exactly the surface the workspace's benches use:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `Criterion::benchmark_group` with `sample_size`/`bench_function`/
+//! `finish`, and `Bencher::iter`. Instead of criterion's statistical
+//! machinery it runs a short warmup, then times `sample_size` batches
+//! and prints min/median timings — enough to eyeball regressions while
+//! keeping `cargo bench` dependency-free.
+
+use std::time::{Duration, Instant};
+
+/// Re-export mirror of `std::hint::black_box` (criterion exposes one).
+pub use std::hint::black_box;
+
+/// Passed to the closure given to `bench_function`; `iter` does the
+/// timing.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `target_samples` samples.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Warmup + calibration: aim for samples of at least ~1 ms.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+fn report(id: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    println!("{id:<40} min {min:>12.3?}   median {median:>12.3?}");
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        report(id, &mut b.samples);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the sample count for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size.unwrap_or(self.parent.sample_size),
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &mut b.samples);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a bench group: `criterion_group!(name, fn_a, fn_b, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point: `criterion_main!(group_a, group_b)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| black_box((0..100).sum::<u64>())));
+        g.finish();
+    }
+
+    criterion_group!(test_group, a_bench);
+
+    #[test]
+    fn harness_runs_and_reports() {
+        test_group();
+    }
+}

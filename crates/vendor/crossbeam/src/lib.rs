@@ -1,0 +1,85 @@
+//! Offline vendored subset of `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace. Since Rust
+//! 1.63 the standard library has `std::thread::scope` with equivalent
+//! semantics, so this crate adapts crossbeam's API (closure receives the
+//! scope handle, result is a `Result` capturing child panics) onto std.
+
+pub mod thread {
+    //! Scoped threads with the crossbeam 0.8 API shape.
+
+    /// Handle passed to the scope closure; spawns threads that may borrow
+    /// from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope handle so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope: all threads spawned within are joined before it
+    /// returns. Returns `Err` if any unjoined child thread panicked,
+    /// mirroring crossbeam (std would instead propagate the panic).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }));
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicUsize::new(0);
+        let out = super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            "done"
+        })
+        .unwrap();
+        assert_eq!(out, "done");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,775 @@
+//! Offline vendored, deterministic subset of the `proptest` API.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **Deterministic**: every test case is generated from a ChaCha8 stream
+//!   seeded by a hash of the test name and the case index. Two runs of the
+//!   suite produce byte-identical inputs — there is no persistence file
+//!   and no OS entropy involved.
+//! - **No shrinking**: a failing case reports the case index and message;
+//!   re-running reproduces it exactly, so shrinking is a nicety we skip.
+//! - **Case count**: `PROPTEST_CASES` env var, else 64 (upstream defaults
+//!   to 256); `ProptestConfig::with_cases` overrides both.
+//! - The string strategy supports the small regex subset this workspace
+//!   uses: literals, character classes (ranges, negation, `&&`
+//!   intersection) and `{m,n}` repetition.
+
+use rand::Rng;
+
+/// The RNG handed to strategies. ChaCha8, deterministically seeded per
+/// test case by the [`proptest!`] runner.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+
+    /// A recipe for generating values of type `Value`.
+    ///
+    /// Unlike upstream there is no value tree: `generate` directly
+    /// produces a value from the (deterministic) RNG stream.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Derives a second strategy from each generated value.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) base: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) base: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            let intermediate = self.base.generate(rng);
+            (self.f)(intermediate).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+pub use strategy::{Just, Strategy};
+
+use rand::distributions::{Distribution, Standard};
+
+/// Uniform strategy over a half-open range, e.g. `0u32..10` or
+/// `0.5f64..2.0`. (Implemented via a blanket impl below for every type
+/// `rand` can sample ranges of.)
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: Copy + PartialOrd,
+    std::ops::Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Uniform strategy over a closed range, e.g. `1usize..=8`.
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: Copy + PartialOrd,
+    std::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy drawing from a type's full domain (`any::<u8>()` etc.).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Creates an [`Any`] strategy for `T`.
+pub fn any<T>() -> Any<T>
+where
+    Standard: Distribution<T>,
+{
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T> Strategy for Any<T>
+where
+    Standard: Distribution<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7),
+);
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    //! Strategies for collections, sized by a [`SizeRange`].
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// An inclusive-exclusive length range, convertible from `usize`
+    /// (exact length) or `Range<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.min..self.max_exclusive)
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for `BTreeSet`s with `size` distinct elements (fewer if
+    /// the element domain saturates before reaching the target).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.draw(rng);
+            let mut out = std::collections::BTreeSet::new();
+            // A small element domain may not have `target` distinct
+            // values; bound the attempts so generation always terminates.
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 20 + 20 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies (regex subset)
+// ---------------------------------------------------------------------------
+
+mod string_gen {
+    //! A generator for the regex subset used in this workspace's tests:
+    //! literal characters, character classes with ranges / escapes /
+    //! leading-`^` negation / `&&` intersection, and `{m,n}` counted
+    //! repetition. Anything outside that subset panics at generation
+    //! time with a clear message.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// One `atom{m,n}` unit of a pattern.
+    struct Piece {
+        /// Allowed characters, materialized (patterns here are ASCII).
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i);
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    let c = unescape(chars[i + 1]);
+                    i += 2;
+                    vec![c]
+                }
+                c => {
+                    assert!(
+                        !"(){}|*+?.^$".contains(c),
+                        "unsupported regex construct `{c}` in `{pattern}`"
+                    );
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated {m,n}")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad repetition lower bound"),
+                        hi.parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(!set.is_empty(), "empty character class in `{pattern}`");
+            pieces.push(Piece {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        pieces
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            other => other, // \\, \], \- etc: the char itself
+        }
+    }
+
+    /// Parses a `[...]` class starting at `chars[start] == '['`; returns
+    /// the allowed set and the index just past the closing `]`.
+    fn parse_class(chars: &[char], start: usize) -> (Vec<char>, usize) {
+        let mut i = start + 1;
+        let negated = chars.get(i) == Some(&'^');
+        if negated {
+            i += 1;
+        }
+        let mut member = [false; 128];
+        let mut intersection: Option<Vec<char>> = None;
+        loop {
+            match chars.get(i) {
+                None => panic!("unterminated character class"),
+                Some(']') => {
+                    i += 1;
+                    break;
+                }
+                Some('&') if chars.get(i + 1) == Some(&'&') => {
+                    // `&&[...]` intersection: parse the nested class.
+                    assert_eq!(
+                        chars.get(i + 2),
+                        Some(&'['),
+                        "`&&` must be followed by a class"
+                    );
+                    let (rhs, next) = parse_class(chars, i + 2);
+                    intersection = Some(rhs);
+                    i = next;
+                }
+                Some(&c) => {
+                    let lo = if c == '\\' {
+                        i += 2;
+                        unescape(chars[i - 1])
+                    } else {
+                        i += 1;
+                        c
+                    };
+                    // `a-z` range (a trailing `-` before `]` is literal).
+                    if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+                        let hi_raw = chars[i + 1];
+                        let hi = if hi_raw == '\\' {
+                            i += 3;
+                            unescape(chars[i - 1])
+                        } else {
+                            i += 2;
+                            hi_raw
+                        };
+                        for code in lo as usize..=hi as usize {
+                            member[code] = true;
+                        }
+                    } else {
+                        member[lo as usize] = true;
+                    }
+                }
+            }
+        }
+        let mut set: Vec<char> = (0u8..128)
+            .filter(|&b| member[b as usize] != negated)
+            .map(|b| b as char)
+            .collect();
+        if let Some(rhs) = intersection {
+            set.retain(|c| rhs.contains(c));
+        }
+        (set, i)
+    }
+
+    /// A compiled pattern; `&str` literals delegate to this.
+    pub struct StringStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    impl StringStrategy {
+        pub fn new(pattern: &str) -> Self {
+            StringStrategy {
+                pieces: parse(pattern),
+            }
+        }
+    }
+
+    impl Strategy for StringStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let n = rng.gen_range(piece.min..piece.max + 1);
+                for _ in 0..n {
+                    let k = rng.gen_range(0..piece.chars.len());
+                    out.push(piece.chars[k]);
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            StringStrategy::new(self).generate(rng)
+        }
+    }
+}
+
+pub use string_gen::StringStrategy;
+
+// ---------------------------------------------------------------------------
+// Runner + config
+// ---------------------------------------------------------------------------
+
+pub mod test_runner {
+    //! Case-count configuration, mirroring upstream's type paths.
+
+    /// Controls how many cases each property runs.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    /// Upstream spells it `ProptestConfig`; both names work here.
+    pub type ProptestConfig = Config;
+
+    impl Config {
+        /// A config running exactly `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        /// `PROPTEST_CASES` env var if set, else 64.
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Config { cases }
+        }
+    }
+}
+
+pub use test_runner::ProptestConfig;
+
+#[doc(hidden)]
+pub mod runner {
+    //! Machinery invoked by the [`proptest!`](crate::proptest) macro.
+
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// FNV-1a, for turning a test name into a stable seed.
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// The deterministic RNG for `(test, case)`.
+    pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+        let seed = fnv1a(test_name) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng::seed_from_u64(seed)
+    }
+
+    /// Runs `f` for each case, panicking with context on the first
+    /// failure (there is no shrinking; reruns reproduce the case).
+    pub fn run<F>(test_name: &str, config: &super::test_runner::Config, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), String>,
+    {
+        for case in 0..config.cases {
+            let mut rng = case_rng(test_name, case);
+            if let Err(msg) = f(&mut rng) {
+                panic!(
+                    "proptest `{test_name}` failed at case {case}/{}: {msg}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests. Supports the upstream surface this workspace
+/// uses: an optional `#![proptest_config(...)]` header and `#[test]`
+/// functions whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $crate::runner::run(stringify!($name), &config, |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                    (|| -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config(::std::default::Default::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    // The message bypasses `format!` so that braces inside the
+    // stringified condition (closures, struct literals) are harmless.
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?} == {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts two values differ inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?} != {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)*);
+    }};
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::runner::case_rng;
+
+    #[test]
+    fn ranges_stay_in_bounds_and_are_deterministic() {
+        let mut a = case_rng("t", 0);
+        let mut b = case_rng("t", 0);
+        for _ in 0..200 {
+            let x = (3usize..9).generate(&mut a);
+            assert!((3..9).contains(&x));
+            assert_eq!(x, (3usize..9).generate(&mut b));
+        }
+        let mut c = case_rng("t", 1);
+        let distinct =
+            (0..50).any(|_| (0u64..u64::MAX).generate(&mut c) != (0u64..u64::MAX).generate(&mut c));
+        assert!(distinct);
+    }
+
+    #[test]
+    fn vec_and_btree_set_respect_sizes() {
+        let mut rng = case_rng("sizes", 0);
+        for _ in 0..100 {
+            let v = prop::collection::vec(0u32..10, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let exact = prop::collection::vec(0.0f64..1.0, 36).generate(&mut rng);
+            assert_eq!(exact.len(), 36);
+            let s = prop::collection::btree_set(0usize..16, 0..8).generate(&mut rng);
+            assert!(s.len() < 8);
+            assert!(s.iter().all(|&x| x < 16));
+        }
+    }
+
+    #[test]
+    fn string_patterns_generate_matching_text() {
+        let mut rng = case_rng("strings", 0);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9-]{0,15}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 16);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+
+            let v = "[ -~&&[^\r\n]]{0,30}".generate(&mut rng);
+            assert!(v.len() <= 30);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c)));
+
+            let m = "[A-Z]{3,7}".generate(&mut rng);
+            assert!((3..=7).contains(&m.len()));
+            assert!(m.chars().all(|c| c.is_ascii_uppercase()));
+
+            let p = "/[a-z0-9/_-]{0,20}".generate(&mut rng);
+            assert!(p.starts_with('/') && p.len() <= 21);
+        }
+    }
+
+    #[test]
+    fn flat_map_and_tuples_compose() {
+        let strat = (2usize..5)
+            .prop_flat_map(|n| prop::collection::vec(0.0f64..1.0, n).prop_map(move |v| (n, v)));
+        let mut rng = case_rng("flat", 0);
+        for _ in 0..50 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+        let seven = (
+            0u32..2,
+            0u32..2,
+            0u32..2,
+            0u32..2,
+            0u32..2,
+            0u32..2,
+            any::<u64>(),
+        );
+        let t = seven.generate(&mut rng);
+        assert!(t.0 < 2 && t.5 < 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u32..100, v in prop::collection::vec(0u8..10, 0..5)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(x in 0.0f64..1.0) {
+            prop_assert!((0.0..1.0).contains(&x), "x out of range: {x}");
+        }
+    }
+}

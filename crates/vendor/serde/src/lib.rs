@@ -1,0 +1,333 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! This workspace builds without registry access, so `serde` is replaced
+//! by a small local implementation. Instead of serde's visitor-based data
+//! model, everything funnels through a JSON-shaped [`Value`] tree:
+//!
+//! - [`Serialize`] renders a type into a [`Value`];
+//! - [`Deserialize`] rebuilds a type from a [`Value`];
+//! - the companion `serde_json` vendor crate prints/parses `Value` as
+//!   JSON text.
+//!
+//! The derive macros (`#[derive(Serialize, Deserialize)]`) are provided by
+//! the sibling `serde_derive` crate and follow the upstream JSON
+//! conventions: structs as objects, newtype structs as their inner value,
+//! unit enum variants as strings, data-carrying variants as single-key
+//! objects. Field order is declaration order, making serialized output
+//! deterministic — which the golden-fixture tests rely on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the interchange format between the traits
+/// here and the `serde_json` text layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (JSON number without fraction or exponent).
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved (deterministic output).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// A deserialization error (wrong shape, missing field, out of range).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Builds a "wanted X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+pub mod de {
+    //! Deserialization traits (upstream-compatible import paths).
+
+    /// Owned deserialization — alias of [`Deserialize`](super::Deserialize)
+    /// in this vendored subset, where borrowing from the input never
+    /// happens.
+    pub trait DeserializeOwned: super::Deserialize {}
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                if wide <= i64::MAX as u64 {
+                    Value::Int(wide as i64)
+                } else {
+                    Value::UInt(wide)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    // serde_json serializes non-finite floats as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(DeError(format!(
+                        "expected array of length {LEN}, found length {}",
+                        items.len()
+                    ))),
+                    other => Err(DeError::expected("array (tuple)", other)),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        let v: Option<u32> = Some(7);
+        assert_eq!(Option::<u32>::from_value(&v.to_value()).unwrap(), Some(7));
+        let n: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&n.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = (Some(1.5f64), 2.25f64);
+        let back = <(Option<f64>, f64)>::from_value(&t.to_value()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        let v = Value::Int(300);
+        assert!(u8::from_value(&v).is_err());
+        assert_eq!(u16::from_value(&v).unwrap(), 300);
+        let neg = Value::Int(-1);
+        assert!(u64::from_value(&neg).is_err());
+        assert_eq!(i64::from_value(&neg).unwrap(), -1);
+    }
+
+    #[test]
+    fn wrong_shape_errors() {
+        assert!(Vec::<u32>::from_value(&Value::Bool(true)).is_err());
+        assert!(String::from_value(&Value::Int(3)).is_err());
+        assert!(bool::from_value(&Value::Str("x".into())).is_err());
+    }
+}

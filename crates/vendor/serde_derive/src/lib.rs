@@ -1,0 +1,467 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the local
+//! `serde` subset.
+//!
+//! Implemented directly over `proc_macro` token streams (no `syn`/`quote`
+//! — the build environment has no registry access). Supports exactly the
+//! shapes this workspace uses:
+//!
+//! - structs with named fields → JSON objects (declaration order);
+//! - newtype structs → the inner value;
+//! - tuple structs → arrays;
+//! - unit structs → `null`;
+//! - enums: unit variants → `"Name"`; newtype/tuple variants →
+//!   `{"Name": value}` / `{"Name": [values]}`; struct variants →
+//!   `{"Name": {fields}}`.
+//!
+//! Generic types, lifetimes, and `#[serde(...)]` attributes are *not*
+//! supported; the macro panics at compile time when it meets one, which is
+//! the correct failure mode for a vendored subset.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What one `struct`/`enum` declaration parsed into.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        kw => panic!("serde_derive: cannot derive for `{kw}`"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists (types are skipped token-wise,
+/// tracking `<`/`>` depth so commas inside generics don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{field}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(field);
+    }
+    fields
+}
+
+/// Skips one type, leaving `i` just past the following top-level comma (or
+/// at end of stream).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth = depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let data = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantData::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantData::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantData::Unit,
+        };
+        // Optional discriminant (`= expr`) is not supported with data, and
+        // skipped for unit variants.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, data });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn object_literal(pairs: &[(String, String)]) -> String {
+    let fields: Vec<String> = pairs
+        .iter()
+        .map(|(k, expr)| format!("(::std::string::String::from(\"{k}\"), {expr})"))
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", fields.join(", "))
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let pairs: Vec<(String, String)> = fields
+                .iter()
+                .map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })
+                .collect();
+            (name, object_literal(&pairs))
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", ")),
+            )
+        }
+        Shape::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.data {
+                        VariantData::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantData::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|k| format!("f{k}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Array(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantData::Named(fields) => {
+                            let pairs: Vec<(String, String)> = fields
+                                .iter()
+                                .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
+                                .collect();
+                            let inner = object_literal(&pairs);
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), {inner})]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join("\n")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_fields_from(type_name: &str, source: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({source}.get(\"{f}\")\
+                 .ok_or_else(|| ::serde::DeError(::std::format!(\"missing field `{f}` in {type_name}\")))?)?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let build = named_fields_from(name, "v", fields);
+            (
+                name,
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Object(_) => ::std::result::Result::Ok({name} {{ {build} }}),\n\
+                         other => ::std::result::Result::Err(::serde::DeError::expected(\"object ({name})\", other)),\n\
+                     }}"
+                ),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Array(items) if items.len() == {arity} =>\n\
+                             ::std::result::Result::Ok({name}({})),\n\
+                         other => ::std::result::Result::Err(::serde::DeError::expected(\"array of {arity} ({name})\", other)),\n\
+                     }}",
+                    items.join(", ")
+                ),
+            )
+        }
+        Shape::UnitStruct { name } => (
+            name,
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\"null ({name})\", other)),\n\
+                 }}"
+            ),
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.data, VariantData::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.data {
+                        VariantData::Unit => None,
+                        VariantData::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantData::Tuple(arity) => Some(format!(
+                            "\"{vn}\" => match inner {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {arity} =>\n\
+                                     ::std::result::Result::Ok({name}::{vn}({})),\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::expected(\"array of {arity} ({name}::{vn})\", other)),\n\
+                             }},",
+                            (0..*arity)
+                                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )),
+                        VariantData::Named(fields) => {
+                            let build =
+                                named_fields_from(&format!("{name}::{vn}"), "inner", fields);
+                            Some(format!(
+                                "\"{vn}\" => match inner {{\n\
+                                     ::serde::Value::Object(_) => ::std::result::Result::Ok({name}::{vn} {{ {build} }}),\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::expected(\"object ({name}::{vn})\", other)),\n\
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            // Name the payload binding `_inner` when no data arm will read
+            // it, so the expansion compiles clean under `-D warnings`.
+            let inner_bind = if data_arms.is_empty() { "_inner" } else { "inner" };
+            (
+                name,
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Str(s) => match s.as_str() {{\n\
+                             {}\n\
+                             other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }},\n\
+                         ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                             let (key, {inner_bind}) = &fields[0];\n\
+                             match key.as_str() {{\n\
+                                 {}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::expected(\"variant of {name}\", other)),\n\
+                     }}",
+                    unit_arms.join("\n"),
+                    data_arms.join("\n"),
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}

@@ -31,7 +31,9 @@ fn main() {
         .filter(|&i| {
             let s = test.get(i);
             s.n_epochs() >= 30
-                && stats::median(&s.throughput).map(|m| m < 6.0).unwrap_or(false)
+                && stats::median(&s.throughput)
+                    .map(|m| m < 6.0)
+                    .unwrap_or(false)
         })
         .take(40)
         .collect();
@@ -63,8 +65,15 @@ fn main() {
         })
         .collect();
 
-    let strategies: &[&str] =
-        &["CS2P+MPC", "CS2P+RobustMPC", "HM+MPC", "LS+MPC", "RB", "FESTIVE", "BB"];
+    let strategies: &[&str] = &[
+        "CS2P+MPC",
+        "CS2P+RobustMPC",
+        "HM+MPC",
+        "LS+MPC",
+        "RB",
+        "FESTIVE",
+        "BB",
+    ];
     println!(
         "{:<15} | {:>9} | {:>9} | {:>9} | {:>8}",
         "strategy", "med nQoE", "avg kbps", "rebuf s", "good %"
@@ -84,10 +93,20 @@ fn main() {
                 _ => Box::new(LastSample::new()), // BB ignores predictions
             };
             let outcome = match name {
-                "RB" => simulate(trace, 6.0, predictor.as_mut(), &mut RateBased::default(), &cfg),
-                "FESTIVE" => {
-                    simulate(trace, 6.0, predictor.as_mut(), &mut Festive::default(), &cfg)
-                }
+                "RB" => simulate(
+                    trace,
+                    6.0,
+                    predictor.as_mut(),
+                    &mut RateBased::default(),
+                    &cfg,
+                ),
+                "FESTIVE" => simulate(
+                    trace,
+                    6.0,
+                    predictor.as_mut(),
+                    &mut Festive::default(),
+                    &cfg,
+                ),
                 "BB" => simulate(
                     trace,
                     6.0,
@@ -95,9 +114,13 @@ fn main() {
                     &mut BufferBased::default(),
                     &cfg,
                 ),
-                "CS2P+RobustMPC" => {
-                    simulate(trace, 6.0, predictor.as_mut(), &mut RobustMpc::default(), &cfg)
-                }
+                "CS2P+RobustMPC" => simulate(
+                    trace,
+                    6.0,
+                    predictor.as_mut(),
+                    &mut RobustMpc::default(),
+                    &cfg,
+                ),
                 _ => simulate(trace, 6.0, predictor.as_mut(), &mut Mpc::default(), &cfg),
             };
             if let Some(n) = normalized_qoe(outcome.qoe(&qoe_params), opt) {

@@ -25,7 +25,11 @@ fn main() {
     });
     let data_path = dir.join("dataset.json");
     save_json(&dataset, &data_path).expect("save dataset");
-    println!("dataset: {} sessions -> {}", dataset.len(), data_path.display());
+    println!(
+        "dataset: {} sessions -> {}",
+        dataset.len(),
+        data_path.display()
+    );
 
     // Reload (round trip through disk) and summarize (Table 2 style).
     let reloaded = load_json(&data_path).expect("load dataset");

@@ -10,8 +10,7 @@
 use cs2p::core::{EngineConfig, PredictionEngine};
 use cs2p::ml::stats;
 use cs2p::net::{
-    play_remote_session, serve, DashPlayer, HttpClient, LocalModelPredictor, Manifest,
-    PlayerConfig,
+    play_remote_session, serve, DashPlayer, HttpClient, LocalModelPredictor, Manifest, PlayerConfig,
 };
 use cs2p::trace::{generate, SynthConfig};
 

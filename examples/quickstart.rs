@@ -18,7 +18,11 @@ fn main() {
         ..Default::default()
     });
     let (train, test) = dataset.split_at_day(1);
-    println!("  {} training sessions, {} test sessions", train.len(), test.len());
+    println!(
+        "  {} training sessions, {} test sessions",
+        train.len(),
+        test.len()
+    );
 
     // 2. Offline stage (Figure 1): cluster similar sessions, train one
     //    Gaussian-emission HMM per cluster plus the median initial
@@ -43,9 +47,14 @@ fn main() {
     let mut predictor = engine.predictor(&session.features);
 
     let initial = predictor.predict_initial().unwrap();
-    println!("\nsession {} (features {:?})", session.id, session.features.0);
-    println!("  initial prediction: {initial:.2} Mbps (actual {:.2})",
-        session.initial_throughput().unwrap());
+    println!(
+        "\nsession {} (features {:?})",
+        session.id, session.features.0
+    );
+    println!(
+        "  initial prediction: {initial:.2} Mbps (actual {:.2})",
+        session.initial_throughput().unwrap()
+    );
 
     let mut total_err = 0.0;
     let mut count = 0;

@@ -1,35 +1,29 @@
 //! Integration tests spanning the whole workspace: data generation →
 //! training → prediction → adaptation → deployment.
+//!
+//! All scenario setup comes from `cs2p-testkit`; `TrainedScenario::e2e()`
+//! is the canonical 2 000-session synthetic world with a day-based
+//! train/test split.
 
 use cs2p::abr::{simulate, Mpc, QoeParams, SimConfig};
-use cs2p::core::{
-    abs_normalized_error, ClientModel, EngineConfig, ModelBundle, PredictionEngine,
-    ThroughputPredictor,
-};
+use cs2p::core::{abs_normalized_error, ClientModel, ThroughputPredictor};
 use cs2p::ml::stats;
 use cs2p::net::{play_remote_session, serve, DashPlayer, Manifest, PlayerConfig};
-use cs2p::trace::{generate, SynthConfig};
-
-fn materials() -> (cs2p::core::Dataset, cs2p::core::Dataset, PredictionEngine) {
-    let (dataset, _world) = generate(&SynthConfig {
-        n_sessions: 2_000,
-        seed: 42,
-        ..Default::default()
-    });
-    let (train, test) = dataset.split_at_day(1);
-    let mut config = EngineConfig::small_data();
-    config.hmm.max_iters = 12;
-    let (engine, _) = PredictionEngine::train(&train, &config).expect("training failed");
-    (train, test, engine)
-}
+use cs2p_testkit::{invariants, TrainedScenario};
 
 #[test]
 fn trained_engine_beats_last_sample_on_held_out_day() {
-    let (_train, test, engine) = materials();
+    let sc = TrainedScenario::e2e();
     let mut cs2p_errs = Vec::new();
     let mut ls_errs = Vec::new();
-    for s in test.sessions().iter().filter(|s| s.n_epochs() >= 8).take(300) {
-        let mut p = engine.predictor(&s.features);
+    for s in sc
+        .test
+        .sessions()
+        .iter()
+        .filter(|s| s.n_epochs() >= 8)
+        .take(300)
+    {
+        let mut p = sc.engine.predictor(&s.features);
         let mut last = s.throughput[0];
         p.observe(last);
         let mut pe = Vec::new();
@@ -54,27 +48,15 @@ fn trained_engine_beats_last_sample_on_held_out_day() {
 
 #[test]
 fn model_bundle_survives_disk_and_reproduces_predictions() {
-    let (_train, test, engine) = materials();
-    let json = ModelBundle::from_engine(&engine).to_json().unwrap();
-    let rebuilt = ModelBundle::from_json(&json).unwrap().into_engine();
-
-    for s in test.sessions().iter().take(20) {
-        let mut a = engine.predictor(&s.features);
-        let mut b = rebuilt.predictor(&s.features);
-        assert_eq!(a.predict_initial(), b.predict_initial());
-        for &w in s.throughput.iter().take(5) {
-            a.observe(w);
-            b.observe(w);
-            assert_eq!(a.predict_next(), b.predict_next());
-        }
-    }
+    let sc = TrainedScenario::e2e();
+    invariants::assert_bundle_roundtrip(&sc.engine, &sc.test, 20, 5);
 }
 
 #[test]
 fn client_model_fits_the_papers_size_budget() {
-    let (_train, test, engine) = materials();
-    for s in test.sessions().iter().take(50) {
-        let cm = ClientModel::for_client(&engine, &s.features);
+    let sc = TrainedScenario::e2e();
+    for s in sc.test.sessions().iter().take(50) {
+        let cm = ClientModel::for_client(&sc.engine, &s.features);
         assert!(
             cm.wire_size() < 5 * 1024,
             "client model {} bytes for features {:?}",
@@ -86,14 +68,14 @@ fn client_model_fits_the_papers_size_budget() {
 
 #[test]
 fn cs2p_mpc_plays_video_without_heavy_stalls_on_adequate_links() {
-    let (_train, test, engine) = materials();
+    let sc = TrainedScenario::e2e();
     let cfg = SimConfig {
         prediction_seeded_start: false,
         ..Default::default()
     };
     let qoe = QoeParams::default();
     let mut good_ratios = Vec::new();
-    for s in test.sessions().iter() {
+    for s in sc.test.sessions().iter() {
         if s.n_epochs() < 30 {
             continue;
         }
@@ -101,7 +83,7 @@ fn cs2p_mpc_plays_video_without_heavy_stalls_on_adequate_links() {
         if median < 1.5 {
             continue; // link can't sustain much of the ladder anyway
         }
-        let mut p = engine.predictor(&s.features);
+        let mut p = sc.engine.predictor(&s.features);
         let mut mpc = Mpc::default();
         let outcome = simulate(&s.throughput, 6.0, &mut p, &mut mpc, &cfg);
         assert!(outcome.qoe(&qoe).is_finite());
@@ -110,7 +92,10 @@ fn cs2p_mpc_plays_video_without_heavy_stalls_on_adequate_links() {
             break;
         }
     }
-    assert!(good_ratios.len() >= 10, "too few adequate sessions in test split");
+    assert!(
+        good_ratios.len() >= 10,
+        "too few adequate sessions in test split"
+    );
     // Aggregate quality: mostly stall-free playback (individual sessions
     // may still hit midstream collapses no online algorithm survives).
     let mean_good = stats::mean(&good_ratios).unwrap();
@@ -125,8 +110,8 @@ fn cs2p_mpc_plays_video_without_heavy_stalls_on_adequate_links() {
 
 #[test]
 fn full_deployment_loop_over_real_sockets() {
-    let (_train, test, engine) = materials();
-    let server = serve(engine, "127.0.0.1:0").expect("server start");
+    let sc = TrainedScenario::e2e();
+    let server = serve(sc.engine.clone(), "127.0.0.1:0").expect("server start");
     let player = DashPlayer::new(
         Manifest::envivio(),
         PlayerConfig {
@@ -136,7 +121,13 @@ fn full_deployment_loop_over_real_sockets() {
     );
 
     let mut n = 0;
-    for s in test.sessions().iter().filter(|s| s.n_epochs() >= 30).take(5) {
+    for s in sc
+        .test
+        .sessions()
+        .iter()
+        .filter(|s| s.n_epochs() >= 30)
+        .take(5)
+    {
         let log = play_remote_session(
             server.addr(),
             &player,
@@ -159,23 +150,15 @@ fn full_deployment_loop_over_real_sockets() {
 #[test]
 fn determinism_across_full_pipeline() {
     let run = || {
-        let (dataset, _world) = generate(&SynthConfig {
-            n_sessions: 600,
-            seed: 9,
-            ..Default::default()
-        });
-        let (train, test) = dataset.split_at_day(1);
-        let mut config = EngineConfig::small_data();
-        config.hmm.max_iters = 8;
-        let (engine, summary) = PredictionEngine::train(&train, &config).unwrap();
-        let s = test.get(0);
-        let mut p = engine.predictor(&s.features);
+        let sc = TrainedScenario::small();
+        let s = sc.test.get(0);
+        let mut p = sc.engine.predictor(&s.features);
         let mut preds = vec![p.predict_initial().unwrap()];
         for &w in s.throughput.iter().take(10) {
             p.observe(w);
             preds.push(p.predict_next().unwrap());
         }
-        (summary.n_models, preds)
+        preds
     };
     assert_eq!(run(), run());
 }
