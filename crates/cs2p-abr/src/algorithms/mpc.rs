@@ -60,6 +60,8 @@ impl AbrAlgorithm for Mpc {
     }
 
     fn select_level(&mut self, ctx: &AbrContext) -> usize {
+        let _span = cs2p_obs::span("stream.mpc.select");
+        cs2p_obs::counter_add("stream.mpc.decisions", 1);
         // Resolve the prediction for each lookahead step: missing entries
         // inherit the nearest earlier prediction; with no information at
         // all, be conservative.

@@ -12,6 +12,10 @@
 //! interchangeably.
 
 #![warn(missing_docs)]
+// Library crates speak through `cs2p-obs` events, never raw prints
+// (binaries are exempt; see OBSERVABILITY.md).
+#![deny(clippy::print_stdout)]
+#![deny(clippy::print_stderr)]
 
 pub mod algorithms;
 pub mod buffer;

@@ -141,6 +141,17 @@ pub fn simulate(
         last_level = Some(level);
     }
 
+    if cs2p_obs::enabled() {
+        cs2p_obs::counter_add("stream.sessions", 1);
+        cs2p_obs::counter_add("stream.chunks", chunks.len() as u64);
+        let rebuffer: f64 = chunks.iter().map(|c| c.rebuffer_seconds).sum();
+        cs2p_obs::observe("stream.rebuffer_seconds", rebuffer);
+        cs2p_obs::observe("stream.startup_delay_seconds", startup_delay);
+        if rebuffer > 0.0 {
+            cs2p_obs::counter_add("stream.sessions_with_rebuffer", 1);
+        }
+    }
+
     SessionOutcome {
         chunks,
         startup_delay_seconds: startup_delay,

@@ -133,6 +133,9 @@ impl PredictionEngine {
     /// Returns `None` when the dataset cannot even support a global model
     /// (no usable sequences).
     pub fn train(dataset: &Dataset, config: &EngineConfig) -> Option<(Self, TrainSummary)> {
+        let _train_span = cs2p_obs::span("train.engine")
+            .field("n_sessions", dataset.len())
+            .field("n_threads", config.n_threads);
         let finder = ClusterFinder::new(dataset, config.cluster.clone());
         // Reference time: just past the last training session, so every
         // cluster sees the full training history.
@@ -165,10 +168,12 @@ impl PredictionEngine {
         // independent, so combos are dealt round-robin to workers and
         // results reassembled in combo order — bitwise identical to the
         // sequential run.
-        let searches: Vec<crate::cluster::SpecSearch> =
+        let searches: Vec<crate::cluster::SpecSearch> = {
+            let _span = cs2p_obs::span("train.engine.search").field("n_combos", combo_list.len());
             run_parallel(config.n_threads, combo_list.len(), |i| {
                 finder.find_best_spec(&combo_list[i], reference_time)
-            });
+            })
+        };
 
         // Phase 2 (sequential): deduplicate (spec, key) clusters.
         let mut combos: Vec<(FeatureVector, Option<usize>)> = Vec::new();
@@ -198,11 +203,13 @@ impl PredictionEngine {
         }
 
         // Phase 3 (parallel): Baum–Welch per distinct cluster.
-        let trained: Vec<Option<ClusterModel>> =
+        let trained: Vec<Option<ClusterModel>> = {
+            let _span = cs2p_obs::span("train.engine.em").field("n_clusters", cluster_jobs.len());
             run_parallel(config.n_threads, cluster_jobs.len(), |i| {
                 let (spec, key, members) = &cluster_jobs[i];
                 Self::train_cluster_model(dataset, *spec, key.clone(), members, config)
-            });
+            })
+        };
 
         // Phase 4 (sequential): compact failed trainings out of the model
         // list, remapping combo -> model ids.
@@ -235,6 +242,23 @@ impl PredictionEngine {
                 fallbacks as f64 / n_combos as f64
             },
         };
+        if cs2p_obs::enabled() {
+            cs2p_obs::counter_add("train.engine.runs", 1);
+            cs2p_obs::gauge_set("train.engine.models", summary.n_models as f64);
+            cs2p_obs::gauge_set(
+                "train.engine.fallback_fraction",
+                summary.global_fallback_fraction,
+            );
+            cs2p_obs::event(
+                cs2p_obs::Level::Info,
+                "train.engine.trained",
+                vec![
+                    ("n_models", summary.n_models.into()),
+                    ("n_combos", summary.n_combos.into()),
+                    ("fallbacks", fallbacks.into()),
+                ],
+            );
+        }
         Some((
             Self::from_parts(dataset.schema().clone(), models, global, combos),
             summary,
@@ -370,11 +394,18 @@ impl PredictionEngine {
             let key = (set, features.project(set));
             if let Some(&ci) = self.combo_index.get(&key) {
                 return match self.combos[ci].1 {
-                    Some(mi) => &self.models[mi],
-                    None => &self.global,
+                    Some(mi) => {
+                        cs2p_obs::counter_add("predict.lookup.cluster", 1);
+                        &self.models[mi]
+                    }
+                    None => {
+                        cs2p_obs::counter_add("predict.lookup.global", 1);
+                        &self.global
+                    }
                 };
             }
         }
+        cs2p_obs::counter_add("predict.lookup.global", 1);
         &self.global
     }
 

@@ -22,6 +22,10 @@
 //! [`model_io`] is the compact wire format (<5 KB per cluster model).
 
 #![warn(missing_docs)]
+// Library crates speak through `cs2p-obs` events, never raw prints
+// (binaries are exempt; see OBSERVABILITY.md).
+#![deny(clippy::print_stdout)]
+#![deny(clippy::print_stderr)]
 
 pub mod baselines;
 pub mod cluster;

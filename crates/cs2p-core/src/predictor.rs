@@ -126,10 +126,12 @@ impl ThroughputPredictor for Cs2pPredictor<'_> {
     }
 
     fn predict_initial(&mut self) -> Option<f64> {
+        cs2p_obs::counter_add("predict.cs2p.initial", 1);
         Some(self.model.initial_median)
     }
 
     fn predict_ahead(&mut self, k: usize) -> Option<f64> {
+        cs2p_obs::counter_add("predict.cs2p.midstream", 1);
         let raw = if self.filter.epoch() == 0 {
             // No measurement yet: Algorithm 1 line 5 — the cluster median.
             // (Horizons beyond the first epoch propagate pi_0.)

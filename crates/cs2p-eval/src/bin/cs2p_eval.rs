@@ -2,37 +2,65 @@
 //!
 //! ```text
 //! cs2p-eval <experiment> [--sessions N] [--seed S] [--small]
+//!           [--metrics out.jsonl] [--profile]
 //! cs2p-eval all          # run everything
+//! cs2p-eval --small --metrics out.jsonl   # default smoke set + telemetry
+//! cs2p-eval validate-metrics a.jsonl [b.jsonl]
 //! ```
+//!
+//! `--metrics` enables the global `cs2p-obs` registry and streams every
+//! record to the given JSONL file (schema in `OBSERVABILITY.md`), closing
+//! with a full metric snapshot. `--profile` prints a per-stage wall-time
+//! table built from the span histograms. `validate-metrics` checks a
+//! metrics file against the schema; given two files it also diffs their
+//! determinism-normalized forms (the CI reproducibility gate).
 
 use cs2p_eval::experiments::{dataset_figs, pilot, prediction, qoe, sens};
 use cs2p_eval::{EvalConfig, Materials};
+use cs2p_obs::{schema, JsonlSink, Registry};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const EXPERIMENTS: &[&str] = &[
     "table1", "fig2", "fig3", "table2", "obs1", "fig4", "fig5", "fig6", "fig8", "fig9a", "fig9b",
     "fig9c", "fcc", "qoe-mid", "qoe-init", "sens", "pilot",
 ];
 
+/// What runs when only flags are given (e.g. `--small --metrics out.jsonl`):
+/// one prediction experiment and one streaming experiment, which together
+/// with material preparation cover the train/predict/stream stages.
+const DEFAULT_SET: &[&str] = &["fig8", "qoe-mid"];
+
 fn usage() -> ExitCode {
-    eprintln!("usage: cs2p-eval <experiment|all> [--sessions N] [--seed S] [--small]");
+    eprintln!(
+        "usage: cs2p-eval [experiment|all] [--sessions N] [--seed S] [--small] \
+         [--metrics out.jsonl] [--profile]"
+    );
+    eprintln!("       cs2p-eval validate-metrics <a.jsonl> [b.jsonl]");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+    eprintln!(
+        "with no experiment, --metrics/--profile run: {}",
+        DEFAULT_SET.join(", ")
+    );
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(which) = args.first().cloned() else {
-        return usage();
-    };
+    if args.first().map(String::as_str) == Some("validate-metrics") {
+        return validate_metrics(&args[1..]);
+    }
 
     let mut config = EvalConfig::default();
     // `--small` carries its own pinned seed; an explicit `--seed` must win
     // regardless of flag order, so it is applied after the loop.
     let mut explicit_seed = None;
-    let mut iter = args.iter().skip(1);
-    while let Some(flag) = iter.next() {
-        match flag.as_str() {
+    let mut metrics_path: Option<String> = None;
+    let mut profile = false;
+    let mut positional: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
             "--small" => config = EvalConfig::small(),
             "--sessions" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.n_sessions = n,
@@ -42,20 +70,40 @@ fn main() -> ExitCode {
                 Some(s) => explicit_seed = Some(s),
                 None => return usage(),
             },
-            _ => return usage(),
+            "--metrics" => match iter.next() {
+                Some(path) => metrics_path = Some(path.clone()),
+                None => return usage(),
+            },
+            "--profile" => profile = true,
+            flag if flag.starts_with("--") => return usage(),
+            _ => positional.push(arg.clone()),
         }
     }
     if let Some(seed) = explicit_seed {
         config.seed = seed;
     }
 
-    let ids: Vec<&str> = if which == "all" {
-        EXPERIMENTS.to_vec()
-    } else if EXPERIMENTS.contains(&which.as_str()) {
-        vec![which.as_str()]
-    } else {
-        return usage();
+    let ids: Vec<&str> = match positional.as_slice() {
+        [] if metrics_path.is_some() || profile => DEFAULT_SET.to_vec(),
+        [] => return usage(),
+        [one] if one == "all" => EXPERIMENTS.to_vec(),
+        [one] if EXPERIMENTS.contains(&one.as_str()) => vec![one.as_str()],
+        _ => return usage(),
     };
+
+    // Telemetry: turn the global registry on before any training happens.
+    if metrics_path.is_some() || profile {
+        Registry::global().set_enabled(true);
+    }
+    if let Some(path) = &metrics_path {
+        match JsonlSink::create(std::path::Path::new(path)) {
+            Ok(sink) => Registry::global().add_sink(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("cannot open metrics file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     eprintln!(
         "preparing materials: {} sessions, seed {} ...",
@@ -75,6 +123,15 @@ fn main() -> ExitCode {
     for id in ids {
         println!("================================================================");
         run_one(id, &materials);
+    }
+
+    if metrics_path.is_some() {
+        // Close the stream with one row per metric, then flush to disk.
+        Registry::global().emit_snapshot();
+        Registry::global().flush_sinks();
+    }
+    if profile {
+        print!("{}", profile_table(&Registry::global().snapshot()));
     }
     ExitCode::SUCCESS
 }
@@ -104,4 +161,102 @@ fn run_one(id: &str, materials: &Materials) {
         _ => unreachable!("validated above"),
     }
     eprintln!("[{id} took {:.1}s]", start.elapsed().as_secs_f64());
+}
+
+/// Renders the per-stage wall-time table from the `.us` span histograms.
+fn profile_table(snapshot: &cs2p_obs::MetricsSnapshot) -> String {
+    let mut rows: Vec<(String, u64, f64, f64)> = snapshot
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.ends_with(".us"))
+        .map(|(name, h)| {
+            let stage = name.trim_end_matches(".us").to_string();
+            let mean_ms = h.mean().unwrap_or(0.0) / 1000.0;
+            (stage, h.count, h.sum / 1000.0, mean_ms)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.2.total_cmp(&a.2));
+    let mut out = String::new();
+    out.push_str("================================================================\n");
+    out.push_str("profile: per-stage wall time (from span histograms)\n");
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>12} {:>12}\n",
+        "stage", "calls", "total ms", "mean ms"
+    ));
+    for (stage, count, total_ms, mean_ms) in rows {
+        out.push_str(&format!(
+            "{stage:<28} {count:>8} {total_ms:>12.1} {mean_ms:>12.3}\n"
+        ));
+    }
+    out
+}
+
+/// `validate-metrics <a.jsonl> [b.jsonl]`: schema-check one file; with two
+/// files, also require their determinism-normalized forms to be identical.
+fn validate_metrics(files: &[String]) -> ExitCode {
+    if files.is_empty() || files.len() > 2 {
+        return usage();
+    }
+    let mut texts = Vec::new();
+    for path in files {
+        match std::fs::read_to_string(path) {
+            Ok(t) => texts.push(t),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for (path, text) in files.iter().zip(&texts) {
+        match schema::validate_jsonl(text) {
+            Ok(cov) => {
+                println!(
+                    "{path}: {} records, stages [{}]",
+                    cov.n_records,
+                    cov.stages.iter().cloned().collect::<Vec<_>>().join(", ")
+                );
+                let required = ["train", "predict", "stream"];
+                if !cov.covers(&required) {
+                    eprintln!("{path}: missing required stages {required:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(errors) => {
+                eprintln!("{path}: schema violations:");
+                for e in errors.iter().take(20) {
+                    eprintln!("  {e}");
+                }
+                if errors.len() > 20 {
+                    eprintln!("  ... and {} more", errors.len() - 20);
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if texts.len() == 2 {
+        let (a, b) = (
+            schema::normalize_for_determinism(&texts[0]),
+            schema::normalize_for_determinism(&texts[1]),
+        );
+        if a != b {
+            eprintln!(
+                "normalized metrics differ between {} and {}:",
+                files[0], files[1]
+            );
+            for (la, lb) in a.lines().zip(b.lines()) {
+                if la != lb {
+                    eprintln!("  - {la}");
+                    eprintln!("  + {lb}");
+                    break;
+                }
+            }
+            let (na, nb) = (a.lines().count(), b.lines().count());
+            if na != nb {
+                eprintln!("  ({na} vs {nb} normalized lines)");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("normalized metrics identical ({} lines)", a.lines().count());
+    }
+    ExitCode::SUCCESS
 }

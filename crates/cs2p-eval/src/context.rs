@@ -146,8 +146,14 @@ impl Materials {
     /// Generates data, splits, and trains everything. Deterministic in the
     /// config.
     pub fn prepare(config: EvalConfig) -> Self {
+        let _span = cs2p_obs::span("train.prepare")
+            .field("n_sessions", config.n_sessions)
+            .field("seed", config.seed);
         let (dataset, world) = generate(&config.synth());
-        let (train, test) = dataset.split_at_day(1);
+        let (train, test) = {
+            let _split = cs2p_obs::span("train.split");
+            dataset.split_at_day(1)
+        };
         let (engine, summary) = PredictionEngine::train(&train, &config.engine())
             .expect("training dataset too small for an engine");
 
@@ -169,8 +175,18 @@ impl Materials {
             max_sweeps: 60,
             tol: 1e-4,
         });
-        let gbr = MlBaseline::train("GBR", &gbr_kind, &train, config.ml_max_samples);
-        let svr = MlBaseline::train("SVR", &svr_kind, &train, config.ml_max_samples);
+        let gbr = {
+            let _span = cs2p_obs::span("train.baseline.gbr");
+            MlBaseline::train("GBR", &gbr_kind, &train, config.ml_max_samples)
+        };
+        let svr = {
+            let _span = cs2p_obs::span("train.baseline.svr");
+            MlBaseline::train("SVR", &svr_kind, &train, config.ml_max_samples)
+        };
+        if cs2p_obs::enabled() {
+            cs2p_obs::gauge_set("train.sessions", train.len() as f64);
+            cs2p_obs::gauge_set("train.test_sessions", test.len() as f64);
+        }
 
         Materials {
             config,

@@ -26,6 +26,10 @@
 //! The `cs2p-eval` binary runs any of them by id.
 
 #![warn(missing_docs)]
+// Library crates speak through `cs2p-obs` events, never raw prints
+// (binaries are exempt; see OBSERVABILITY.md).
+#![deny(clippy::print_stdout)]
+#![deny(clippy::print_stderr)]
 
 pub mod context;
 pub mod experiments;

@@ -56,14 +56,21 @@ pub fn midstream_errors<'a, F>(
 where
     F: FnMut(&'a Session) -> Box<dyn ThroughputPredictor + 'a>,
 {
-    indices
+    let _span = cs2p_obs::span("predict.midstream");
+    let per_session: Vec<Vec<f64>> = indices
         .iter()
         .map(|&i| {
             let session = test.get(i);
             let mut predictor = factory(session);
             midstream_errors_for_session(predictor.as_mut(), session)
         })
-        .collect()
+        .collect();
+    if cs2p_obs::enabled() {
+        cs2p_obs::counter_add("predict.midstream.sessions", per_session.len() as u64);
+        let samples: u64 = per_session.iter().map(|v| v.len() as u64).sum();
+        cs2p_obs::counter_add("predict.midstream.samples", samples);
+    }
+    per_session
 }
 
 /// Initial-epoch errors across sessions (methods that cannot predict the
@@ -72,6 +79,7 @@ pub fn initial_errors<'a, F>(test: &'a Dataset, indices: &[usize], mut factory: 
 where
     F: FnMut(&'a Session) -> Box<dyn ThroughputPredictor + 'a>,
 {
+    let _span = cs2p_obs::span("predict.initial");
     let mut errors = Vec::new();
     for &i in indices {
         let session = test.get(i);
@@ -83,6 +91,7 @@ where
             errors.push(abs_normalized_error(pred, actual));
         }
     }
+    cs2p_obs::counter_add("predict.initial.samples", errors.len() as u64);
     errors
 }
 

@@ -18,6 +18,7 @@ use super::init::kmeans_init;
 use super::{Emission, Hmm};
 use crate::gaussian::Gaussian;
 use crate::matrix::Matrix;
+use cs2p_obs::Level;
 
 /// Emission family to fit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +66,12 @@ pub struct TrainReport {
     /// Whether the tolerance criterion (rather than the iteration cap)
     /// stopped training.
     pub converged: bool,
+    /// Relative log-likelihood improvement of the last iteration (what the
+    /// tolerance check saw; `f64::INFINITY` when only one iteration ran).
+    pub final_rel_delta: f64,
+    /// Correlates this run's `train.em.*` telemetry records (each carries
+    /// a matching `run_id` field).
+    pub telemetry_run_id: u64,
 }
 
 /// Additive smoothing applied to transition counts so no transition
@@ -92,8 +99,24 @@ pub fn train(sequences: &[Vec<f64>], config: &TrainConfig) -> Option<(Hmm, Train
     let mut hmm = kmeans_init(&nonempty, config)?;
     let n = config.n_states;
 
+    let run_id = cs2p_obs::next_run_id();
+    if cs2p_obs::enabled() {
+        cs2p_obs::event(
+            Level::Debug,
+            "train.em.start",
+            vec![
+                ("run_id", run_id.into()),
+                ("n_states", n.into()),
+                ("n_sequences", nonempty.len().into()),
+                ("max_iters", config.max_iters.into()),
+                ("seed", config.seed.into()),
+            ],
+        );
+    }
+
     let mut lls = Vec::with_capacity(config.max_iters);
     let mut converged = false;
+    let mut final_rel_delta = f64::INFINITY;
 
     for _iter in 0..config.max_iters {
         // --- E step: accumulate statistics over all sequences ---
@@ -168,10 +191,23 @@ pub fn train(sequences: &[Vec<f64>], config: &TrainConfig) -> Option<(Hmm, Train
         if lls.len() >= 2 {
             let prev = lls[lls.len() - 2];
             let rel = (ll_total - prev).abs() / prev.abs().max(1.0);
-            if rel < config.tol {
-                converged = true;
-                break;
+            final_rel_delta = rel;
+        }
+        if cs2p_obs::enabled() {
+            let mut fields: cs2p_obs::Fields = vec![
+                ("run_id", run_id.into()),
+                ("iter", lls.len().into()),
+                ("log_likelihood", ll_total.into()),
+            ];
+            // The first iteration has no predecessor to compare against.
+            if final_rel_delta.is_finite() {
+                fields.push(("rel_delta", final_rel_delta.into()));
             }
+            cs2p_obs::event(Level::Debug, "train.em.iteration", fields);
+        }
+        if lls.len() >= 2 && final_rel_delta < config.tol {
+            converged = true;
+            break;
         }
 
         // --- M step ---
@@ -225,12 +261,37 @@ pub fn train(sequences: &[Vec<f64>], config: &TrainConfig) -> Option<(Hmm, Train
     }
 
     let iterations = lls.len();
+    if cs2p_obs::enabled() {
+        cs2p_obs::counter_add("train.em.runs", 1);
+        cs2p_obs::observe("train.em.iterations", iterations as f64);
+        let mut fields: cs2p_obs::Fields = vec![
+            ("run_id", run_id.into()),
+            ("iterations", iterations.into()),
+            ("converged", converged.into()),
+        ];
+        if let Some(&ll) = lls.last() {
+            fields.push(("log_likelihood", ll.into()));
+        }
+        if final_rel_delta.is_finite() {
+            fields.push(("final_rel_delta", final_rel_delta.into()));
+        }
+        if converged {
+            cs2p_obs::event(Level::Info, "train.em.converged", fields);
+        } else {
+            // Explicit, not silent: the iteration cap stopped training
+            // before the tolerance criterion was met.
+            cs2p_obs::counter_add("train.em.max_iters_hit", 1);
+            cs2p_obs::event(Level::Warn, "train.em.max_iters", fields);
+        }
+    }
     Some((
         hmm,
         TrainReport {
             log_likelihoods: lls,
             iterations,
             converged,
+            final_rel_delta,
+            telemetry_run_id: run_id,
         },
     ))
 }

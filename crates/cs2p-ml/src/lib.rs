@@ -23,6 +23,10 @@
 //! Everything is deterministic given a seed; no global state, no threads.
 
 #![warn(missing_docs)]
+// Library crates speak through `cs2p-obs` events, never raw prints
+// (binaries are exempt; see OBSERVABILITY.md).
+#![deny(clippy::print_stdout)]
+#![deny(clippy::print_stderr)]
 
 pub mod ar;
 pub mod crossval;

@@ -1,0 +1,182 @@
+//! EM training telemetry: the `train.em.*` records promised by
+//! `OBSERVABILITY.md`, observed through the global registry.
+//!
+//! These tests share the process-global registry, so they serialize on a
+//! mutex and restore the disabled state before releasing it. Filtering by
+//! `run_id` keeps them immune to telemetry from tests in other binaries
+//! (separate processes) and other trainings in this one.
+
+use cs2p_ml::hmm::{train, TrainConfig};
+use cs2p_obs::{Field, Level, MemorySink, Record, RecordKind, Registry};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Serializes global-registry use across tests in this binary.
+fn global_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// Runs `f` with the global registry enabled and a fresh memory sink, then
+/// restores the registry to its disabled, sink-free default.
+fn with_global_sink<T>(f: impl FnOnce(&Arc<MemorySink>) -> T) -> T {
+    let _guard = global_lock().lock().unwrap();
+    let sink = Arc::new(MemorySink::new());
+    Registry::global().add_sink(sink.clone());
+    Registry::global().set_enabled(true);
+    let out = f(&sink);
+    Registry::global().set_enabled(false);
+    Registry::global().clear_sinks();
+    out
+}
+
+fn training_set(n_seqs: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+    // Two clearly separated throughput regimes with sticky transitions.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n_seqs)
+        .map(|_| {
+            let mut state = 0usize;
+            (0..len)
+                .map(|_| {
+                    use rand::Rng;
+                    if rng.gen::<f64>() < 0.1 {
+                        state = 1 - state;
+                    }
+                    let base = if state == 0 { 1.0 } else { 5.0 };
+                    base + rng.gen_range(-0.2..0.2)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn run_id_of(record: &Record) -> Option<u64> {
+    match record.field("run_id") {
+        Some(Field::U64(id)) => Some(*id),
+        _ => None,
+    }
+}
+
+#[test]
+fn per_iteration_log_likelihood_is_monotone_nondecreasing() {
+    let sequences = training_set(6, 40, 3);
+    let config = TrainConfig {
+        n_states: 2,
+        max_iters: 30,
+        ..Default::default()
+    };
+    let (records, report) = with_global_sink(|sink| {
+        let (_, report) = train(&sequences, &config).expect("training succeeds");
+        (sink.records_named("train.em.iteration"), report)
+    });
+
+    let mine: Vec<&Record> = records
+        .iter()
+        .filter(|r| run_id_of(r) == Some(report.telemetry_run_id))
+        .collect();
+    assert_eq!(
+        mine.len(),
+        report.iterations,
+        "one train.em.iteration event per EM iteration"
+    );
+    let lls: Vec<f64> = mine
+        .iter()
+        .map(|r| match r.field("log_likelihood") {
+            Some(Field::F64(ll)) => *ll,
+            other => panic!("log_likelihood missing or mistyped: {other:?}"),
+        })
+        .collect();
+    assert_eq!(lls, report.log_likelihoods, "telemetry mirrors the report");
+    for w in lls.windows(2) {
+        assert!(
+            w[1] >= w[0] - 1e-8 * w[0].abs().max(1.0),
+            "EM log-likelihood decreased: {} -> {}",
+            w[0],
+            w[1]
+        );
+    }
+    // Iteration numbers are 1..=iterations, in order.
+    for (i, r) in mine.iter().enumerate() {
+        assert_eq!(r.field("iter"), Some(&Field::U64(i as u64 + 1)));
+    }
+}
+
+#[test]
+fn converged_run_reports_final_delta_below_tolerance() {
+    let sequences = training_set(6, 40, 5);
+    let config = TrainConfig {
+        n_states: 2,
+        max_iters: 200,
+        ..Default::default()
+    };
+    let (events, report) = with_global_sink(|sink| {
+        let (_, report) = train(&sequences, &config).expect("training succeeds");
+        (sink.records_named("train.em.converged"), report)
+    });
+    assert!(report.converged, "200 iterations must reach tol");
+    assert!(report.final_rel_delta < config.tol);
+    let mine: Vec<_> = events
+        .iter()
+        .filter(|r| run_id_of(r) == Some(report.telemetry_run_id))
+        .collect();
+    assert_eq!(mine.len(), 1);
+    assert!(matches!(
+        mine[0].kind,
+        RecordKind::Event { level: Level::Info }
+    ));
+    assert_eq!(
+        mine[0].field("iterations"),
+        Some(&Field::U64(report.iterations as u64))
+    );
+}
+
+#[test]
+fn hitting_the_iteration_cap_emits_a_warning_event() {
+    let sequences = training_set(6, 40, 7);
+    let config = TrainConfig {
+        n_states: 2,
+        max_iters: 2,
+        tol: 0.0, // unreachable: the cap always stops training
+        ..Default::default()
+    };
+    let (warnings, report) = with_global_sink(|sink| {
+        let (_, report) = train(&sequences, &config).expect("training succeeds");
+        (sink.records_named("train.em.max_iters"), report)
+    });
+    assert!(!report.converged);
+    assert_eq!(report.iterations, 2);
+    let mine: Vec<_> = warnings
+        .iter()
+        .filter(|r| run_id_of(r) == Some(report.telemetry_run_id))
+        .collect();
+    assert_eq!(mine.len(), 1, "exactly one warn event for this run");
+    assert!(matches!(
+        mine[0].kind,
+        RecordKind::Event { level: Level::Warn }
+    ));
+    // The warn event carries the convergence diagnostics.
+    assert_eq!(mine[0].field("iterations"), Some(&Field::U64(2)));
+    assert!(matches!(
+        mine[0].field("final_rel_delta"),
+        Some(Field::F64(d)) if *d >= 0.0
+    ));
+}
+
+#[test]
+fn disabled_registry_trains_silently_but_still_reports() {
+    let _guard = global_lock().lock().unwrap();
+    let sink = Arc::new(MemorySink::new());
+    Registry::global().add_sink(sink.clone());
+    // Registry stays disabled: no records, but the report is still filled.
+    let sequences = training_set(4, 30, 9);
+    let config = TrainConfig {
+        n_states: 2,
+        max_iters: 10,
+        ..Default::default()
+    };
+    let (_, report) = train(&sequences, &config).expect("training succeeds");
+    assert!(report.iterations >= 1);
+    assert!(sink.records().is_empty(), "disabled global must not record");
+    Registry::global().clear_sinks();
+}

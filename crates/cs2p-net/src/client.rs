@@ -47,15 +47,27 @@ impl HttpClient {
     /// Sends one request, reusing the connection; retries once on a broken
     /// keep-alive connection.
     pub fn send(&mut self, req: &Request) -> io::Result<Response> {
+        let _span = cs2p_obs::span("net.client.request");
+        cs2p_obs::counter_add("net.client.requests", 1);
         for attempt in 0..2 {
             match self.try_send(req) {
-                Ok(resp) => return Ok(resp),
+                Ok(resp) => {
+                    if cs2p_obs::enabled() {
+                        cs2p_obs::counter_add("net.client.bytes_out", req.body.len() as u64);
+                        cs2p_obs::counter_add("net.client.bytes_in", resp.body.len() as u64);
+                    }
+                    return Ok(resp);
+                }
                 Err(e) if attempt == 0 => {
                     // Stale keep-alive connection: reconnect and retry.
+                    cs2p_obs::counter_add("net.client.reconnects", 1);
                     self.connection = None;
                     let _ = e;
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    cs2p_obs::counter_add("net.client.errors", 1);
+                    return Err(e);
+                }
             }
         }
         unreachable!()

@@ -23,6 +23,10 @@
 //! TCP connection, matching what §7.5's pilot measures.
 
 #![warn(missing_docs)]
+// Library crates speak through `cs2p-obs` events, never raw prints
+// (binaries are exempt; see OBSERVABILITY.md).
+#![deny(clippy::print_stdout)]
+#![deny(clippy::print_stderr)]
 
 pub mod client;
 pub mod dash;

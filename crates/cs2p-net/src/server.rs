@@ -62,6 +62,20 @@ impl Inner {
     }
 
     fn handle(&self, req: &Request) -> Response {
+        let _span = cs2p_obs::span("net.server.request");
+        let resp = self.route(req);
+        if cs2p_obs::enabled() {
+            cs2p_obs::counter_add("net.server.requests", 1);
+            cs2p_obs::counter_add("net.server.bytes_in", req.body.len() as u64);
+            cs2p_obs::counter_add("net.server.bytes_out", resp.body.len() as u64);
+            if resp.status >= 400 {
+                cs2p_obs::counter_add("net.server.errors", 1);
+            }
+        }
+        resp
+    }
+
+    fn route(&self, req: &Request) -> Response {
         match (
             req.method.as_str(),
             req.path.split('?').next().unwrap_or(""),
@@ -153,6 +167,7 @@ impl Inner {
         drop(sessions);
 
         self.predictions_served.fetch_add(1, Ordering::Relaxed);
+        cs2p_obs::counter_add("predict.server.served", 1);
         let resp = PredictResponse {
             predictions_mbps,
             initial,

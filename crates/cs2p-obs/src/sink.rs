@@ -1,0 +1,198 @@
+//! Pluggable telemetry sinks.
+//!
+//! A [`Sink`] receives every [`Record`] the registry emits. Three
+//! implementations cover the workspace's needs: [`MemorySink`] for tests,
+//! [`JsonlSink`] for machine-readable capture (the `--metrics` flag of
+//! `cs2p-eval`), and [`StderrSink`] for humans watching a run.
+
+use crate::event::{Record, RecordKind};
+use parking_lot::Mutex;
+use std::io::Write;
+
+/// A destination for telemetry records.
+pub trait Sink: Send + Sync {
+    /// Receives one record.
+    fn record(&self, record: &Record);
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Collects records in memory; the test-suite sink.
+#[derive(Default)]
+pub struct MemorySink {
+    records: Mutex<Vec<Record>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().clone()
+    }
+
+    /// Records whose name matches `name` exactly.
+    pub fn records_named(&self, name: &str) -> Vec<Record> {
+        self.records
+            .lock()
+            .iter()
+            .filter(|r| r.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Drops everything recorded so far.
+    pub fn clear(&self) {
+        self.records.lock().clear();
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, record: &Record) {
+        self.records.lock().push(record.clone());
+    }
+}
+
+/// Writes each record as one JSON line. The writer is buffered; call
+/// [`Sink::flush`] (the registry's `flush_sinks` does) before reading the
+/// output.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// A sink writing JSONL to `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// A sink writing JSONL to a freshly created (truncated) file.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(std::io::BufWriter::new(file)))
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn record(&self, record: &Record) {
+        let mut w = self.writer.lock();
+        // Telemetry is best-effort: a full disk must not take down the
+        // pipeline being observed.
+        let _ = writeln!(w, "{}", record.to_json_line());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+/// Pretty single-line rendering for humans, written to stderr.
+#[derive(Debug, Default)]
+pub struct StderrSink {
+    /// Only records at or above this level are printed (span and metric
+    /// rows always print).
+    pub min_level: crate::event::Level,
+}
+
+impl StderrSink {
+    /// A sink printing `Info` and above.
+    pub fn new() -> Self {
+        StderrSink::default()
+    }
+
+    fn render(record: &Record) -> String {
+        let mut line = format!("[{:>10}us] {}", record.ts_us, record.name);
+        match &record.kind {
+            RecordKind::Event { level } => line.push_str(&format!(" ({})", level.as_str())),
+            RecordKind::Span { duration_us } => line.push_str(&format!(" took {duration_us}us")),
+            RecordKind::Counter { value } => line.push_str(&format!(" = {value}")),
+            RecordKind::Gauge { value } => line.push_str(&format!(" = {value}")),
+            RecordKind::Histogram { snapshot } => line.push_str(&format!(
+                " n={} mean={:.3} min={:.3} max={:.3}",
+                snapshot.count,
+                snapshot.mean().unwrap_or(0.0),
+                snapshot.min,
+                snapshot.max
+            )),
+        }
+        for (k, v) in &record.fields {
+            line.push_str(&format!(
+                " {k}={}",
+                serde_json::to_string(&v.to_value()).unwrap_or_default()
+            ));
+        }
+        line
+    }
+}
+
+impl Sink for StderrSink {
+    fn record(&self, record: &Record) {
+        if let RecordKind::Event { level } = record.kind {
+            if level < self.min_level {
+                return;
+            }
+        }
+        // The one sanctioned stderr writer in the workspace's libraries.
+        #[allow(clippy::print_stderr)]
+        {
+            eprintln!("{}", Self::render(record));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Field, Level};
+
+    fn event(name: &str) -> Record {
+        Record {
+            ts_us: 7,
+            name: name.into(),
+            kind: RecordKind::Event { level: Level::Info },
+            fields: vec![("k", Field::U64(1))],
+        }
+    }
+
+    #[test]
+    fn memory_sink_collects_and_filters() {
+        let sink = MemorySink::new();
+        sink.record(&event("a.b"));
+        sink.record(&event("a.c"));
+        assert_eq!(sink.records().len(), 2);
+        assert_eq!(sink.records_named("a.b").len(), 1);
+        sink.clear();
+        assert!(sink.records().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.record(&event("x"));
+        sink.record(&event("y"));
+        let bytes = sink.writer.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = serde_json::parse(line).unwrap();
+            assert!(v.get("ts_us").is_some());
+            assert!(v.get("name").is_some());
+        }
+    }
+
+    #[test]
+    fn stderr_render_is_compact() {
+        let line = StderrSink::render(&event("train.engine"));
+        assert!(line.contains("train.engine"));
+        assert!(line.contains("k=1"));
+    }
+}

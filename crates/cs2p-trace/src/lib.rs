@@ -18,6 +18,10 @@
 //! - [`stats`]: Table-2 / Figure-3 / Observation-1 summary statistics.
 
 #![warn(missing_docs)]
+// Library crates speak through `cs2p-obs` events, never raw prints
+// (binaries are exempt; see OBSERVABILITY.md).
+#![deny(clippy::print_stdout)]
+#![deny(clippy::print_stderr)]
 
 pub mod fcc;
 pub mod format;

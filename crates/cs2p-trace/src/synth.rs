@@ -92,6 +92,9 @@ pub fn generate(config: &SynthConfig) -> (Dataset, World) {
 /// Generates sessions over an existing world.
 pub fn generate_over(world: &World, config: &SynthConfig) -> Dataset {
     assert!(config.min_epochs >= 1 && config.max_epochs >= config.min_epochs);
+    let _span = cs2p_obs::span("train.synth")
+        .field("n_sessions", config.n_sessions)
+        .field("seed", config.seed);
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x53_59_4E_54); // "SYNT"
     let schema = FeatureSchema::iqiyi();
     let n_servers = world.config().n_servers;
@@ -157,6 +160,17 @@ pub fn generate_over(world: &World, config: &SynthConfig) -> Dataset {
             config.epoch_seconds,
             throughput,
         ));
+    }
+    if cs2p_obs::enabled() {
+        cs2p_obs::counter_add("train.synth.sessions", sessions.len() as u64);
+        cs2p_obs::event(
+            cs2p_obs::Level::Debug,
+            "train.synth.generated",
+            vec![
+                ("n_sessions", sessions.len().into()),
+                ("seed", config.seed.into()),
+            ],
+        );
     }
     Dataset::new(schema, sessions)
 }

@@ -14,6 +14,8 @@
 //! - [`abr`] — the QoE model, playback simulator, ABR algorithms
 //!   (BB/RB/FESTIVE/MPC), offline-optimal DP;
 //! - [`net`] — the prediction server, HTTP client, and DASH player;
+//! - [`obs`] — structured tracing, metrics, and profiling hooks
+//!   (see `OBSERVABILITY.md`);
 //! - [`eval`] — one experiment driver per paper table/figure.
 //!
 //! ## Quickstart
@@ -53,4 +55,5 @@ pub use cs2p_core as core;
 pub use cs2p_eval as eval;
 pub use cs2p_ml as ml;
 pub use cs2p_net as net;
+pub use cs2p_obs as obs;
 pub use cs2p_trace as trace;
