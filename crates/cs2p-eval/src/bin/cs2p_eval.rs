@@ -5,17 +5,21 @@
 //!           [--metrics out.jsonl] [--profile]
 //! cs2p-eval all          # run everything
 //! cs2p-eval --small --metrics out.jsonl   # default smoke set + telemetry
-//! cs2p-eval validate-metrics a.jsonl [b.jsonl]
+//! cs2p-eval serve-bench  [--metrics out.jsonl]   # serving throughput table
+//! cs2p-eval validate-metrics a.jsonl [b.jsonl] [--require stage,stage]
 //! ```
 //!
 //! `--metrics` enables the global `cs2p-obs` registry and streams every
 //! record to the given JSONL file (schema in `OBSERVABILITY.md`), closing
 //! with a full metric snapshot. `--profile` prints a per-stage wall-time
-//! table built from the span histograms. `validate-metrics` checks a
-//! metrics file against the schema; given two files it also diffs their
-//! determinism-normalized forms (the CI reproducibility gate).
+//! table built from the span histograms. `serve-bench` skips material
+//! preparation and benchmarks the prediction server (legacy vs sharded)
+//! plus its overload backpressure. `validate-metrics` checks a metrics
+//! file against the schema — `--require` overrides the stage-coverage
+//! gate (default `train,predict,stream`); given two files it also diffs
+//! their determinism-normalized forms (the CI reproducibility gate).
 
-use cs2p_eval::experiments::{dataset_figs, pilot, prediction, qoe, sens};
+use cs2p_eval::experiments::{dataset_figs, pilot, prediction, qoe, sens, serve_bench};
 use cs2p_eval::{EvalConfig, Materials};
 use cs2p_obs::{schema, JsonlSink, Registry};
 use std::process::ExitCode;
@@ -36,7 +40,8 @@ fn usage() -> ExitCode {
         "usage: cs2p-eval [experiment|all] [--sessions N] [--seed S] [--small] \
          [--metrics out.jsonl] [--profile]"
     );
-    eprintln!("       cs2p-eval validate-metrics <a.jsonl> [b.jsonl]");
+    eprintln!("       cs2p-eval serve-bench [--metrics out.jsonl]");
+    eprintln!("       cs2p-eval validate-metrics <a.jsonl> [b.jsonl] [--require stage,stage]");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
     eprintln!(
         "with no experiment, --metrics/--profile run: {}",
@@ -75,6 +80,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--profile" => profile = true,
+            "--serve-bench" => positional.push("serve-bench".into()),
             flag if flag.starts_with("--") => return usage(),
             _ => positional.push(arg.clone()),
         }
@@ -83,7 +89,9 @@ fn main() -> ExitCode {
         config.seed = seed;
     }
 
+    let serve_bench_only = positional.as_slice() == ["serve-bench"];
     let ids: Vec<&str> = match positional.as_slice() {
+        _ if serve_bench_only => Vec::new(),
         [] if metrics_path.is_some() || profile => DEFAULT_SET.to_vec(),
         [] => return usage(),
         [one] if one == "all" => EXPERIMENTS.to_vec(),
@@ -103,6 +111,21 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    // `serve-bench` needs no paper materials: bench the server and exit.
+    if serve_bench_only {
+        let start = std::time::Instant::now();
+        print!("{}", serve_bench::serve_bench());
+        eprintln!("[serve-bench took {:.1}s]", start.elapsed().as_secs_f64());
+        if metrics_path.is_some() {
+            Registry::global().emit_snapshot();
+            Registry::global().flush_sinks();
+        }
+        if profile {
+            print!("{}", profile_table(&Registry::global().snapshot()));
+        }
+        return ExitCode::SUCCESS;
     }
 
     eprintln!(
@@ -191,14 +214,38 @@ fn profile_table(snapshot: &cs2p_obs::MetricsSnapshot) -> String {
     out
 }
 
-/// `validate-metrics <a.jsonl> [b.jsonl]`: schema-check one file; with two
-/// files, also require their determinism-normalized forms to be identical.
-fn validate_metrics(files: &[String]) -> ExitCode {
+/// `validate-metrics <a.jsonl> [b.jsonl] [--require stage,stage]`:
+/// schema-check one file; with two files, also require their
+/// determinism-normalized forms to be identical. `--require` overrides
+/// the stages that must appear (default `train,predict,stream` — a
+/// serve-bench run would pass `--require serve,predict`).
+fn validate_metrics(args: &[String]) -> ExitCode {
+    let mut files: Vec<&String> = Vec::new();
+    let mut required: Vec<String> = ["train", "predict", "stream"].map(String::from).to_vec();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--require" => match iter.next() {
+                Some(list) => {
+                    required = list
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from)
+                        .collect();
+                }
+                None => return usage(),
+            },
+            flag if flag.starts_with("--") => return usage(),
+            _ => files.push(arg),
+        }
+    }
     if files.is_empty() || files.len() > 2 {
         return usage();
     }
+    let required: Vec<&str> = required.iter().map(String::as_str).collect();
     let mut texts = Vec::new();
-    for path in files {
+    for path in &files {
         match std::fs::read_to_string(path) {
             Ok(t) => texts.push(t),
             Err(e) => {
@@ -215,7 +262,6 @@ fn validate_metrics(files: &[String]) -> ExitCode {
                     cov.n_records,
                     cov.stages.iter().cloned().collect::<Vec<_>>().join(", ")
                 );
-                let required = ["train", "predict", "stream"];
                 if !cov.covers(&required) {
                     eprintln!("{path}: missing required stages {required:?}");
                     return ExitCode::FAILURE;

@@ -6,3 +6,4 @@ pub mod pilot;
 pub mod prediction;
 pub mod qoe;
 pub mod sens;
+pub mod serve_bench;

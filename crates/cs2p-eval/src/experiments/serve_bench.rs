@@ -1,0 +1,186 @@
+//! `serve-bench`: closed-loop throughput of the sharded worker-pool
+//! prediction server vs the legacy thread-per-connection server, plus an
+//! overload probe of the 503 backpressure path.
+//!
+//! Unlike the paper experiments this needs no materials: it trains a
+//! milliseconds-scale two-ISP engine and measures requests/second at
+//! several client counts. The criterion twin (`cargo bench -p cs2p-bench
+//! --bench serve_throughput`) reports distribution statistics; this
+//! command is the quick table for DESIGN.md and CI logs.
+
+use cs2p_core::engine::{EngineConfig, PredictionEngine};
+use cs2p_core::{Dataset, FeatureSchema, FeatureVector, Session};
+use cs2p_net::http::Request;
+use cs2p_net::protocol::PredictRequest;
+use cs2p_net::{serve_legacy, serve_with, HttpClient, ServeConfig};
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+const CLIENT_COUNTS: [usize; 3] = [1, 8, 64];
+const EPOCHS_PER_SESSION: usize = 4;
+
+/// A two-ISP engine (1 Mbps / 5 Mbps, constant traces) that trains in
+/// milliseconds — serving throughput, not model quality, is under test.
+fn bench_engine() -> PredictionEngine {
+    let schema = FeatureSchema::new(vec!["isp"]);
+    let sessions: Vec<Session> = (0..40)
+        .map(|k| {
+            let isp = (k % 2) as u32;
+            let tp = if isp == 0 { 1.0 } else { 5.0 };
+            Session::new(k, FeatureVector(vec![isp]), k * 50, 6, vec![tp; 8])
+        })
+        .collect();
+    let d = Dataset::new(schema, sessions);
+    let mut config = EngineConfig::default();
+    config.cluster.min_cluster_size = 5;
+    config.hmm.n_states = 2;
+    config.hmm.max_iters = 10;
+    PredictionEngine::train(&d, &config)
+        .expect("serve-bench engine trains")
+        .0
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    sent: u64,
+    ok: u64,
+    rejected: u64,
+    errors: u64,
+}
+
+/// One closed-loop run: `n_clients` threads, one keep-alive connection
+/// and one session each, `EPOCHS_PER_SESSION` predict POSTs per session.
+fn drive(addr: SocketAddr, n_clients: usize) -> Tally {
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_clients as u64)
+            .map(|session_id| {
+                scope.spawn(move || {
+                    let mut client = HttpClient::new(addr);
+                    let mut t = Tally::default();
+                    for epoch in 0..EPOCHS_PER_SESSION {
+                        let preq = PredictRequest {
+                            session_id: 90_000 + session_id,
+                            features: (epoch == 0).then(|| vec![(session_id % 2) as u32]),
+                            measured_mbps: (epoch > 0).then_some(2.5),
+                            horizon: 2,
+                        };
+                        let body = serde_json::to_vec(&preq).expect("serialize request");
+                        t.sent += 1;
+                        match client.send(&Request::new("POST", "/predict", body)) {
+                            Ok(resp) if resp.status == 200 => t.ok += 1,
+                            Ok(resp) if resp.status == 503 => {
+                                t.rejected += 1;
+                                client.reset_connection();
+                            }
+                            _ => t.errors += 1,
+                        }
+                    }
+                    t
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench client panicked"))
+            .collect()
+    });
+    let mut total = Tally::default();
+    for t in tallies {
+        total.sent += t.sent;
+        total.ok += t.ok;
+        total.rejected += t.rejected;
+        total.errors += t.errors;
+    }
+    total
+}
+
+/// Warmed one-shot requests/second; panics if the run shed any load (the
+/// measured configurations are sized to absorb it all).
+fn measure_rps(addr: SocketAddr, n_clients: usize) -> f64 {
+    for round in 0..2 {
+        let start = Instant::now();
+        let tally = drive(addr, n_clients);
+        assert_eq!(
+            tally.ok, tally.sent,
+            "bench workload shed load: {tally:?} at {n_clients} clients"
+        );
+        if round == 1 {
+            return tally.sent as f64 / start.elapsed().as_secs_f64();
+        }
+    }
+    unreachable!("second round returns")
+}
+
+fn sharded_config() -> ServeConfig {
+    ServeConfig {
+        n_workers: 8,
+        n_shards: 8,
+        queue_depth: 1024,
+        max_connections: 4096,
+        ..ServeConfig::default()
+    }
+}
+
+/// The serve-bench table: legacy vs sharded rps per client count, then
+/// the overload probe.
+pub fn serve_bench() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve-bench: closed-loop requests/second, {EPOCHS_PER_SESSION} requests per client"
+    );
+    let _ = writeln!(
+        out,
+        "{:>9} {:>12} {:>12} {:>9}",
+        "clients", "legacy rps", "sharded rps", "ratio"
+    );
+    for &n_clients in &CLIENT_COUNTS {
+        let legacy = serve_legacy(bench_engine(), "127.0.0.1:0").expect("bind legacy");
+        let legacy_rps = measure_rps(legacy.addr(), n_clients);
+        legacy.shutdown();
+
+        let sharded =
+            serve_with(bench_engine(), "127.0.0.1:0", sharded_config()).expect("bind sharded");
+        let sharded_rps = measure_rps(sharded.addr(), n_clients);
+        sharded.shutdown();
+
+        let _ = writeln!(
+            out,
+            "{:>9} {:>12.0} {:>12.0} {:>8.2}x",
+            n_clients,
+            legacy_rps,
+            sharded_rps,
+            sharded_rps / legacy_rps
+        );
+    }
+
+    // Overload probe: 1 worker, 1-deep queue, 16 clients. The server
+    // must shed with 503s and keep answering — never panic or drop.
+    // Telemetry is suspended here: which requests survive an overload is
+    // timing-dependent by construction, and a `serve-bench --metrics`
+    // file must stay reproducible run-to-run (CI diffs two of them).
+    let obs_was_enabled = cs2p_obs::enabled();
+    cs2p_obs::set_enabled(false);
+    let server = serve_with(
+        bench_engine(),
+        "127.0.0.1:0",
+        ServeConfig {
+            n_workers: 1,
+            queue_depth: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind overload server");
+    let tally = drive(server.addr(), 16);
+    let stats = server.shutdown();
+    cs2p_obs::set_enabled(obs_was_enabled);
+    assert_eq!(tally.ok + tally.rejected + tally.errors, tally.sent);
+    assert!(tally.ok > 0, "overloaded server made no progress");
+    let _ = writeln!(
+        out,
+        "overload (1 worker, queue depth 1, 16 clients): {} ok, {} rejected (503), {} errors; server counted {} rejections",
+        tally.ok, tally.rejected, tally.errors, stats.rejected
+    );
+    out
+}

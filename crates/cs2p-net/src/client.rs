@@ -73,6 +73,12 @@ impl HttpClient {
         unreachable!()
     }
 
+    /// Drops the current keep-alive connection; the next request
+    /// reconnects. Used after a response carrying `Connection: close`.
+    pub fn reset_connection(&mut self) {
+        self.connection = None;
+    }
+
     fn try_send(&mut self, req: &Request) -> io::Result<Response> {
         let (reader, writer) = self.connect()?;
         write_request(writer, req)?;
@@ -146,29 +152,61 @@ impl RemotePredictor {
     }
 
     /// Ensures the cache covers `k` epochs ahead, POSTing if necessary.
-    /// Returns `None` on network failure (prediction is best-effort; the
-    /// player degrades to no-prediction behaviour rather than stalling).
+    /// Returns `None` on network failure or server backpressure
+    /// (prediction is best-effort; the player degrades to no-prediction
+    /// behaviour rather than stalling). If the server evicted this
+    /// session (404 "unknown session"), re-registers transparently by
+    /// resending the features.
     fn ensure_cache(&mut self, k: usize) -> Option<()> {
         let dirty = self.pending_measurement.is_some() || !self.registered;
         if !dirty && self.cache.len() >= k {
             return Some(());
         }
-        let preq = PredictRequest {
-            session_id: self.session_id,
-            features: if self.registered {
-                None
-            } else {
-                Some(self.features.clone())
-            },
-            measured_mbps: self.pending_measurement,
-            horizon: self.fetch_horizon.max(k),
-        };
-        let resp: PredictResponse = self.client.post_json("/predict", &preq).ok()?;
-        self.registered = true;
-        self.pending_measurement = None;
-        self.cache = resp.predictions_mbps;
-        self.cache_initial = resp.initial;
-        Some(())
+        // Two attempts: the second only after a 404 told us the server
+        // no longer knows this session and we must resend features.
+        for _ in 0..2 {
+            let preq = PredictRequest {
+                session_id: self.session_id,
+                features: if self.registered {
+                    None
+                } else {
+                    Some(self.features.clone())
+                },
+                measured_mbps: self.pending_measurement,
+                horizon: self.fetch_horizon.max(k),
+            };
+            let body = serde_json::to_vec(&preq).ok()?;
+            let resp = self
+                .client
+                .send(&Request::new("POST", "/predict", body))
+                .ok()?;
+            match resp.status {
+                200..=299 => {
+                    let presp: PredictResponse = serde_json::from_slice(&resp.body).ok()?;
+                    self.registered = true;
+                    self.pending_measurement = None;
+                    self.cache = presp.predictions_mbps;
+                    self.cache_initial = presp.initial;
+                    return Some(());
+                }
+                404 if self.registered => {
+                    // Evicted server-side: re-register with features and
+                    // keep the pending measurement — it still seeds the
+                    // fresh filter with the latest real observation.
+                    cs2p_obs::counter_add("predict.client.reinit", 1);
+                    self.registered = false;
+                    self.cache.clear();
+                }
+                503 => {
+                    cs2p_obs::counter_add("predict.client.backpressure", 1);
+                    // The 503 carried `Connection: close`.
+                    self.client.reset_connection();
+                    return None;
+                }
+                _ => return None,
+            }
+        }
+        None
     }
 
     /// Uploads a session log (fire-and-forget semantics on error).
@@ -285,6 +323,29 @@ mod tests {
         let init = p.predict_initial();
         assert!(init.is_some());
         server.shutdown();
+    }
+
+    #[test]
+    fn evicted_session_reregisters_transparently() {
+        use crate::server::{serve_with, ServeConfig};
+        let config = ServeConfig {
+            n_shards: 1,
+            max_sessions: 1,
+            ..ServeConfig::default()
+        };
+        let server = serve_with(tiny_engine(), "127.0.0.1:0", config).unwrap();
+        let mut p1 = RemotePredictor::new(server.addr(), 1, vec![1]);
+        assert!(p1.predict_initial().is_some());
+        // A second session evicts the first (capacity 1).
+        let mut p2 = RemotePredictor::new(server.addr(), 2, vec![0]);
+        assert!(p2.predict_initial().is_some());
+        // The first keeps streaming: the server answers 404 (unknown
+        // session) and the predictor re-registers without the caller
+        // noticing anything but a fresh filter.
+        p1.observe(5.0);
+        assert!(p1.predict_next().is_some());
+        let stats = server.shutdown();
+        assert!(stats.sessions_evicted >= 1);
     }
 
     #[test]

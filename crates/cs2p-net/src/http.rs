@@ -91,6 +91,18 @@ impl Response {
     pub fn header(&self, name: &str) -> Option<&str> {
         header_lookup(&self.headers, name)
     }
+
+    /// A 503 backpressure response: `Retry-After` tells the peer when to
+    /// come back, `Connection: close` tells it this connection is done
+    /// (the server writes this *without* reading the request, so the
+    /// connection cannot be safely reused).
+    pub fn service_unavailable(retry_after_seconds: u64) -> Self {
+        let mut r = Response::error(503, "server overloaded, retry later");
+        r.headers
+            .push(("retry-after".into(), retry_after_seconds.to_string()));
+        r.headers.push(("connection".into(), "close".into()));
+        r
+    }
 }
 
 fn header_lookup<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
@@ -109,6 +121,7 @@ fn reason_phrase(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -362,6 +375,20 @@ mod tests {
     #[test]
     fn status_reason_phrases() {
         assert_eq!(Response::new(404, Bytes::new()).reason, "Not Found");
+        assert_eq!(
+            Response::new(503, Bytes::new()).reason,
+            "Service Unavailable"
+        );
         assert_eq!(Response::new(599, Bytes::new()).reason, "Unknown");
+    }
+
+    #[test]
+    fn service_unavailable_carries_backpressure_headers() {
+        let resp = Response::service_unavailable(2);
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("2"));
+        assert_eq!(resp.header("connection"), Some("close"));
+        let back = roundtrip_response(&resp);
+        assert_eq!(back.header("retry-after"), Some("2"));
     }
 }

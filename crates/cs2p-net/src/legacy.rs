@@ -1,0 +1,158 @@
+//! The pre-rewrite thread-per-connection server, kept as the benchmark
+//! baseline for `serve_throughput` (old vs. new architecture).
+//!
+//! This is deliberately the old design: one global session table (a
+//! single-shard store — every request serializes on one lock), an
+//! unbounded thread spawned per accepted connection, and a 5 ms
+//! sleep-poll accept loop. It shares the request handlers with the real
+//! server ([`crate::serve_with`]) so the comparison isolates the serving
+//! architecture, not the endpoint logic. Do not use it for anything but
+//! comparison — it has no backpressure, no eviction, and slow shutdown.
+
+use crate::http::{read_request, write_response, Response};
+use crate::server::AppState;
+use cs2p_core::PredictionEngine;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+struct Inner {
+    app: AppState,
+    shutdown: AtomicBool,
+}
+
+/// A running legacy server.
+pub struct LegacyServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl LegacyServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total predictions served so far.
+    pub fn predictions_served(&self) -> u64 {
+        self.inner.app.predictions_served()
+    }
+
+    /// Stops accepting and joins the accept loop (up to one 5 ms poll
+    /// late — the latency this rewrite's real server eliminates).
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for LegacyServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Starts the legacy thread-per-connection server on `addr`.
+pub fn serve_legacy(engine: PredictionEngine, addr: &str) -> io::Result<LegacyServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let inner = Arc::new(Inner {
+        // One shard, effectively unbounded, no TTL: the old global map.
+        app: AppState::new(engine, 1, usize::MAX / 2, None),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let accept_inner = Arc::clone(&inner);
+    let accept_thread = thread::Builder::new()
+        .name("cs2p-legacy-accept".into())
+        .spawn(move || {
+            while !accept_inner.shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn_inner = Arc::clone(&accept_inner);
+                        thread::spawn(move || {
+                            let _ = handle_connection(stream, conn_inner);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })?;
+
+    Ok(LegacyServerHandle {
+        addr,
+        inner,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(stream: TcpStream, inner: Arc<Inner>) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()), // peer closed keep-alive cleanly
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let _ = write_response(&mut writer, &Response::error(400, &e.to_string()));
+                return Ok(());
+            }
+            Err(_) => return Ok(()), // timeout / reset
+        };
+        let resp = inner.app.handle(&req);
+        write_response(&mut writer, &resp)?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{read_response, write_request, Request};
+    use crate::protocol::{PredictRequest, PredictResponse};
+    use cs2p_testkit::scenarios::tiny_engine;
+
+    #[test]
+    fn legacy_server_still_serves_predictions() {
+        let server = serve_legacy(tiny_engine(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let preq = PredictRequest {
+            session_id: 1,
+            features: Some(vec![1]),
+            measured_mbps: None,
+            horizon: 2,
+        };
+        write_request(
+            &mut writer,
+            &Request::new("POST", "/predict", serde_json::to_vec(&preq).unwrap()),
+        )
+        .unwrap();
+        let resp = read_response(&mut reader).unwrap();
+        assert_eq!(resp.status, 200);
+        let presp: PredictResponse = serde_json::from_slice(&resp.body).unwrap();
+        assert!(presp.initial);
+        assert_eq!(presp.predictions_mbps.len(), 2);
+        assert_eq!(server.predictions_served(), 1);
+        server.shutdown();
+    }
+}

@@ -10,10 +10,16 @@
 //!   keep-alive, strict limits);
 //! - [`protocol`]: the JSON messages (`/predict`, `/model`, `/log`,
 //!   `/healthz`);
-//! - [`server`]: the prediction-engine server — thread-per-connection,
-//!   per-session HMM filter state under a lock;
+//! - [`server`]: the prediction-engine server — a bounded worker pool
+//!   over a sharded session store with 503 backpressure, TTL/LRU session
+//!   eviction, and graceful drain (see `DESIGN.md`);
+//! - [`store`] / [`pool`]: the sharded session store and the bounded
+//!   request queue backing the server;
+//! - [`legacy`]: the pre-rewrite thread-per-connection server, kept as
+//!   the `serve_throughput` benchmark baseline;
 //! - [`client`]: the blocking client and [`client::RemotePredictor`],
-//!   which exposes the server as a [`cs2p_core::ThroughputPredictor`];
+//!   which exposes the server as a [`cs2p_core::ThroughputPredictor`]
+//!   and transparently re-registers sessions the server evicted;
 //! - [`dash`]: the player (BufferController/AbrController equivalents on
 //!   top of `cs2p-abr`), the client-side local-model deployment, and the
 //!   end-to-end pilot session helper.
@@ -31,12 +37,16 @@
 pub mod client;
 pub mod dash;
 pub mod http;
+pub mod legacy;
+pub mod pool;
 pub mod protocol;
 pub mod server;
+pub mod store;
 
 pub use client::{HttpClient, RemotePredictor};
 pub use dash::{
     play_remote_session, AbrKind, DashPlayer, LocalModelPredictor, Manifest, PlayerConfig,
 };
+pub use legacy::{serve_legacy, LegacyServerHandle};
 pub use protocol::{Health, LogStats, PredictRequest, PredictResponse, SessionLog, StrategyStats};
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_with, ServeConfig, ServeStats, ServerHandle};

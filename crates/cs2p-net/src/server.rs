@@ -1,32 +1,104 @@
 //! The Prediction Engine HTTP server (§6, server-side deployment).
 //!
-//! A blocking, thread-per-connection server — the request rate is one POST
-//! per player per 6-second epoch, so following the async-Rust guidance
-//! ("if you don't need to do a lot of things at once, prefer the blocking
-//! version") there is nothing for an async runtime to win here. The
-//! paper's own Node.js server handled ~500 predictions/second; the `perf`
-//! bench measures ours against that figure.
+//! The paper's Node.js server answers one prediction POST per player per
+//! 6-second epoch; at the ROADMAP's target scale that is thousands of
+//! concurrent viewers, so the serving layer is shaped like a production
+//! service rather than a demo:
 //!
-//! Per-session filter state lives in a `parking_lot`-guarded table keyed
-//! by session id, exactly like the paper's server tracks each player's
-//! HMM state between POSTs.
+//! - **Sharded session store** ([`crate::store::SessionStore`]): per-viewer
+//!   HMM filter state lives in N shards keyed by `hash(session_id)`, each
+//!   behind its own lock, with TTL/LRU eviction under a capacity bound.
+//!   Requests for different sessions proceed in parallel; requests for the
+//!   same session stay serialized.
+//! - **Bounded worker pool**: a fixed set of worker threads pulls
+//!   ready-to-read connections from a bounded queue
+//!   ([`crate::pool::BoundedQueue`]). When the queue is full the server
+//!   answers `503` + `Retry-After` instead of queueing unboundedly, and
+//!   every connection carries read/write timeouts.
+//! - **Graceful drain**: `shutdown()` stops accepting (the blocking
+//!   acceptor is woken by a loopback connect, not a sleep poll), lets the
+//!   workers finish every request already read or readable, then joins all
+//!   threads — bounded time, zero dropped in-flight requests.
+//!
+//! Connection readiness is discovered with non-blocking `peek` (std-only;
+//! no epoll available), so one poller thread multiplexes idle keep-alive
+//! connections while workers only ever touch connections with bytes
+//! waiting. Telemetry flows through `cs2p-obs` under the `serve.*` names
+//! (see OBSERVABILITY.md). The pre-PR thread-per-connection server is
+//! preserved as [`crate::legacy`] for the `serve_throughput` benchmark.
 
 use crate::http::{read_request, write_response, Request, Response};
+use crate::pool::BoundedQueue;
 use crate::protocol::{parse_features_query, Health, PredictRequest, PredictResponse, SessionLog};
+use crate::store::SessionStore;
 use cs2p_core::engine::ClusterModel;
 use cs2p_core::{ClientModel, FeatureVector, PredictionEngine};
 use cs2p_ml::hmm::{FilterState, HmmFilter};
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Cap on the requested prediction horizon.
 const MAX_HORIZON: usize = 32;
+/// How long a worker spin-peeks for the next keep-alive request before
+/// handing the connection back to the poller.
+const LINGER: Duration = Duration::from_micros(300);
+/// Poller wakeup granularity for idle connections (shutdown and new
+/// connections are condvar-signalled and do not wait for this).
+const POLL_INTERVAL: Duration = Duration::from_millis(1);
+/// Requests a worker serves from one connection before re-queueing it,
+/// so a chatty pipelining client cannot starve the queue.
+const MAX_REQUESTS_PER_TURN: u32 = 32;
+
+/// Tuning knobs for [`serve_with`]. `Default` is sized for tests and
+/// small deployments; every limit is explicit so the load tests can
+/// force eviction and backpressure deterministically.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Session-store shards (parallelism of session-state access).
+    pub n_shards: usize,
+    /// Worker threads handling requests.
+    pub n_workers: usize,
+    /// Bounded request-queue depth; beyond this the server answers 503.
+    pub queue_depth: usize,
+    /// Session capacity bound across all shards (LRU beyond this).
+    pub max_sessions: usize,
+    /// Evict sessions idle for more than this many store accesses
+    /// (logical TTL — reproducible in tests; `None` disables).
+    pub session_ttl_requests: Option<u64>,
+    /// Concurrent connection cap; beyond this new connections get 503.
+    pub max_connections: usize,
+    /// Per-request socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-response socket write timeout.
+    pub write_timeout: Duration,
+    /// Value of the `Retry-After` header on 503 responses.
+    pub retry_after_seconds: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8);
+        ServeConfig {
+            n_shards: 8,
+            n_workers: workers,
+            queue_depth: 256,
+            max_sessions: 100_000,
+            session_ttl_requests: None,
+            max_connections: 1024,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            retry_after_seconds: 1,
+        }
+    }
+}
 
 /// Per-session server-side state.
 #[derive(Debug, Clone)]
@@ -36,16 +108,51 @@ struct SessionState {
     filter: FilterState,
 }
 
-/// Shared server internals.
-struct Inner {
+/// The HTTP endpoints over a prediction engine — the part of the server
+/// that is pure request → response. Shared with [`crate::legacy`] so the
+/// benchmark compares serving architectures, not handler code.
+pub(crate) struct AppState {
     engine: PredictionEngine,
-    sessions: Mutex<HashMap<u64, SessionState>>,
+    sessions: SessionStore<SessionState>,
     logs: Mutex<Vec<SessionLog>>,
     predictions_served: AtomicU64,
-    shutdown: AtomicBool,
 }
 
-impl Inner {
+impl AppState {
+    pub(crate) fn new(
+        engine: PredictionEngine,
+        n_shards: usize,
+        max_sessions: usize,
+        ttl: Option<u64>,
+    ) -> Self {
+        AppState {
+            engine,
+            sessions: SessionStore::new(n_shards, max_sessions, ttl),
+            logs: Mutex::new(Vec::new()),
+            predictions_served: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn predictions_served(&self) -> u64 {
+        self.predictions_served.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn logs(&self) -> Vec<SessionLog> {
+        self.logs.lock().clone()
+    }
+
+    pub(crate) fn sessions_live(&self) -> usize {
+        self.sessions.len()
+    }
+
+    pub(crate) fn sessions_evicted(&self) -> u64 {
+        self.sessions.evicted()
+    }
+
+    pub(crate) fn session_capacity(&self) -> usize {
+        self.sessions.capacity()
+    }
+
     fn model_of(&self, state: &SessionState) -> &ClusterModel {
         match state.model {
             Some(i) => &self.engine.models()[i],
@@ -61,7 +168,7 @@ impl Inner {
             .position(|m| std::ptr::eq(m, model))
     }
 
-    fn handle(&self, req: &Request) -> Response {
+    pub(crate) fn handle(&self, req: &Request) -> Response {
         let _span = cs2p_obs::span("net.server.request");
         let resp = self.route(req);
         if cs2p_obs::enabled() {
@@ -101,7 +208,7 @@ impl Inner {
                 let health = Health {
                     status: "ok".into(),
                     n_models: self.engine.models().len(),
-                    n_sessions: self.sessions.lock().len(),
+                    n_sessions: self.sessions.len(),
                     predictions_served: self.predictions_served.load(Ordering::Relaxed),
                     n_logs: self.logs.lock().len(),
                 };
@@ -119,37 +226,43 @@ impl Inner {
         if preq.horizon == 0 || preq.horizon > MAX_HORIZON {
             return Response::error(400, "horizon out of range");
         }
-
-        let mut sessions = self.sessions.lock();
-        let state = match sessions.get_mut(&preq.session_id) {
-            Some(s) => s,
-            None => {
-                let Some(features) = &preq.features else {
-                    return Response::error(400, "first request must carry features");
-                };
-                if features.len() != self.engine.schema().len() {
-                    return Response::error(400, "feature width mismatch");
-                }
-                let fv = FeatureVector(features.clone());
-                let model_idx = self.lookup_model_index(&fv);
-                let model = match model_idx {
-                    Some(i) => &self.engine.models()[i],
-                    None => self.engine.global_model(),
-                };
-                let filter = model.hmm.filter().state();
-                sessions.entry(preq.session_id).or_insert(SessionState {
-                    model: model_idx,
-                    filter,
-                })
-            }
-        };
-
-        let model = self.model_of(state);
-        let mut filter = HmmFilter::from_state(&model.hmm, state.filter.clone());
         if let Some(w) = preq.measured_mbps {
             if !w.is_finite() || w < 0.0 {
                 return Response::error(400, "measured throughput must be finite and nonnegative");
             }
+        }
+
+        let mut shard = self.sessions.lock(preq.session_id);
+        if shard.get_mut(preq.session_id).is_none() {
+            // Never seen (or TTL/LRU-evicted): (re-)initialize from the
+            // request's features, or tell the client to re-register.
+            let Some(features) = &preq.features else {
+                return Response::error(404, "unknown session: send features to (re)register");
+            };
+            if features.len() != self.engine.schema().len() {
+                return Response::error(400, "feature width mismatch");
+            }
+            let fv = FeatureVector(features.clone());
+            let model_idx = self.lookup_model_index(&fv);
+            let model = match model_idx {
+                Some(i) => &self.engine.models()[i],
+                None => self.engine.global_model(),
+            };
+            shard.insert(
+                preq.session_id,
+                SessionState {
+                    model: model_idx,
+                    filter: model.hmm.filter().state(),
+                },
+            );
+        }
+        let state = shard
+            .get_mut(preq.session_id)
+            .expect("session just ensured");
+
+        let model = self.model_of(state);
+        let mut filter = HmmFilter::from_state(&model.hmm, state.filter.clone());
+        if let Some(w) = preq.measured_mbps {
             filter.observe(w);
         }
         let initial = filter.epoch() == 0;
@@ -164,10 +277,13 @@ impl Inner {
             .collect();
         state.filter = filter.state();
         let cluster_sessions = model.n_sessions;
-        drop(sessions);
+        drop(shard);
 
         self.predictions_served.fetch_add(1, Ordering::Relaxed);
-        cs2p_obs::counter_add("predict.server.served", 1);
+        if cs2p_obs::enabled() {
+            cs2p_obs::counter_add("predict.server.served", 1);
+            cs2p_obs::gauge_set("serve.sessions", self.sessions.len() as f64);
+        }
         let resp = PredictResponse {
             predictions_mbps,
             initial,
@@ -199,11 +315,164 @@ impl Inner {
     }
 }
 
-/// A running prediction server.
+/// Decrements the live-connection count when the connection dies,
+/// whichever thread drops it.
+struct ConnSlot(Arc<AtomicUsize>);
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One client connection, handed between the poller and the workers.
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    nonblocking: bool,
+    _slot: ConnSlot,
+}
+
+enum PollState {
+    /// Bytes are waiting (or already buffered) — hand to a worker.
+    Ready,
+    /// No data yet; keep watching.
+    Idle,
+    /// Peer closed or the socket errored — drop the connection.
+    Closed,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, slot: ConnSlot, config: &ServeConfig) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(config.read_timeout))?;
+        stream.set_write_timeout(Some(config.write_timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Conn {
+            stream,
+            reader,
+            writer,
+            nonblocking: false,
+            _slot: slot,
+        })
+    }
+
+    fn set_blocking(&mut self) -> io::Result<()> {
+        if self.nonblocking {
+            self.stream.set_nonblocking(false)?;
+            self.nonblocking = false;
+        }
+        Ok(())
+    }
+
+    fn set_nonblocking(&mut self) -> io::Result<()> {
+        if !self.nonblocking {
+            self.stream.set_nonblocking(true)?;
+            self.nonblocking = true;
+        }
+        Ok(())
+    }
+
+    /// Non-destructive readiness check (a 1-byte `peek`; nothing is
+    /// consumed, so a later blocking read sees the full request).
+    fn poll_ready(&mut self) -> PollState {
+        if !self.reader.buffer().is_empty() {
+            return PollState::Ready;
+        }
+        if self.set_nonblocking().is_err() {
+            return PollState::Closed;
+        }
+        let mut byte = [0u8; 1];
+        match self.stream.peek(&mut byte) {
+            Ok(0) => PollState::Closed,
+            Ok(_) => PollState::Ready,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => PollState::Idle,
+            Err(_) => PollState::Closed,
+        }
+    }
+
+    /// Spin-peeks (yielding) for up to `window` waiting for the next
+    /// keep-alive request, so back-to-back requests skip the poller.
+    fn wait_for_data(&mut self, window: Duration) -> PollState {
+        let deadline = Instant::now() + window;
+        loop {
+            match self.poll_ready() {
+                PollState::Idle => {
+                    if Instant::now() >= deadline {
+                        return PollState::Idle;
+                    }
+                    thread::yield_now();
+                }
+                state => return state,
+            }
+        }
+    }
+}
+
+/// Everything the acceptor, poller, and workers share.
+struct Shared {
+    app: AppState,
+    config: ServeConfig,
+    queue: BoundedQueue<Conn>,
+    /// Connections waiting to be watched by the poller (newly accepted,
+    /// or returned by a worker after going idle).
+    intake: StdMutex<Vec<Conn>>,
+    intake_cv: Condvar,
+    shutdown: AtomicBool,
+    live_conns: Arc<AtomicUsize>,
+    rejected: AtomicU64,
+    accepted: AtomicU64,
+}
+
+impl Shared {
+    fn intake_lock(&self) -> std::sync::MutexGuard<'_, Vec<Conn>> {
+        self.intake
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Answers 503 + `Retry-After` without reading the request (the
+    /// request stays unread, so framing cannot desync) and closes.
+    fn reject(&self, mut conn: Conn) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        cs2p_obs::counter_add("serve.rejected", 1);
+        let _ = conn.set_blocking();
+        let _ = write_response(
+            &mut conn.writer,
+            &Response::service_unavailable(self.config.retry_after_seconds),
+        );
+    }
+}
+
+/// Snapshot of the serving counters (also returned by
+/// [`ServerHandle::shutdown`], whose final values are exact because all
+/// workers have drained by then).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Successful `/predict` responses.
+    pub predictions_served: u64,
+    /// Sessions currently resident in the store.
+    pub sessions_live: usize,
+    /// Sessions evicted by TTL or LRU since startup.
+    pub sessions_evicted: u64,
+    /// The store's total capacity bound.
+    pub session_capacity: usize,
+    /// Connections answered with 503 backpressure.
+    pub rejected: u64,
+    /// Connections accepted.
+    pub accepted: u64,
+}
+
+/// A running prediction server (see the module docs for the thread
+/// architecture).
 pub struct ServerHandle {
     addr: SocketAddr,
-    inner: Arc<Inner>,
+    shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
+    poller_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -214,91 +483,282 @@ impl ServerHandle {
 
     /// Total predictions served so far.
     pub fn predictions_served(&self) -> u64 {
-        self.inner.predictions_served.load(Ordering::Relaxed)
+        self.shared.app.predictions_served()
     }
 
     /// Session logs uploaded so far.
     pub fn logs(&self) -> Vec<SessionLog> {
-        self.inner.logs.lock().clone()
+        self.shared.app.logs()
     }
 
-    /// Stops accepting and joins the accept loop. In-flight connection
-    /// threads finish their current request and exit on the next read.
-    pub fn shutdown(mut self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
+    /// Current serving counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            predictions_served: self.shared.app.predictions_served(),
+            sessions_live: self.shared.app.sessions_live(),
+            sessions_evicted: self.shared.app.sessions_evicted(),
+            session_capacity: self.shared.app.session_capacity(),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            accepted: self.shared.accepted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Gracefully drains and stops the server: stop accepting, finish
+    /// every request already received or readable, join all threads.
+    /// Completes in bounded time (worst case one read-timeout for a
+    /// stalled peer) and returns the final counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_impl();
+        self.stats()
+    }
+
+    fn shutdown_impl(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking acceptor with a throwaway loopback connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // Wake the poller; it does a final ready sweep and exits.
+        self.shared.intake_cv.notify_all();
+        if let Some(t) = self.poller_thread.take() {
+            let _ = t.join();
+        }
+        // Workers drain the queue, then see `None` and exit.
+        self.shared.queue.close();
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        // Anything a worker handed back after the poller left is idle by
+        // definition — safe to close now that no thread will touch it.
+        self.shared.intake_lock().clear();
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        self.shutdown_impl();
+    }
+}
+
+/// Starts the server on `addr` (use port 0 for an ephemeral port) with
+/// default [`ServeConfig`].
+pub fn serve(engine: PredictionEngine, addr: &str) -> io::Result<ServerHandle> {
+    serve_with(engine, addr, ServeConfig::default())
+}
+
+/// Starts the server on `addr` with explicit tuning knobs.
+pub fn serve_with(
+    engine: PredictionEngine,
+    addr: &str,
+    config: ServeConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let app = AppState::new(
+        engine,
+        config.n_shards,
+        config.max_sessions,
+        config.session_ttl_requests,
+    );
+    let n_workers = config.n_workers.max(1);
+    let shared = Arc::new(Shared {
+        app,
+        queue: BoundedQueue::new(config.queue_depth),
+        config,
+        intake: StdMutex::new(Vec::new()),
+        intake_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        live_conns: Arc::new(AtomicUsize::new(0)),
+        rejected: AtomicU64::new(0),
+        accepted: AtomicU64::new(0),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = thread::Builder::new()
+        .name("cs2p-accept".into())
+        .spawn(move || run_acceptor(listener, accept_shared))?;
+    let poll_shared = Arc::clone(&shared);
+    let poller_thread = thread::Builder::new()
+        .name("cs2p-poll".into())
+        .spawn(move || run_poller(poll_shared))?;
+    let workers = (0..n_workers)
+        .map(|i| {
+            let worker_shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("cs2p-worker-{i}"))
+                .spawn(move || run_worker(worker_shared))
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        poller_thread: Some(poller_thread),
+        workers,
+    })
+}
+
+/// Blocking accept loop. Woken at shutdown by a loopback connect from
+/// `shutdown()` — no sleep-polling.
+fn run_acceptor(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection (or a client racing shutdown).
+            return;
+        }
+        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        cs2p_obs::counter_add("serve.accepted", 1);
+        let live = shared.live_conns.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot = ConnSlot(Arc::clone(&shared.live_conns));
+        let conn = match Conn::new(stream, slot, &shared.config) {
+            Ok(conn) => conn,
+            Err(_) => continue,
+        };
+        if live > shared.config.max_connections {
+            shared.reject(conn);
+            continue;
+        }
+        shared.intake_lock().push(conn);
+        shared.intake_cv.notify_all();
+    }
+}
+
+/// Multiplexes idle connections: new and returned connections arrive via
+/// the intake, ready ones go to the worker queue (or get 503 when it is
+/// full). Parks on the intake condvar; `POLL_INTERVAL` bounds how late a
+/// newly readable connection is noticed.
+fn run_poller(shared: Arc<Shared>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        {
+            let mut intake = shared.intake_lock();
+            conns.append(&mut intake);
+        }
+        let mut progressed = false;
+        let mut i = 0;
+        while i < conns.len() {
+            match conns[i].poll_ready() {
+                PollState::Ready => {
+                    let mut conn = conns.swap_remove(i);
+                    progressed = true;
+                    if conn.set_blocking().is_err() {
+                        continue;
+                    }
+                    match shared.queue.try_push(conn) {
+                        Ok(depth) => {
+                            if cs2p_obs::enabled() {
+                                cs2p_obs::gauge_set("serve.queue_depth", depth as f64);
+                            }
+                        }
+                        Err(conn) => shared.reject(conn),
+                    }
+                }
+                PollState::Closed => {
+                    conns.swap_remove(i);
+                    progressed = true;
+                }
+                PollState::Idle => i += 1,
+            }
+        }
+        if shutting_down {
+            // Ready connections were swept to the queue above; what is
+            // left has no request outstanding, so it can close.
+            conns.clear();
+            shared.intake_lock().clear();
+            return;
+        }
+        if !progressed {
+            let intake = shared.intake_lock();
+            if intake.is_empty() {
+                match shared.intake_cv.wait_timeout(intake, POLL_INTERVAL) {
+                    Ok((guard, _)) => drop(guard),
+                    Err(poison) => drop(poison.into_inner()),
+                }
+            }
         }
     }
 }
 
-/// Starts the server on `addr` (use port 0 for an ephemeral port).
-pub fn serve(engine: PredictionEngine, addr: &str) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
-    let inner = Arc::new(Inner {
-        engine,
-        sessions: Mutex::new(HashMap::new()),
-        logs: Mutex::new(Vec::new()),
-        predictions_served: AtomicU64::new(0),
-        shutdown: AtomicBool::new(false),
-    });
-
-    let accept_inner = Arc::clone(&inner);
-    let accept_thread = thread::spawn(move || {
-        while !accept_inner.shutdown.load(Ordering::SeqCst) {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let conn_inner = Arc::clone(&accept_inner);
-                    thread::spawn(move || {
-                        let _ = handle_connection(stream, conn_inner);
-                    });
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(5));
-                }
-                Err(_) => break,
-            }
+/// Worker loop: pull a ready connection, serve its request(s), return it
+/// to the poller when it goes idle. After `close()` the queue hands out
+/// its backlog before `None`, so draining is automatic.
+fn run_worker(shared: Arc<Shared>) {
+    while let Some(conn) = shared.queue.pop() {
+        if cs2p_obs::enabled() {
+            cs2p_obs::gauge_set("serve.queue_depth", shared.queue.len() as f64);
         }
-    });
-
-    Ok(ServerHandle {
-        addr,
-        inner,
-        accept_thread: Some(accept_thread),
-    })
+        serve_turn(conn, &shared);
+    }
 }
 
-fn handle_connection(stream: TcpStream, inner: Arc<Inner>) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+/// Serves requests from one ready connection until it goes idle, closes,
+/// errors, or exhausts its fairness budget.
+fn serve_turn(mut conn: Conn, shared: &Shared) {
+    let mut served: u32 = 0;
     loop {
-        if inner.shutdown.load(Ordering::SeqCst) {
-            return Ok(());
+        if conn.set_blocking().is_err() {
+            return;
         }
-        let req = match read_request(&mut reader) {
-            Ok(Some(req)) => req,
-            Ok(None) => return Ok(()), // peer closed keep-alive cleanly
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let _ = write_response(&mut writer, &Response::error(400, &e.to_string()));
-                return Ok(());
+        match read_request(&mut conn.reader) {
+            Ok(Some(req)) => {
+                let _span = cs2p_obs::span("serve.request");
+                let resp = shared.app.handle(&req);
+                if write_response(&mut conn.writer, &resp).is_err() {
+                    return;
+                }
+                served += 1;
             }
-            Err(_) => return Ok(()), // timeout / reset
-        };
-        let resp = inner.handle(&req);
-        write_response(&mut writer, &resp)?;
+            Ok(None) => return, // peer closed keep-alive cleanly
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let _ = write_response(&mut conn.writer, &Response::error(400, &e.to_string()));
+                return;
+            }
+            Err(_) => return, // read timeout / reset
+        }
+
+        // Pipelined bytes already buffered are in-flight work: serve them
+        // (even during drain) before deciding what to do with the conn.
+        let more_buffered = !conn.reader.buffer().is_empty();
+        if !more_buffered {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return; // drained: every received request was answered
+            }
+            match conn.wait_for_data(LINGER) {
+                PollState::Ready => {}
+                PollState::Closed => return,
+                PollState::Idle => {
+                    // Hand the idle connection back to the poller.
+                    shared.intake_lock().push(conn);
+                    shared.intake_cv.notify_all();
+                    return;
+                }
+            }
+        }
+        if served >= MAX_REQUESTS_PER_TURN {
+            // Fairness: let queued connections go first. If the queue is
+            // full, keep serving rather than rejecting an active conn.
+            match shared.queue.try_push(conn) {
+                Ok(_) => return,
+                Err(back) => {
+                    conn = back;
+                    served = 0;
+                }
+            }
+        }
     }
 }
 
@@ -360,7 +820,7 @@ mod tests {
     }
 
     #[test]
-    fn first_request_without_features_is_rejected() {
+    fn unknown_session_without_features_is_404() {
         let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
         let body = serde_json::to_vec(&PredictRequest {
             session_id: 9,
@@ -370,7 +830,7 @@ mod tests {
         })
         .unwrap();
         let resp = send(server.addr(), &Request::new("POST", "/predict", body));
-        assert_eq!(resp.status, 400);
+        assert_eq!(resp.status, 404, "unknown session must trigger re-init");
         server.shutdown();
     }
 
@@ -506,6 +966,35 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_requests_all_get_responses() {
+        let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        // Write several requests back-to-back before reading anything.
+        let n = 4;
+        for i in 0..n {
+            let preq = PredictRequest {
+                session_id: 77,
+                features: if i == 0 { Some(vec![0]) } else { None },
+                measured_mbps: if i == 0 { None } else { Some(1.0) },
+                horizon: 1,
+            };
+            write_request(
+                &mut writer,
+                &Request::new("POST", "/predict", serde_json::to_vec(&preq).unwrap()),
+            )
+            .unwrap();
+        }
+        for _ in 0..n {
+            let resp = read_response(&mut reader).unwrap();
+            assert_eq!(resp.status, 200);
+        }
+        assert_eq!(server.predictions_served(), n as u64);
+        server.shutdown();
+    }
+
+    #[test]
     fn invalid_measurement_rejected() {
         let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
         predict(
@@ -517,15 +1006,6 @@ mod tests {
                 horizon: 1,
             },
         );
-        let body = serde_json::to_vec(&PredictRequest {
-            session_id: 8,
-            features: None,
-            measured_mbps: Some(f64::NAN),
-            horizon: 1,
-        })
-        .unwrap();
-        // NaN doesn't survive JSON serialization as a number; build by hand.
-        let _ = body;
         let raw = br#"{"session_id":8,"features":null,"measured_mbps":-1.0,"horizon":1}"#;
         let resp = send(server.addr(), &Request::new("POST", "/predict", &raw[..]));
         assert_eq!(resp.status, 400);
@@ -558,6 +1038,133 @@ mod tests {
             let expected = if isp == 0 { 1.0 } else { 5.0 };
             assert!((pred - expected).abs() < 0.5, "isp {isp}: {pred}");
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_limit_yields_503_with_retry_after() {
+        let config = ServeConfig {
+            max_connections: 1,
+            ..ServeConfig::default()
+        };
+        let server = serve_with(tiny_engine(), "127.0.0.1:0", config).unwrap();
+        // Occupy the only slot with a live keep-alive connection.
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_request(
+            &mut writer,
+            &Request::new("GET", "/healthz", bytes::Bytes::new()),
+        )
+        .unwrap();
+        assert_eq!(read_response(&mut reader).unwrap().status, 200);
+        // The second connection must be refused with backpressure.
+        let resp = send(
+            server.addr(),
+            &Request::new("GET", "/healthz", bytes::Bytes::new()),
+        );
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        let stats = server.shutdown();
+        assert!(stats.rejected >= 1);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_sessions_and_evicted_reregisters() {
+        let config = ServeConfig {
+            n_shards: 1,
+            max_sessions: 2,
+            ..ServeConfig::default()
+        };
+        let server = serve_with(tiny_engine(), "127.0.0.1:0", config).unwrap();
+        let addr = server.addr();
+        for sid in 0..3 {
+            predict(
+                addr,
+                &PredictRequest {
+                    session_id: sid,
+                    features: Some(vec![0]),
+                    measured_mbps: None,
+                    horizon: 1,
+                },
+            );
+        }
+        let stats = server.stats();
+        assert!(stats.sessions_live <= 2, "live: {}", stats.sessions_live);
+        assert_eq!(stats.sessions_evicted, 1);
+        // Session 0 was LRU-evicted; without features it is unknown…
+        let body = serde_json::to_vec(&PredictRequest {
+            session_id: 0,
+            features: None,
+            measured_mbps: Some(1.0),
+            horizon: 1,
+        })
+        .unwrap();
+        let resp = send(addr, &Request::new("POST", "/predict", body));
+        assert_eq!(resp.status, 404);
+        // …and with features it cleanly re-registers.
+        let r = predict(
+            addr,
+            &PredictRequest {
+                session_id: 0,
+                features: Some(vec![0]),
+                measured_mbps: None,
+                horizon: 1,
+            },
+        );
+        assert!(r.initial);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_twice_via_drop_is_safe() {
+        let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        predict(
+            addr,
+            &PredictRequest {
+                session_id: 1,
+                features: Some(vec![0]),
+                measured_mbps: None,
+                horizon: 1,
+            },
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.predictions_served, 1);
+        // The port is released: a fresh server can bind it again.
+        let again = serve(tiny_engine(), &addr.to_string());
+        if let Ok(s) = again {
+            s.shutdown();
+        }
+    }
+
+    #[test]
+    fn worker_count_one_still_serves_concurrent_clients() {
+        let config = ServeConfig {
+            n_workers: 1,
+            ..ServeConfig::default()
+        };
+        let server = serve_with(tiny_engine(), "127.0.0.1:0", config).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|sid| {
+                thread::spawn(move || {
+                    for epoch in 0..3 {
+                        let preq = PredictRequest {
+                            session_id: 200 + sid,
+                            features: if epoch == 0 { Some(vec![1]) } else { None },
+                            measured_mbps: if epoch == 0 { None } else { Some(5.0) },
+                            horizon: 1,
+                        };
+                        predict(addr, &preq);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.predictions_served(), 12);
         server.shutdown();
     }
 }

@@ -1,0 +1,278 @@
+//! Property tests for the wire protocol (`cs2p-net/src/protocol.rs`):
+//! every message type round-trips through its JSON encoding, and a live
+//! server answers malformed, truncated, and oversized frames with an
+//! error response or a clean close — never a panic or a hung connection.
+
+use cs2p_net::http::{read_response, Response, MAX_BODY_BYTES};
+use cs2p_net::protocol::{
+    Health, LogStats, PredictRequest, PredictResponse, SessionLog, StrategyStats,
+};
+use cs2p_net::{serve, ServerHandle};
+use cs2p_testkit::scenarios::tiny_engine;
+use proptest::prelude::*;
+use std::io::{BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Serde round-trips under generated inputs
+// ---------------------------------------------------------------------------
+
+fn arb_opt_f64() -> impl Strategy<Value = Option<f64>> {
+    (any::<bool>(), 0.0f64..1e9).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn arb_features() -> impl Strategy<Value = Option<Vec<u32>>> {
+    (any::<bool>(), prop::collection::vec(0u32..1000, 0..6)).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn arb_session_log() -> impl Strategy<Value = SessionLog> {
+    (
+        any::<u64>(),
+        "[A-Za-z0-9+_-]{0,16}",
+        (-1e6f64..1e6, 0.0f64..1e5, 0.0f64..1.0),
+        (0.0f64..1e3, 0.0f64..60.0),
+        prop::collection::vec((arb_opt_f64(), 0.0f64..1e3), 0..8),
+        prop::collection::vec(0.0f64..1e5, 0..8),
+    )
+        .prop_map(
+            |(session_id, strategy, (qoe, avg, good), (rebuf, startup), pairs, bitrates)| {
+                SessionLog {
+                    session_id,
+                    strategy,
+                    qoe,
+                    avg_bitrate_kbps: avg,
+                    good_ratio: good,
+                    rebuffer_seconds: rebuf,
+                    startup_delay_seconds: startup,
+                    throughput_pairs: pairs,
+                    bitrates_kbps: bitrates,
+                }
+            },
+        )
+}
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let bytes = serde_json::to_vec(value).expect("serialize");
+    serde_json::from_slice(&bytes).expect("deserialize")
+}
+
+proptest! {
+    #[test]
+    fn predict_request_roundtrips(
+        session_id in any::<u64>(),
+        features in arb_features(),
+        measured in arb_opt_f64(),
+        horizon in 1usize..64,
+    ) {
+        let req = PredictRequest { session_id, features, measured_mbps: measured, horizon };
+        prop_assert_eq!(roundtrip(&req), req);
+    }
+
+    #[test]
+    fn predict_response_roundtrips(
+        predictions in prop::collection::vec(0.0f64..1e9, 0..33),
+        initial in any::<bool>(),
+        cluster_sessions in 0usize..1_000_000,
+    ) {
+        let resp = PredictResponse { predictions_mbps: predictions, initial, cluster_sessions };
+        prop_assert_eq!(roundtrip(&resp), resp);
+    }
+
+    #[test]
+    fn session_log_roundtrips(log in arb_session_log()) {
+        prop_assert_eq!(roundtrip(&log), log);
+    }
+
+    #[test]
+    fn health_roundtrips(
+        n_models in 0usize..1000,
+        n_sessions in 0usize..1000,
+        predictions_served in any::<u64>(),
+        n_logs in 0usize..1000,
+    ) {
+        let health = Health {
+            status: "ok".into(),
+            n_models,
+            n_sessions,
+            predictions_served,
+            n_logs,
+        };
+        prop_assert_eq!(roundtrip(&health), health);
+    }
+
+    #[test]
+    fn log_stats_roundtrip_and_aggregation_is_stable(
+        logs in prop::collection::vec(arb_session_log(), 0..6)
+    ) {
+        let stats = LogStats::from_logs(&logs);
+        let back: LogStats = roundtrip(&stats);
+        prop_assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn strategy_stats_roundtrips(
+        strategy in "[A-Za-z+]{1,12}",
+        n_sessions in 0usize..1000,
+        means in (0.0f64..1e3, 0.0f64..1e5, 0.0f64..1.0, 0.0f64..1e3, 0.0f64..60.0),
+    ) {
+        let s = StrategyStats {
+            strategy,
+            n_sessions,
+            mean_qoe: means.0,
+            mean_bitrate_kbps: means.1,
+            mean_good_ratio: means.2,
+            mean_rebuffer_seconds: means.3,
+            mean_startup_seconds: means.4,
+        };
+        prop_assert_eq!(roundtrip(&s), s);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed frames against a live server
+// ---------------------------------------------------------------------------
+
+/// One shared server for every malformed-frame case: surviving hundreds
+/// of hostile connections *on the same instance* is part of the point.
+fn shared_server() -> &'static ServerHandle {
+    static SERVER: OnceLock<ServerHandle> = OnceLock::new();
+    SERVER.get_or_init(|| serve(tiny_engine(), "127.0.0.1:0").unwrap())
+}
+
+/// Writes raw bytes, optionally half-closes, and reads whatever comes
+/// back. Returns the parsed response if the server sent one. The read
+/// timeout turns a hung connection into a test failure, not a stuck CI.
+fn raw_exchange(bytes: &[u8], half_close: bool) -> std::io::Result<Option<Response>> {
+    let stream = TcpStream::connect(shared_server().addr())?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    // The server may legitimately reject early and close while we are
+    // still writing; a broken pipe is a clean refusal, not a failure.
+    if let Err(e) = writer.write_all(bytes) {
+        if e.kind() == ErrorKind::BrokenPipe || e.kind() == ErrorKind::ConnectionReset {
+            return Ok(None);
+        }
+        return Err(e);
+    }
+    let _ = writer.flush();
+    if half_close {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    }
+    let mut reader = BufReader::new(stream);
+    match read_response(&mut reader) {
+        Ok(resp) => Ok(Some(resp)),
+        // A clean close (or reset while tearing down) is acceptable.
+        Err(e)
+            if e.kind() == ErrorKind::UnexpectedEof
+                || e.kind() == ErrorKind::ConnectionReset
+                || e.kind() == ErrorKind::InvalidData =>
+        {
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn assert_error_or_clean_close(bytes: &[u8], half_close: bool) {
+    // `None` — a clean close — is also acceptable.
+    if let Some(resp) =
+        raw_exchange(bytes, half_close).expect("exchange must not hang or hard-fail")
+    {
+        assert!(
+            resp.status >= 400,
+            "malformed frame got a {} success",
+            resp.status
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn garbage_bytes_get_an_error_or_clean_close(
+        garbage in prop::collection::vec(any::<u8>(), 0..1024)
+    ) {
+        assert_error_or_clean_close(&garbage, true);
+    }
+
+    #[test]
+    fn truncated_predict_requests_never_hang(
+        cut in 1usize..50,
+        session_id in any::<u64>(),
+    ) {
+        let preq = PredictRequest {
+            session_id,
+            features: Some(vec![1]),
+            measured_mbps: None,
+            horizon: 4,
+        };
+        let body = serde_json::to_vec(&preq).unwrap();
+        let frame = format!(
+            "POST /predict HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut bytes = frame.into_bytes();
+        bytes.extend_from_slice(&body);
+        let keep = bytes.len().saturating_sub(cut.min(bytes.len() - 1));
+        assert_error_or_clean_close(&bytes[..keep], true);
+    }
+}
+
+#[test]
+fn oversized_content_length_is_rejected_without_reading_the_body() {
+    // Announce a body over the 4 MiB cap but never send it: the server
+    // must refuse from the header alone.
+    let frame = format!(
+        "POST /predict HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+        MAX_BODY_BYTES + 1
+    );
+    // Refusal by close (`None`) is also acceptable.
+    if let Some(resp) = raw_exchange(frame.as_bytes(), false).expect("must not hang") {
+        assert_eq!(resp.status, 400, "reason: {}", resp.reason);
+    }
+}
+
+#[test]
+fn huge_header_block_is_rejected() {
+    let mut frame = String::from("GET /healthz HTTP/1.1\r\n");
+    frame.push_str(&"x".repeat(20 * 1024));
+    assert_error_or_clean_close(frame.as_bytes(), true);
+}
+
+#[test]
+fn server_survives_the_hostile_suite_and_still_serves() {
+    // Run after (or interleaved with) the hostile cases above — the
+    // instance they all hammered must still answer real requests.
+    let preq = PredictRequest {
+        session_id: 424242,
+        features: Some(vec![0]),
+        measured_mbps: None,
+        horizon: 2,
+    };
+    let body = serde_json::to_vec(&preq).unwrap();
+    let frame = format!(
+        "POST /predict HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    let mut bytes = frame.into_bytes();
+    bytes.extend_from_slice(&body);
+    let stream = TcpStream::connect(shared_server().addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writer.write_all(&bytes).unwrap();
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let resp = read_response(&mut reader).unwrap();
+    assert_eq!(resp.status, 200);
+    let presp: PredictResponse = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(presp.predictions_mbps.len(), 2);
+    let mut rest = Vec::new();
+    let _ = reader.read_to_end(&mut rest);
+}

@@ -203,6 +203,10 @@ pub fn validate_jsonl(text: &str) -> Result<Coverage, Vec<String>> {
 /// - `span` records are dropped (their durations are wall time);
 /// - `histogram` records whose name ends in `.us` are dropped (latency
 ///   distributions);
+/// - records whose name starts with `serve.` are dropped entirely: the
+///   serving layer's queue depths, accept/reject counters, and eviction
+///   counts depend on connection timing and worker scheduling, not on
+///   the model pipeline's inputs;
 /// - field keys ending in `_us` are removed;
 /// - `run_id` fields are removed (allocation order depends on thread
 ///   scheduling);
@@ -234,6 +238,9 @@ pub fn normalize_for_determinism(text: &str) -> String {
             _ => continue,
         };
         if kind == "histogram" && name.ends_with(".us") {
+            continue;
+        }
+        if name.starts_with("serve.") {
             continue;
         }
         let kept: Vec<(String, Value)> = fields
@@ -353,6 +360,24 @@ mod tests {
         assert!(norm.contains("stream.chunks"));
         assert!(norm.contains("stream.rebuffer_seconds"));
         // Normalizing twice is a fixed point.
+        assert_eq!(normalize_for_determinism(&norm), norm);
+    }
+
+    #[test]
+    fn normalization_strips_serving_telemetry() {
+        let text = concat!(
+            r#"{"ts_us":1,"kind":"counter","name":"serve.rejected","value":3}"#,
+            "\n",
+            r#"{"ts_us":2,"kind":"gauge","name":"serve.queue_depth","value":7}"#,
+            "\n",
+            r#"{"ts_us":3,"kind":"counter","name":"serve.evicted","value":12}"#,
+            "\n",
+            r#"{"ts_us":4,"kind":"counter","name":"predict.server.served","value":9}"#,
+            "\n",
+        );
+        let norm = normalize_for_determinism(text);
+        assert!(!norm.contains("serve."), "{norm}");
+        assert!(norm.contains("predict.server.served"));
         assert_eq!(normalize_for_determinism(&norm), norm);
     }
 

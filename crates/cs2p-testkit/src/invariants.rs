@@ -85,6 +85,76 @@ pub fn assert_bundle_roundtrip(
     }
 }
 
+/// Serving must be concurrency-transparent: K client threads streaming
+/// interleaved sessions against a sharded multi-worker server must get
+/// *bit-identical* per-session prediction sequences to a single-client
+/// run against a single-worker server.
+///
+/// Starts one baseline server (1 worker, 1 client) and then, for every
+/// worker count in `worker_counts`, a fresh server driven with
+/// `config.n_clients` concurrent clients; all runs replay the same seeded
+/// workload (see [`crate::loadgen`]). The server under test is
+/// `scenarios::tiny_engine` with generous queue/session bounds so no
+/// request is ever rejected — a 503'd measurement would legitimately
+/// change a session's filter sequence.
+pub fn assert_serving_concurrency_independence(
+    worker_counts: &[usize],
+    config: &crate::loadgen::LoadConfig,
+) {
+    use crate::loadgen::{run_load, LoadConfig};
+    use cs2p_net::{serve_with, ServeConfig};
+
+    fn roomy(n_workers: usize) -> ServeConfig {
+        ServeConfig {
+            n_workers,
+            queue_depth: 4096,
+            max_sessions: 1 << 20,
+            session_ttl_requests: None,
+            ..ServeConfig::default()
+        }
+    }
+
+    let baseline_server =
+        serve_with(crate::scenarios::tiny_engine(), "127.0.0.1:0", roomy(1)).expect("baseline");
+    let baseline_config = LoadConfig {
+        n_clients: 1,
+        ..config.clone()
+    };
+    let baseline = run_load(baseline_server.addr(), &baseline_config);
+    baseline_server.shutdown();
+    assert_eq!(
+        baseline.ok,
+        baseline_config.total_requests(),
+        "baseline run must not drop requests (rejected={}, errors={})",
+        baseline.rejected,
+        baseline.errors
+    );
+
+    for &n_workers in worker_counts {
+        let server = serve_with(
+            crate::scenarios::tiny_engine(),
+            "127.0.0.1:0",
+            roomy(n_workers),
+        )
+        .unwrap_or_else(|e| panic!("server with {n_workers} workers: {e}"));
+        let report = run_load(server.addr(), config);
+        server.shutdown();
+        assert_eq!(
+            report.ok,
+            config.total_requests(),
+            "run with n_workers={n_workers} dropped requests (rejected={}, errors={})",
+            report.rejected,
+            report.errors
+        );
+        assert_eq!(
+            report.predictions, baseline.predictions,
+            "per-session predictions diverged with n_workers={n_workers}, \
+             n_clients={}",
+            config.n_clients
+        );
+    }
+}
+
 /// The playback simulator must be deterministic: the same trace,
 /// predictor construction, and ABR must give the same outcome twice.
 ///

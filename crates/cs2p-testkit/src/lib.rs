@@ -13,13 +13,18 @@
 //!   regenerate them.
 //! - [`invariants`]: reusable assertions for properties that many crates
 //!   care about — thread-count independence of training, model-bundle
-//!   round-trips, simulator determinism.
+//!   round-trips, simulator determinism, concurrency-transparency of the
+//!   prediction server.
+//! - [`loadgen`]: a deterministic in-process load generator driving a
+//!   running `cs2p-net` server with K client threads and seeded
+//!   per-session workloads (see TESTING.md).
 //!
 //! This crate is a dev-dependency of the other crates; never depend on it
 //! from library code.
 
 pub mod golden;
 pub mod invariants;
+pub mod loadgen;
 pub mod scenarios;
 
 pub use golden::{check_golden, check_golden_value};

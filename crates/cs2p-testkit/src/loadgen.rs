@@ -1,0 +1,290 @@
+//! Deterministic in-process load generator for the prediction server.
+//!
+//! Drives a running `cs2p-net` server with K client threads streaming
+//! interleaved sessions over keep-alive connections, reproducing the
+//! paper's serving workload (one `/predict` POST per session per epoch)
+//! at test scale. Everything observable is seeded:
+//!
+//! - each session's throughput observations come from
+//!   `ChaCha8(seed ⊕ session_id)`, so session S sends the same byte
+//!   sequence no matter which client thread carries it or how many
+//!   clients run;
+//! - sessions are partitioned round-robin over the clients, and each
+//!   client walks its sessions epoch-major, so per-session request
+//!   *order* is preserved while requests from different sessions
+//!   interleave freely;
+//! - optional open-loop pacing (`max_gap_us`) draws seeded inter-request
+//!   gaps, perturbing arrival timing without touching payloads.
+//!
+//! Because the server's per-session HMM state depends only on that
+//! session's own observation order, the per-session prediction sequences
+//! in [`LoadReport::predictions`] must be *bit-identical* across client
+//! counts and server worker counts — the property
+//! [`crate::invariants::assert_serving_concurrency_independence`] checks.
+//!
+//! The generated features are `[session_id % 2]`, matching the one-column
+//! (`isp`) schema of [`crate::scenarios::tiny_engine`].
+
+use cs2p_net::http::{Request, Response};
+use cs2p_net::protocol::{PredictRequest, PredictResponse};
+use cs2p_net::HttpClient;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Workload shape for [`run_load`].
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client threads (each holds one keep-alive connection).
+    pub n_clients: usize,
+    /// Distinct sessions, partitioned round-robin over the clients.
+    pub n_sessions: usize,
+    /// Requests per session (the first carries features, the rest a
+    /// measured throughput).
+    pub epochs_per_session: usize,
+    /// Prediction horizon requested per POST.
+    pub horizon: usize,
+    /// Master seed for all observation sequences and pacing.
+    pub seed: u64,
+    /// Upper bound (exclusive) on the seeded inter-request gap drawn
+    /// before each POST; 0 disables pacing (closed loop).
+    pub max_gap_us: u64,
+    /// First session id (ids are `base..base + n_sessions`).
+    pub session_id_base: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            n_clients: 4,
+            n_sessions: 8,
+            epochs_per_session: 5,
+            horizon: 2,
+            seed: 7,
+            max_gap_us: 0,
+            session_id_base: 1_000,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// Total requests this workload will send.
+    pub fn total_requests(&self) -> u64 {
+        (self.n_sessions * self.epochs_per_session) as u64
+    }
+
+    /// The feature vector session `id` registers with (matches the
+    /// single-column schema of [`crate::scenarios::tiny_engine`]).
+    pub fn features_of(id: u64) -> Vec<u32> {
+        vec![(id % 2) as u32]
+    }
+
+    /// The deterministic observation sequence session `id` reports
+    /// (epoch 1 onward; epoch 0 carries features instead).
+    pub fn observations_of(&self, id: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let base = if id.is_multiple_of(2) { 1.0 } else { 5.0 };
+        (1..self.epochs_per_session)
+            .map(|_| base * rng.gen_range(0.7..1.3))
+            .collect()
+    }
+}
+
+/// What one [`run_load`] run did and saw.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadReport {
+    /// Requests sent (including ones that were rejected or failed).
+    pub sent: u64,
+    /// 200 responses.
+    pub ok: u64,
+    /// 503 backpressure responses.
+    pub rejected: u64,
+    /// 404 "unknown session" answers (the server evicted the session);
+    /// each one was followed by a re-registration request.
+    pub reinit: u64,
+    /// Transport errors and unexpected statuses.
+    pub errors: u64,
+    /// Per-session prediction vectors, in that session's epoch order.
+    pub predictions: BTreeMap<u64, Vec<Vec<f64>>>,
+}
+
+impl LoadReport {
+    fn merge(&mut self, other: LoadReport) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.rejected += other.rejected;
+        self.reinit += other.reinit;
+        self.errors += other.errors;
+        self.predictions.extend(other.predictions);
+    }
+}
+
+/// Runs the workload against a server at `addr` and returns the merged
+/// report. Panics only on client-side bugs, never on server refusals —
+/// 503s and transport errors are counted, so overload scenarios can
+/// assert on them.
+pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
+    let n_clients = config.n_clients.max(1);
+    let mut report = LoadReport::default();
+    let partial: Vec<LoadReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|client_idx| scope.spawn(move || run_client(addr, config, client_idx)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    for p in partial {
+        report.merge(p);
+    }
+    report
+}
+
+fn run_client(addr: SocketAddr, config: &LoadConfig, client_idx: usize) -> LoadReport {
+    let mut client = HttpClient::new(addr);
+    let mut pacing = ChaCha8Rng::seed_from_u64(config.seed ^ (client_idx as u64) << 32);
+    let mut report = LoadReport::default();
+    let sessions: Vec<u64> = (0..config.n_sessions as u64)
+        .filter(|s| (*s as usize) % config.n_clients.max(1) == client_idx)
+        .map(|s| config.session_id_base + s)
+        .collect();
+    let observations: BTreeMap<u64, Vec<f64>> = sessions
+        .iter()
+        .map(|&id| (id, config.observations_of(id)))
+        .collect();
+
+    for epoch in 0..config.epochs_per_session {
+        for &id in &sessions {
+            if config.max_gap_us > 0 {
+                let gap = pacing.gen_range(0..config.max_gap_us);
+                std::thread::sleep(Duration::from_micros(gap));
+            }
+            let preq = PredictRequest {
+                session_id: id,
+                features: (epoch == 0).then(|| LoadConfig::features_of(id)),
+                measured_mbps: (epoch > 0).then(|| observations[&id][epoch - 1]),
+                horizon: config.horizon,
+            };
+            report.sent += 1;
+            match post_predict(&mut client, &preq) {
+                Ok(resp) if resp.status == 200 => {
+                    match serde_json::from_slice::<PredictResponse>(&resp.body) {
+                        Ok(presp) => {
+                            report.ok += 1;
+                            report
+                                .predictions
+                                .entry(id)
+                                .or_default()
+                                .push(presp.predictions_mbps);
+                        }
+                        Err(_) => report.errors += 1,
+                    }
+                }
+                Ok(resp) if resp.status == 503 => {
+                    report.rejected += 1;
+                    // The server closes a 503'd connection.
+                    client.reset_connection();
+                }
+                Ok(resp) if resp.status == 404 && epoch > 0 => {
+                    // Evicted under churn: exercise the clean re-init
+                    // path by re-registering with features.
+                    report.reinit += 1;
+                    let re = PredictRequest {
+                        features: Some(LoadConfig::features_of(id)),
+                        ..preq.clone()
+                    };
+                    report.sent += 1;
+                    match post_predict(&mut client, &re) {
+                        Ok(r2) if r2.status == 200 => {
+                            match serde_json::from_slice::<PredictResponse>(&r2.body) {
+                                Ok(presp) => {
+                                    report.ok += 1;
+                                    report
+                                        .predictions
+                                        .entry(id)
+                                        .or_default()
+                                        .push(presp.predictions_mbps);
+                                }
+                                Err(_) => report.errors += 1,
+                            }
+                        }
+                        _ => report.errors += 1,
+                    }
+                }
+                Ok(_) => report.errors += 1,
+                Err(_) => report.errors += 1,
+            }
+        }
+    }
+    report
+}
+
+fn post_predict(client: &mut HttpClient, preq: &PredictRequest) -> std::io::Result<Response> {
+    let body = serde_json::to_vec(preq)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    client.send(&Request::new("POST", "/predict", body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::tiny_engine;
+    use cs2p_net::serve;
+
+    #[test]
+    fn workload_payloads_are_deterministic() {
+        let config = LoadConfig::default();
+        assert_eq!(config.observations_of(3), config.observations_of(3));
+        assert_ne!(config.observations_of(3), config.observations_of(4));
+        assert_eq!(LoadConfig::features_of(6), vec![0]);
+        assert_eq!(LoadConfig::features_of(7), vec![1]);
+    }
+
+    #[test]
+    fn load_run_counts_and_records_every_session() {
+        let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let config = LoadConfig {
+            n_clients: 2,
+            n_sessions: 4,
+            epochs_per_session: 3,
+            ..LoadConfig::default()
+        };
+        let report = run_load(server.addr(), &config);
+        assert_eq!(report.sent, config.total_requests());
+        assert_eq!(report.ok, report.sent, "errors: {}", report.errors);
+        assert_eq!(report.predictions.len(), 4);
+        for (id, preds) in &report.predictions {
+            assert_eq!(preds.len(), 3, "session {id}");
+            for p in preds {
+                assert_eq!(p.len(), config.horizon);
+            }
+        }
+        assert_eq!(server.predictions_served(), report.ok);
+        server.shutdown();
+    }
+
+    #[test]
+    fn paced_run_sends_the_same_payloads_as_closed_loop() {
+        let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let closed = LoadConfig {
+            n_clients: 1,
+            n_sessions: 2,
+            epochs_per_session: 3,
+            ..LoadConfig::default()
+        };
+        let paced = LoadConfig {
+            max_gap_us: 200,
+            ..closed.clone()
+        };
+        let a = run_load(server.addr(), &closed);
+        // Fresh server so session state restarts identically.
+        let server2 = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let b = run_load(server2.addr(), &paced);
+        assert_eq!(a.predictions, b.predictions);
+        server.shutdown();
+        server2.shutdown();
+    }
+}
