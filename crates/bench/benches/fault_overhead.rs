@@ -1,0 +1,144 @@
+//! Fault-injection hook overhead: the `transport_wrapper` seam in
+//! `ServeConfig` must be free when unset and cheap when set.
+//!
+//! Three cases over the same deterministic closed-loop workload:
+//!
+//! - `plain`: no wrapper installed — the production default, where every
+//!   socket read/write dispatches straight on `TcpStream`.
+//! - `passthrough`: an empty `FaultPlan` installed server-side. Every
+//!   connection takes the `dyn`-dispatch path but no fault ever fires,
+//!   isolating the cost of the wrapper seam itself.
+//! - `chaos`: the `run_chaos` harness with its default fault mix, as a
+//!   one-shot print only — recovery latency is workload-dependent and
+//!   belongs in `cs2p-eval chaos-bench`, not a criterion assertion.
+//!
+//! Nothing here asserts a ratio; the point is a number to watch so the
+//! seam never silently grows a hot-path cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs2p_net::{serve_with, ServeConfig};
+use cs2p_testkit::faults::{run_chaos, ChaosConfig, FaultPlan};
+use cs2p_testkit::loadgen::{run_load, LoadConfig};
+use cs2p_testkit::scenarios::tiny_engine;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn workload() -> LoadConfig {
+    LoadConfig {
+        n_clients: 4,
+        n_sessions: 8,
+        epochs_per_session: 4,
+        horizon: 2,
+        seed: 131,
+        max_gap_us: 0,
+        session_id_base: 60_000,
+    }
+}
+
+fn server_config() -> ServeConfig {
+    ServeConfig {
+        n_workers: 4,
+        n_shards: 4,
+        queue_depth: 1024,
+        ..ServeConfig::default()
+    }
+}
+
+fn run_and_check(addr: SocketAddr, config: &LoadConfig) {
+    let report = run_load(addr, config);
+    assert_eq!(
+        report.ok,
+        config.total_requests(),
+        "overhead workload must not shed load (rejected {}, errors {})",
+        report.rejected,
+        report.errors
+    );
+}
+
+fn fault_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault-overhead");
+    group.sample_size(10);
+    let config = workload();
+
+    let plain = serve_with(tiny_engine(), "127.0.0.1:0", server_config()).unwrap();
+    group.bench_function("plain", |b| b.iter(|| run_and_check(plain.addr(), &config)));
+    plain.shutdown();
+
+    let wrapped_config = ServeConfig {
+        transport_wrapper: Some(Arc::new(FaultPlan::new())),
+        ..server_config()
+    };
+    let wrapped = serve_with(tiny_engine(), "127.0.0.1:0", wrapped_config).unwrap();
+    group.bench_function("passthrough", |b| {
+        b.iter(|| run_and_check(wrapped.addr(), &config))
+    });
+    wrapped.shutdown();
+
+    group.finish();
+
+    headline_table();
+}
+
+/// One-shot print: plain vs passthrough rps side by side, plus a chaos
+/// run so regressions in recovery cost show up in bench logs.
+fn headline_table() {
+    println!("[fault-overhead] closed-loop requests/second (one-shot):");
+    let config = workload();
+
+    let plain = serve_with(tiny_engine(), "127.0.0.1:0", server_config()).unwrap();
+    let plain_rps = measure_rps(plain.addr(), &config);
+    plain.shutdown();
+
+    let wrapped_config = ServeConfig {
+        transport_wrapper: Some(Arc::new(FaultPlan::new())),
+        ..server_config()
+    };
+    let wrapped = serve_with(tiny_engine(), "127.0.0.1:0", wrapped_config).unwrap();
+    let wrapped_rps = measure_rps(wrapped.addr(), &config);
+    wrapped.shutdown();
+
+    println!(
+        "  plain {plain_rps:>11.0}   passthrough {wrapped_rps:>11.0}   ratio {:>6.3}x",
+        wrapped_rps / plain_rps
+    );
+
+    // Short reaping window, as in chaos_soak: truncated frames are only
+    // detected when the read times out, and the production 10 s default
+    // would dominate the elapsed number.
+    let chaos_config = ServeConfig {
+        read_timeout: std::time::Duration::from_millis(150),
+        ..server_config()
+    };
+    let chaos_server = serve_with(tiny_engine(), "127.0.0.1:0", chaos_config).unwrap();
+    let start = Instant::now();
+    let report = run_chaos(
+        &chaos_server,
+        &ChaosConfig {
+            load: config,
+            ..ChaosConfig::default()
+        },
+    );
+    let elapsed = start.elapsed().as_secs_f64();
+    chaos_server.shutdown();
+    assert_eq!(
+        report.gave_up, 0,
+        "chaos workload must recover every request"
+    );
+    println!(
+        "  chaos: {} faults fired, {} evictions replayed, workload in {:.1} ms",
+        report.fired.error_class_total() + report.fired.survivable_total(),
+        report.forced_evictions,
+        elapsed * 1e3
+    );
+}
+
+fn measure_rps(addr: SocketAddr, config: &LoadConfig) -> f64 {
+    run_and_check(addr, config);
+    let start = Instant::now();
+    run_and_check(addr, config);
+    config.total_requests() as f64 / start.elapsed().as_secs_f64()
+}
+
+criterion_group!(fault_overhead_group, fault_overhead);
+criterion_main!(fault_overhead_group);

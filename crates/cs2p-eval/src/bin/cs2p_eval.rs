@@ -6,6 +6,7 @@
 //! cs2p-eval all          # run everything
 //! cs2p-eval --small --metrics out.jsonl   # default smoke set + telemetry
 //! cs2p-eval serve-bench  [--metrics out.jsonl]   # serving throughput table
+//! cs2p-eval chaos-bench  [--metrics out.jsonl]   # fault recovery table
 //! cs2p-eval validate-metrics a.jsonl [b.jsonl] [--require stage,stage]
 //! ```
 //!
@@ -14,12 +15,16 @@
 //! with a full metric snapshot. `--profile` prints a per-stage wall-time
 //! table built from the span histograms. `serve-bench` skips material
 //! preparation and benchmarks the prediction server (legacy vs sharded)
-//! plus its overload backpressure. `validate-metrics` checks a metrics
+//! plus its overload backpressure. `chaos-bench` likewise skips material
+//! preparation and reports recovery latency/success per injected fault
+//! class (see TESTING.md). `validate-metrics` checks a metrics
 //! file against the schema — `--require` overrides the stage-coverage
 //! gate (default `train,predict,stream`); given two files it also diffs
 //! their determinism-normalized forms (the CI reproducibility gate).
 
-use cs2p_eval::experiments::{dataset_figs, pilot, prediction, qoe, sens, serve_bench};
+use cs2p_eval::experiments::{
+    chaos_bench, dataset_figs, pilot, prediction, qoe, sens, serve_bench,
+};
 use cs2p_eval::{EvalConfig, Materials};
 use cs2p_obs::{schema, JsonlSink, Registry};
 use std::process::ExitCode;
@@ -41,6 +46,7 @@ fn usage() -> ExitCode {
          [--metrics out.jsonl] [--profile]"
     );
     eprintln!("       cs2p-eval serve-bench [--metrics out.jsonl]");
+    eprintln!("       cs2p-eval chaos-bench [--metrics out.jsonl]");
     eprintln!("       cs2p-eval validate-metrics <a.jsonl> [b.jsonl] [--require stage,stage]");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
     eprintln!(
@@ -81,6 +87,7 @@ fn main() -> ExitCode {
             },
             "--profile" => profile = true,
             "--serve-bench" => positional.push("serve-bench".into()),
+            "--chaos-bench" => positional.push("chaos-bench".into()),
             flag if flag.starts_with("--") => return usage(),
             _ => positional.push(arg.clone()),
         }
@@ -90,8 +97,9 @@ fn main() -> ExitCode {
     }
 
     let serve_bench_only = positional.as_slice() == ["serve-bench"];
+    let chaos_bench_only = positional.as_slice() == ["chaos-bench"];
     let ids: Vec<&str> = match positional.as_slice() {
-        _ if serve_bench_only => Vec::new(),
+        _ if serve_bench_only || chaos_bench_only => Vec::new(),
         [] if metrics_path.is_some() || profile => DEFAULT_SET.to_vec(),
         [] => return usage(),
         [one] if one == "all" => EXPERIMENTS.to_vec(),
@@ -113,11 +121,16 @@ fn main() -> ExitCode {
         }
     }
 
-    // `serve-bench` needs no paper materials: bench the server and exit.
-    if serve_bench_only {
+    // `serve-bench`/`chaos-bench` need no paper materials: bench and exit.
+    if serve_bench_only || chaos_bench_only {
         let start = std::time::Instant::now();
-        print!("{}", serve_bench::serve_bench());
-        eprintln!("[serve-bench took {:.1}s]", start.elapsed().as_secs_f64());
+        let (name, table) = if serve_bench_only {
+            ("serve-bench", serve_bench::serve_bench())
+        } else {
+            ("chaos-bench", chaos_bench::chaos_bench())
+        };
+        print!("{table}");
+        eprintln!("[{name} took {:.1}s]", start.elapsed().as_secs_f64());
         if metrics_path.is_some() {
             Registry::global().emit_snapshot();
             Registry::global().flush_sinks();

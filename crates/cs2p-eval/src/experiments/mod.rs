@@ -1,6 +1,7 @@
 //! One module per group of paper experiments. See DESIGN.md's
 //! per-experiment index for the id ↔ table/figure mapping.
 
+pub mod chaos_bench;
 pub mod dataset_figs;
 pub mod pilot;
 pub mod prediction;

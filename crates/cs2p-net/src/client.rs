@@ -10,67 +10,221 @@
 
 use crate::http::{read_response, write_request, Request, Response};
 use crate::protocol::{PredictRequest, PredictResponse, SessionLog};
+use crate::transport::{IoHalf, TransportWrapper};
 use bytes::Bytes;
 use cs2p_core::ThroughputPredictor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// A blocking HTTP/1.1 client holding one keep-alive connection.
-#[derive(Debug)]
+/// Retry tuning for [`HttpClient`]: capped exponential backoff with
+/// seeded jitter. Defaults are sized so tests stay fast; a deployment
+/// would raise the caps.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total send attempts per request (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per consecutive failure.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff delay.
+    pub max_backoff: Duration,
+    /// Seed for the jitter RNG — fixed seed, fixed delay sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(200),
+            seed: 0,
+        }
+    }
+}
+
+/// The client's persistent backoff state: one jitter RNG plus the count
+/// of consecutive failures. Deliberately **not** reset per request — a
+/// burst of 503s across several keep-alive requests keeps escalating the
+/// delay; only a successful (non-503) response resets it.
+struct BackoffState {
+    rng: ChaCha8Rng,
+    consecutive_failures: u32,
+}
+
+impl BackoffState {
+    fn new(seed: u64) -> Self {
+        BackoffState {
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0xC52F_BAC0_FF5E_7D1A),
+            consecutive_failures: 0,
+        }
+    }
+
+    /// The next delay: `base << failures`, capped, with jitter drawn
+    /// uniformly from `[raw/2, raw)` so synchronized clients spread out.
+    fn next_delay(&mut self, policy: &RetryPolicy) -> Duration {
+        let exp = self.consecutive_failures.min(20);
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let base = policy.base_backoff.as_micros().min(u64::MAX as u128) as u64;
+        let cap = policy.max_backoff.as_micros().min(u64::MAX as u128) as u64;
+        let raw = base.saturating_mul(1u64 << exp).min(cap.max(base));
+        if raw < 2 {
+            return Duration::from_micros(raw);
+        }
+        Duration::from_micros(self.rng.gen_range(raw / 2..raw))
+    }
+
+    fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+    }
+}
+
+/// How the client waits out a backoff delay. Swappable so chaos tests
+/// record delays (or drive a manual clock) instead of really sleeping.
+pub type Sleeper = Arc<dyn Fn(Duration) + Send + Sync>;
+
+/// A blocking HTTP/1.1 client holding one keep-alive connection, with
+/// seeded capped-exponential retry (see [`RetryPolicy`]) and an optional
+/// per-connection transport hook for fault injection.
 pub struct HttpClient {
     addr: SocketAddr,
-    connection: Option<(BufReader<TcpStream>, BufWriter<TcpStream>)>,
+    connection: Option<(BufReader<IoHalf>, BufWriter<IoHalf>)>,
+    retry: RetryPolicy,
+    backoff: BackoffState,
+    sleeper: Sleeper,
+    transport_wrapper: Option<Arc<dyn TransportWrapper>>,
+    /// Connections opened so far — the `conn_seq` fault plans key on.
+    connects: u64,
+}
+
+impl std::fmt::Debug for HttpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpClient")
+            .field("addr", &self.addr)
+            .field("connected", &self.connection.is_some())
+            .field("retry", &self.retry)
+            .field("consecutive_failures", &self.backoff.consecutive_failures)
+            .field("transport_wrapper", &self.transport_wrapper.is_some())
+            .field("connects", &self.connects)
+            .finish()
+    }
 }
 
 impl HttpClient {
     /// A client for the given server address (not yet connected).
     pub fn new(addr: SocketAddr) -> Self {
+        let retry = RetryPolicy::default();
+        let backoff = BackoffState::new(retry.seed);
         HttpClient {
             addr,
             connection: None,
+            retry,
+            backoff,
+            sleeper: Arc::new(std::thread::sleep),
+            transport_wrapper: None,
+            connects: 0,
         }
     }
 
-    fn connect(&mut self) -> io::Result<&mut (BufReader<TcpStream>, BufWriter<TcpStream>)> {
+    /// Replaces the retry policy (resetting the backoff RNG to its seed).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.backoff = BackoffState::new(policy.seed);
+        self.retry = policy;
+        self
+    }
+
+    /// Installs a transport hook wrapping each new connection; `conn_seq`
+    /// passed to the hook is this client's connect count (0-based).
+    pub fn with_transport_wrapper(mut self, wrapper: Arc<dyn TransportWrapper>) -> Self {
+        self.transport_wrapper = Some(wrapper);
+        self
+    }
+
+    /// Replaces how backoff delays are waited out (tests record instead
+    /// of sleeping).
+    pub fn with_sleeper(mut self, sleeper: Sleeper) -> Self {
+        self.sleeper = sleeper;
+        self
+    }
+
+    /// Consecutive failed attempts the backoff state currently remembers
+    /// (0 after a successful non-503 response).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.backoff.consecutive_failures
+    }
+
+    fn connect(&mut self) -> io::Result<&mut (BufReader<IoHalf>, BufWriter<IoHalf>)> {
         if self.connection.is_none() {
             let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5))?;
             stream.set_read_timeout(Some(Duration::from_secs(10)))?;
             stream.set_nodelay(true)?;
-            let reader = BufReader::new(stream.try_clone()?);
-            let writer = BufWriter::new(stream);
-            self.connection = Some((reader, writer));
+            let conn_seq = self.connects;
+            self.connects += 1;
+            let (read_half, write_half) =
+                IoHalf::pair(&stream, conn_seq, self.transport_wrapper.as_ref())?;
+            self.connection = Some((BufReader::new(read_half), BufWriter::new(write_half)));
         }
         Ok(self.connection.as_mut().unwrap())
     }
 
-    /// Sends one request, reusing the connection; retries once on a broken
-    /// keep-alive connection.
+    /// Waits out one backoff delay from the persistent state and records
+    /// it (`client.retry.backoff_us`).
+    fn back_off(&mut self) {
+        let delay = self.backoff.next_delay(&self.retry);
+        cs2p_obs::observe("client.retry.backoff_us", delay.as_micros() as f64);
+        (self.sleeper)(delay);
+    }
+
+    /// Records server backpressure (a 503 `Retry-After`) against the
+    /// client's **persistent** backoff state and waits out the resulting
+    /// delay. Consecutive 503s — including across separate requests on
+    /// the same keep-alive client — keep doubling the delay; only a later
+    /// non-503 response resets it.
+    pub fn note_backpressure(&mut self) {
+        cs2p_obs::counter_add("client.retry.backpressure", 1);
+        self.back_off();
+    }
+
+    /// Sends one request, reusing the keep-alive connection. Transport
+    /// failures (broken connection, reset, timeout) are retried up to
+    /// [`RetryPolicy::max_attempts`] with seeded capped-exponential
+    /// backoff; HTTP error statuses are returned to the caller, but a
+    /// 503 does *not* reset the backoff state (see
+    /// [`Self::note_backpressure`]).
     pub fn send(&mut self, req: &Request) -> io::Result<Response> {
         let _span = cs2p_obs::span("net.client.request");
         cs2p_obs::counter_add("net.client.requests", 1);
-        for attempt in 0..2 {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                // Stale keep-alive connection, reset, or timeout: back
+                // off, then reconnect and retry.
+                cs2p_obs::counter_add("client.retry.attempts", 1);
+                cs2p_obs::counter_add("net.client.reconnects", 1);
+                self.connection = None;
+                self.back_off();
+            }
             match self.try_send(req) {
                 Ok(resp) => {
+                    if resp.status != 503 {
+                        self.backoff.on_success();
+                    }
                     if cs2p_obs::enabled() {
                         cs2p_obs::counter_add("net.client.bytes_out", req.body.len() as u64);
                         cs2p_obs::counter_add("net.client.bytes_in", resp.body.len() as u64);
                     }
                     return Ok(resp);
                 }
-                Err(e) if attempt == 0 => {
-                    // Stale keep-alive connection: reconnect and retry.
-                    cs2p_obs::counter_add("net.client.reconnects", 1);
-                    self.connection = None;
-                    let _ = e;
-                }
-                Err(e) => {
-                    cs2p_obs::counter_add("net.client.errors", 1);
-                    return Err(e);
-                }
+                Err(e) => last_err = Some(e),
             }
         }
-        unreachable!()
+        cs2p_obs::counter_add("client.retry.giveups", 1);
+        cs2p_obs::counter_add("net.client.errors", 1);
+        Err(last_err.expect("max_attempts >= 1"))
     }
 
     /// Drops the current keep-alive connection; the next request
@@ -139,8 +293,14 @@ pub struct RemotePredictor {
 impl RemotePredictor {
     /// A remote predictor for one session.
     pub fn new(addr: SocketAddr, session_id: u64, features: Vec<u32>) -> Self {
+        Self::from_client(HttpClient::new(addr), session_id, features)
+    }
+
+    /// A remote predictor over a pre-configured [`HttpClient`] (custom
+    /// retry policy, sleeper, or transport hook).
+    pub fn from_client(client: HttpClient, session_id: u64, features: Vec<u32>) -> Self {
         RemotePredictor {
-            client: HttpClient::new(addr),
+            client,
             session_id,
             features,
             pending_measurement: None,
@@ -199,7 +359,10 @@ impl RemotePredictor {
                 }
                 503 => {
                     cs2p_obs::counter_add("predict.client.backpressure", 1);
-                    // The 503 carried `Connection: close`.
+                    // The 503 carried `Connection: close`; charge the
+                    // client's persistent backoff state so a 503 burst
+                    // escalates the wait instead of hammering the server.
+                    self.client.note_backpressure();
                     self.client.reset_connection();
                     return None;
                 }
@@ -346,6 +509,92 @@ mod tests {
         assert!(p1.predict_next().is_some());
         let stats = server.shutdown();
         assert!(stats.sessions_evicted >= 1);
+    }
+
+    #[test]
+    fn backpressure_backoff_persists_across_requests_until_success() {
+        use parking_lot::Mutex;
+        // Regression for the old per-request reset: consecutive 503s on
+        // one keep-alive client must keep escalating the (seeded) delay;
+        // only a successful response clears the state.
+        let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let delays: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&delays);
+        let mut client = HttpClient::new(server.addr())
+            .with_retry(RetryPolicy {
+                max_attempts: 1,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_secs(1),
+                seed: 7,
+            })
+            .with_sleeper(Arc::new(move |d| sink.lock().push(d)));
+        // Three requests each answered with backpressure (simulated by
+        // charging the state the way RemotePredictor does on a 503).
+        client.note_backpressure();
+        client.note_backpressure();
+        client.note_backpressure();
+        assert_eq!(client.consecutive_failures(), 3);
+        let recorded = delays.lock().clone();
+        assert_eq!(recorded.len(), 3);
+        // Jitter windows [1,2), [2,4), [4,8) ms: strictly escalating.
+        assert!(
+            recorded[0] < recorded[1] && recorded[1] < recorded[2],
+            "{recorded:?}"
+        );
+        // A successful response resets the state…
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        assert_eq!(client.consecutive_failures(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_503_response_does_not_reset_backoff_state() {
+        use crate::server::{serve_with, ServeConfig};
+        let config = ServeConfig {
+            max_connections: 1,
+            ..ServeConfig::default()
+        };
+        let server = serve_with(tiny_engine(), "127.0.0.1:0", config).unwrap();
+        // Occupy the single slot so further connections get 503.
+        let mut holder = HttpClient::new(server.addr());
+        assert_eq!(holder.get("/healthz").unwrap().status, 200);
+        let mut client = HttpClient::new(server.addr()).with_sleeper(Arc::new(|_| {}));
+        client.note_backpressure();
+        client.note_backpressure();
+        assert_eq!(client.consecutive_failures(), 2);
+        let resp = client
+            .send(&Request::new("GET", "/healthz", Bytes::new()))
+            .unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(
+            client.consecutive_failures(),
+            2,
+            "a 503 must not clear the escalation state"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn retry_backoff_delays_are_seed_deterministic() {
+        use parking_lot::Mutex;
+        let record = |seed| {
+            let delays: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&delays);
+            let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+            let mut client = HttpClient::new(addr)
+                .with_retry(RetryPolicy {
+                    seed,
+                    ..RetryPolicy::default()
+                })
+                .with_sleeper(Arc::new(move |d| sink.lock().push(d)));
+            for _ in 0..4 {
+                client.note_backpressure();
+            }
+            let out = delays.lock().clone();
+            out
+        };
+        assert_eq!(record(3), record(3));
+        assert_ne!(record(3), record(4), "different seeds, different jitter");
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   eviction, and graceful drain (see `DESIGN.md`);
 //! - [`store`] / [`pool`]: the sharded session store and the bounded
 //!   request queue backing the server;
+//! - [`transport`]: the byte-stream abstraction with an injectable
+//!   per-connection wrapper hook (fault injection, future middleboxes)
+//!   and the server's slow-peer deadline reader;
 //! - [`legacy`]: the pre-rewrite thread-per-connection server, kept as
 //!   the `serve_throughput` benchmark baseline;
 //! - [`client`]: the blocking client and [`client::RemotePredictor`],
@@ -42,11 +45,13 @@ pub mod pool;
 pub mod protocol;
 pub mod server;
 pub mod store;
+pub mod transport;
 
-pub use client::{HttpClient, RemotePredictor};
+pub use client::{HttpClient, RemotePredictor, RetryPolicy, Sleeper};
 pub use dash::{
     play_remote_session, AbrKind, DashPlayer, LocalModelPredictor, Manifest, PlayerConfig,
 };
 pub use legacy::{serve_legacy, LegacyServerHandle};
 pub use protocol::{Health, LogStats, PredictRequest, PredictResponse, SessionLog, StrategyStats};
 pub use server::{serve, serve_with, ServeConfig, ServeStats, ServerHandle};
+pub use transport::{BoxTransport, Transport, TransportWrapper};

@@ -31,9 +31,11 @@ use crate::http::{read_request, write_response, Request, Response};
 use crate::pool::BoundedQueue;
 use crate::protocol::{parse_features_query, Health, PredictRequest, PredictResponse, SessionLog};
 use crate::store::SessionStore;
+use crate::transport::{DeadlineReader, IoHalf, TransportWrapper};
 use cs2p_core::engine::ClusterModel;
 use cs2p_core::{ClientModel, FeatureVector, PredictionEngine};
 use cs2p_ml::hmm::{FilterState, HmmFilter};
+use cs2p_obs::{Clock, MonotonicClock};
 use parking_lot::Mutex;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -57,7 +59,7 @@ const MAX_REQUESTS_PER_TURN: u32 = 32;
 /// Tuning knobs for [`serve_with`]. `Default` is sized for tests and
 /// small deployments; every limit is explicit so the load tests can
 /// force eviction and backpressure deterministically.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Session-store shards (parallelism of session-state access).
     pub n_shards: usize,
@@ -78,6 +80,36 @@ pub struct ServeConfig {
     pub write_timeout: Duration,
     /// Value of the `Retry-After` header on 503 responses.
     pub retry_after_seconds: u64,
+    /// Slow-peer deadline: total time one request may take to arrive once
+    /// its first byte has been read (distinct from the idle keep-alive
+    /// wait, which never arms it, and from `read_timeout`, which a
+    /// byte-dribbling peer never trips). A violator's connection is cut
+    /// and `serve.fault.slow_peer_aborts` bumped. `None` disables.
+    pub slow_peer_deadline: Option<Duration>,
+    /// Time source for the slow-peer deadline — swap in a
+    /// [`cs2p_obs::ManualClock`] for deterministic tests.
+    pub clock: Arc<dyn Clock>,
+    /// Per-connection transport hook (fault injection, middleboxes).
+    /// `None` keeps the statically-dispatched `TcpStream` path.
+    pub transport_wrapper: Option<Arc<dyn TransportWrapper>>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("n_shards", &self.n_shards)
+            .field("n_workers", &self.n_workers)
+            .field("queue_depth", &self.queue_depth)
+            .field("max_sessions", &self.max_sessions)
+            .field("session_ttl_requests", &self.session_ttl_requests)
+            .field("max_connections", &self.max_connections)
+            .field("read_timeout", &self.read_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("retry_after_seconds", &self.retry_after_seconds)
+            .field("slow_peer_deadline", &self.slow_peer_deadline)
+            .field("transport_wrapper", &self.transport_wrapper.is_some())
+            .finish()
+    }
 }
 
 impl Default for ServeConfig {
@@ -96,6 +128,9 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             retry_after_seconds: 1,
+            slow_peer_deadline: Some(Duration::from_secs(30)),
+            clock: Arc::new(MonotonicClock::new()),
+            transport_wrapper: None,
         }
     }
 }
@@ -151,6 +186,10 @@ impl AppState {
 
     pub(crate) fn session_capacity(&self) -> usize {
         self.sessions.capacity()
+    }
+
+    pub(crate) fn force_evict(&self, session_id: u64) -> bool {
+        self.sessions.force_evict(session_id)
     }
 
     fn model_of(&self, state: &SessionState) -> &ClusterModel {
@@ -326,10 +365,13 @@ impl Drop for ConnSlot {
 }
 
 /// One client connection, handed between the poller and the workers.
+/// The buffered halves run over [`IoHalf`] (hook-wrappable transports);
+/// readiness polling always peeks the raw socket, so fault wrappers see
+/// every byte a worker moves but never affect idle multiplexing.
 struct Conn {
     stream: TcpStream,
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    reader: BufReader<DeadlineReader>,
+    writer: BufWriter<IoHalf>,
     nonblocking: bool,
     _slot: ConnSlot,
 }
@@ -344,12 +386,26 @@ enum PollState {
 }
 
 impl Conn {
-    fn new(stream: TcpStream, slot: ConnSlot, config: &ServeConfig) -> io::Result<Self> {
+    fn new(
+        stream: TcpStream,
+        conn_seq: u64,
+        slot: ConnSlot,
+        config: &ServeConfig,
+    ) -> io::Result<Self> {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(config.read_timeout))?;
         stream.set_write_timeout(Some(config.write_timeout))?;
-        let reader = BufReader::new(stream.try_clone()?);
-        let writer = BufWriter::new(stream.try_clone()?);
+        let (read_half, write_half) =
+            IoHalf::pair(&stream, conn_seq, config.transport_wrapper.as_ref())?;
+        let deadline_us = config
+            .slow_peer_deadline
+            .map(|d| d.as_micros().min(u64::MAX as u128) as u64);
+        let reader = BufReader::new(DeadlineReader::new(
+            read_half,
+            Arc::clone(&config.clock),
+            deadline_us,
+        ));
+        let writer = BufWriter::new(write_half);
         Ok(Conn {
             stream,
             reader,
@@ -491,6 +547,14 @@ impl ServerHandle {
         self.shared.app.logs()
     }
 
+    /// Forcibly evicts a session mid-stream (chaos/ops hook): the next
+    /// request for it gets the "unknown session" re-register path, just
+    /// like a TTL/LRU eviction. Counted in `serve.fault.forced_evictions`
+    /// (and as a regular eviction). Returns whether it was present.
+    pub fn force_evict(&self, session_id: u64) -> bool {
+        self.shared.app.force_evict(session_id)
+    }
+
     /// Current serving counters.
     pub fn stats(&self) -> ServeStats {
         ServeStats {
@@ -619,11 +683,11 @@ fn run_acceptor(listener: TcpListener, shared: Arc<Shared>) {
             // The wake-up connection (or a client racing shutdown).
             return;
         }
-        shared.accepted.fetch_add(1, Ordering::Relaxed);
+        let conn_seq = shared.accepted.fetch_add(1, Ordering::Relaxed);
         cs2p_obs::counter_add("serve.accepted", 1);
         let live = shared.live_conns.fetch_add(1, Ordering::Relaxed) + 1;
         let slot = ConnSlot(Arc::clone(&shared.live_conns));
-        let conn = match Conn::new(stream, slot, &shared.config) {
+        let conn = match Conn::new(stream, conn_seq, slot, &shared.config) {
             Ok(conn) => conn,
             Err(_) => continue,
         };
@@ -715,19 +779,29 @@ fn serve_turn(mut conn: Conn, shared: &Shared) {
         }
         match read_request(&mut conn.reader) {
             Ok(Some(req)) => {
+                // Request fully received: disarm the slow-peer deadline
+                // before doing any (unbounded-by-it) handler work.
+                conn.reader.get_mut().finish_request();
                 let _span = cs2p_obs::span("serve.request");
                 let resp = shared.app.handle(&req);
                 if write_response(&mut conn.writer, &resp).is_err() {
+                    cs2p_obs::counter_add("serve.fault.write_errors", 1);
                     return;
                 }
                 served += 1;
             }
             Ok(None) => return, // peer closed keep-alive cleanly
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Unparseable framing (truncated/corrupted request).
+                cs2p_obs::counter_add("serve.fault.bad_frames", 1);
                 let _ = write_response(&mut conn.writer, &Response::error(400, &e.to_string()));
                 return;
             }
-            Err(_) => return, // read timeout / reset
+            Err(_) => {
+                // Read timeout, slow-peer abort, or peer reset mid-request.
+                cs2p_obs::counter_add("serve.fault.read_errors", 1);
+                return;
+            }
         }
 
         // Pipelined bytes already buffered are in-flight work: serve them

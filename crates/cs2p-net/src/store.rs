@@ -92,6 +92,21 @@ impl<V> SessionStore<V> {
         self.evicted.load(Ordering::Relaxed)
     }
 
+    /// Forcibly evicts `id` right now (chaos/ops hook): counted both as a
+    /// regular eviction and in `serve.fault.forced_evictions`. Returns
+    /// whether the session was present. The next request for the session
+    /// takes the same "unknown session" re-register path as a TTL/LRU
+    /// eviction, which is exactly what fault tests force mid-session.
+    pub fn force_evict(&self, id: u64) -> bool {
+        let mut guard = self.lock(id);
+        let present = guard.guard.remove(&id).is_some();
+        if present {
+            guard.count_evictions(1);
+            cs2p_obs::counter_add("serve.fault.forced_evictions", 1);
+        }
+        present
+    }
+
     /// Locks the shard owning `id` and returns a guard scoped to that
     /// shard. All reads/writes for `id` go through the guard; the shard
     /// lock-hold time is recorded to `serve.shard.lock_us` on drop.

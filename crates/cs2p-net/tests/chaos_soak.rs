@@ -1,0 +1,219 @@
+//! Chaos soak: the full loadgen workload under seeded fault schedules.
+//!
+//! For every seed (fixed CI matrix, overridable via `CHAOS_SEEDS`, e.g.
+//! `CHAOS_SEEDS=5,6,7`), the suite runs a fault-free golden pass and a
+//! chaos pass with half the clients behind seeded [`FaultPlan`]s plus
+//! forced mid-session store evictions, then checks:
+//!
+//! - **liveness**: no panics, every request eventually answered, no
+//!   give-ups, and shutdown completes within a hard bound (a stuck
+//!   worker or poller fails the join timeout);
+//! - **fault accounting identity**: every injected fault is either
+//!   observed in the recovery telemetry (`client.retry.*`,
+//!   `serve.fault.*`) or survived outright — nothing disappears;
+//! - **blast-radius isolation**: sessions owned by fault-free clients
+//!   produce bit-identical predictions to the golden run.
+//!
+//! Own test binary, single `#[test]`: the identities diff the global
+//! cs2p-obs registry, which concurrent tests would corrupt.
+
+use cs2p_net::{serve_with, ServeConfig, ServerHandle};
+use cs2p_testkit::faults::{run_chaos, ChaosConfig};
+use cs2p_testkit::loadgen::{run_load, LoadConfig};
+use cs2p_testkit::scenarios::tiny_engine;
+use std::time::Duration;
+
+fn counter(name: &str) -> u64 {
+    cs2p_obs::Registry::global()
+        .snapshot()
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("CHAOS_SEEDS must be u64s"))
+            .collect(),
+        Err(_) => vec![11, 23, 47, 91],
+    }
+}
+
+fn chaos_server() -> ServerHandle {
+    let config = ServeConfig {
+        n_shards: 4,
+        n_workers: 3,
+        queue_depth: 1024,
+        max_sessions: 10_000,
+        session_ttl_requests: None,
+        // Short enough that a truncated frame is reaped quickly (well
+        // under the client's 10 s read timeout), long enough that a
+        // healthy keep-alive request never trips it.
+        read_timeout: Duration::from_millis(150),
+        ..ServeConfig::default()
+    };
+    serve_with(tiny_engine(), "127.0.0.1:0", config).unwrap()
+}
+
+/// Shuts the server down on a helper thread and panics if it does not
+/// drain within the bound — a stuck worker/poller/acceptor shows up here.
+fn shutdown_bounded(server: ServerHandle) -> cs2p_net::ServeStats {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(server.shutdown());
+    });
+    rx.recv_timeout(Duration::from_secs(10))
+        .expect("shutdown must complete in bounded time (stuck thread?)")
+}
+
+fn soak_one_seed(seed: u64) -> (u64, usize) {
+    let config = ChaosConfig {
+        load: LoadConfig {
+            n_clients: 4,
+            n_sessions: 8,
+            epochs_per_session: 5,
+            horizon: 2,
+            seed,
+            session_id_base: 1_000,
+            ..LoadConfig::default()
+        },
+        ..ChaosConfig::default()
+    };
+
+    // Golden pass: identical workload, no faults, fresh identical server.
+    let golden_server = chaos_server();
+    let golden = run_load(golden_server.addr(), &config.load);
+    assert_eq!(golden.errors, 0, "seed {seed}: golden run must be clean");
+    assert_eq!(golden.rejected, 0);
+    shutdown_bounded(golden_server);
+
+    let attempts0 = counter("client.retry.attempts");
+    let giveups0 = counter("client.retry.giveups");
+    let bad_frames0 = counter("serve.fault.bad_frames");
+    let read_errors0 = counter("serve.fault.read_errors");
+    let evictions0 = counter("serve.fault.forced_evictions");
+    let aborts0 = counter("serve.fault.slow_peer_aborts");
+
+    let server = chaos_server();
+    let addr = server.addr();
+    let report = run_chaos(&server, &config);
+    let stats = shutdown_bounded(server);
+
+    let fired = report.fired;
+    let d_attempts = counter("client.retry.attempts") - attempts0;
+    let d_giveups = counter("client.retry.giveups") - giveups0;
+    let d_bad_frames = counter("serve.fault.bad_frames") - bad_frames0;
+    let d_read_errors = counter("serve.fault.read_errors") - read_errors0;
+    let d_evictions = counter("serve.fault.forced_evictions") - evictions0;
+
+    // Liveness: everything was eventually answered, nothing gave up,
+    // nothing was shed (the queue is sized for the workload).
+    assert_eq!(report.gave_up, 0, "seed {seed}: requests abandoned");
+    assert_eq!(d_giveups, 0, "seed {seed}: client send() gave up");
+    assert_eq!(report.load.errors, 0, "seed {seed}");
+    assert_eq!(report.load.rejected, 0, "seed {seed}");
+    assert_eq!(stats.rejected, 0, "seed {seed}");
+    for s in 0..config.load.n_sessions as u64 {
+        let id = config.load.session_id_base + s;
+        let preds = report.load.predictions.get(&id).map_or(0, Vec::len);
+        assert_eq!(
+            preds, config.load.epochs_per_session,
+            "seed {seed}: session {id} lost predictions"
+        );
+    }
+    // Request conservation: every sent request is accounted to exactly
+    // one outcome.
+    assert_eq!(
+        report.load.sent,
+        report.load.ok + report.load.reinit + report.load.rejected + report.error_statuses,
+        "seed {seed}: request ledger out of balance"
+    );
+
+    // Fault accounting identity — injected == observed + survived:
+    // every transport-failure fault surfaces as exactly one client
+    // retry, every corruption as exactly one 400 bad frame, every
+    // forced eviction as exactly one re-registration; dribbles (and
+    // in-budget delays) are survived with no error at all.
+    assert_eq!(
+        d_attempts,
+        fired.transport_failures(),
+        "seed {seed}: retries vs injected transport faults"
+    );
+    assert_eq!(
+        d_bad_frames, fired.corruptions,
+        "seed {seed}: bad frames vs injected corruptions"
+    );
+    assert_eq!(
+        report.error_statuses, fired.corruptions,
+        "seed {seed}: client-visible error statuses vs corruptions"
+    );
+    // Resets mid-request and truncations are each reaped as exactly one
+    // server read error; a reset mid-response *may* additionally surface
+    // server-side (close-with-unread-data RST timing), so the total is
+    // bounded, not exact.
+    assert!(
+        d_read_errors >= fired.resets_write + fired.truncations
+            && d_read_errors <= fired.transport_failures(),
+        "seed {seed}: read errors {d_read_errors} outside [{}, {}]",
+        fired.resets_write + fired.truncations,
+        fired.transport_failures()
+    );
+    assert_eq!(d_evictions, report.forced_evictions, "seed {seed}");
+    assert_eq!(
+        report.load.reinit, report.forced_evictions,
+        "seed {seed}: every forced eviction re-registers exactly once"
+    );
+    assert_eq!(
+        stats.sessions_evicted, report.forced_evictions,
+        "seed {seed}: only forced evictions may evict (no TTL, huge cap)"
+    );
+    assert_eq!(
+        counter("serve.fault.slow_peer_aborts"),
+        aborts0,
+        "seed {seed}: no slow-peer aborts without injected delay"
+    );
+
+    // Blast-radius isolation: fault-free clients' sessions are
+    // bit-identical to the golden run.
+    for &id in &report.clean_sessions {
+        assert_eq!(
+            report.load.predictions.get(&id),
+            golden.predictions.get(&id),
+            "seed {seed}: clean session {id} diverged from fault-free run"
+        );
+    }
+
+    // The listener is really gone: a fresh connect is refused.
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "seed {seed}: port still accepting after shutdown"
+    );
+
+    (
+        fired.error_class_total() + fired.survivable_total(),
+        report.clean_sessions.len(),
+    )
+}
+
+#[test]
+fn seeded_chaos_schedules_are_survived_with_exact_accounting() {
+    cs2p_obs::set_enabled(true);
+    let mut total_fired = 0;
+    let mut total_clean = 0;
+    for seed in seeds() {
+        let (fired, clean) = soak_one_seed(seed);
+        total_fired += fired;
+        total_clean += clean;
+    }
+    // The suite must not be vacuous: across the seed matrix, faults
+    // actually fired and clean sessions were actually compared.
+    assert!(
+        total_fired > 0,
+        "no fault ever fired across the seed matrix"
+    );
+    assert!(total_clean > 0, "no clean session was ever compared");
+    cs2p_obs::set_enabled(false);
+}

@@ -1,0 +1,364 @@
+//! Forcing tests: one deterministic scenario per fault class, each
+//! pinned to the `serve.fault.*` / `client.retry.*` counter it must
+//! move and to the recovery behaviour it must trigger.
+//!
+//! This file is its own test binary with a single `#[test]` because the
+//! scenarios flip the *global* cs2p-obs registry and diff its counters;
+//! concurrent tests in the same process would corrupt the diffs. Each
+//! scenario runs against its own server and shuts it down before the
+//! next baseline is taken, so late asynchronous counter bumps (e.g. a
+//! server thread noticing a reset after the client moved on) land
+//! inside the scenario that caused them.
+
+use cs2p_net::protocol::{PredictRequest, PredictResponse};
+use cs2p_net::{serve_with, HttpClient, RemotePredictor, RetryPolicy, ServeConfig, ServerHandle};
+use cs2p_obs::ManualClock;
+use cs2p_testkit::faults::{FaultAction, FaultPlan};
+use cs2p_testkit::scenarios::tiny_engine;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn counter(name: &str) -> u64 {
+    cs2p_obs::Registry::global()
+        .snapshot()
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+/// Sample count of an `observe()`-style stat (e.g. `client.retry.backoff_us`).
+fn stat_count(name: &str) -> u64 {
+    cs2p_obs::Registry::global()
+        .snapshot()
+        .histograms
+        .get(name)
+        .map(|h| h.count)
+        .unwrap_or(0)
+}
+
+/// Polls (against wall time, but with a generous bound) until `name`
+/// reaches at least `target` — for counters bumped by server threads
+/// after the client already saw its side of the fault.
+fn wait_counter_at_least(name: &str, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while counter(name) < target {
+        assert!(
+            Instant::now() < deadline,
+            "{name} stuck at {} < {target}",
+            counter(name)
+        );
+        std::thread::yield_now();
+    }
+}
+
+fn server(config: ServeConfig) -> ServerHandle {
+    serve_with(tiny_engine(), "127.0.0.1:0", config).unwrap()
+}
+
+/// A client that never really sleeps (retry backoff is observed through
+/// counters, not wall time) and retries up to 4 times.
+fn patient_client(server: &ServerHandle, plan: FaultPlan) -> HttpClient {
+    HttpClient::new(server.addr())
+        .with_retry(RetryPolicy {
+            max_attempts: 4,
+            seed: 7,
+            ..RetryPolicy::default()
+        })
+        .with_sleeper(Arc::new(|_| {}))
+        .with_transport_wrapper(Arc::new(plan))
+}
+
+fn register_request(id: u64) -> cs2p_net::http::Request {
+    let preq = PredictRequest {
+        session_id: id,
+        features: Some(vec![1]),
+        measured_mbps: None,
+        horizon: 2,
+    };
+    cs2p_net::http::Request::new("POST", "/predict", serde_json::to_vec(&preq).unwrap())
+}
+
+fn assert_predictions(resp: &cs2p_net::http::Response) {
+    assert_eq!(resp.status, 200, "body: {:?}", resp.body);
+    let presp: PredictResponse = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(presp.predictions_mbps.len(), 2);
+}
+
+/// Connection reset mid-response: the client loses the first response
+/// after reading part of it, retries once with backoff, and succeeds on
+/// a fresh connection.
+fn reset_mid_response_recovers_via_client_retry() {
+    let server = server(ServeConfig::default());
+    let attempts0 = counter("client.retry.attempts");
+    let backoffs0 = stat_count("client.retry.backoff_us");
+
+    let plan = FaultPlan::new().fault(0, FaultAction::ResetAfterReadBytes(20));
+    let tally = plan.tally();
+    let mut client = patient_client(&server, plan);
+    let resp = client.send(&register_request(1)).unwrap();
+    assert_predictions(&resp);
+
+    assert_eq!(tally.snapshot().resets_read, 1, "fault must actually fire");
+    assert_eq!(counter("client.retry.attempts") - attempts0, 1);
+    assert!(
+        stat_count("client.retry.backoff_us") > backoffs0,
+        "retry must back off"
+    );
+    assert_eq!(client.consecutive_failures(), 0, "success resets backoff");
+    server.shutdown();
+}
+
+/// Connection reset mid-request write: the server sees a partial frame
+/// (counted as a read error), the client retries and succeeds.
+fn reset_mid_request_counts_a_server_read_error() {
+    let server = server(ServeConfig {
+        read_timeout: Duration::from_millis(500),
+        ..ServeConfig::default()
+    });
+    let attempts0 = counter("client.retry.attempts");
+    let read_errors0 = counter("serve.fault.read_errors");
+
+    let plan = FaultPlan::new().fault(0, FaultAction::ResetAfterWriteBytes(10));
+    let tally = plan.tally();
+    let mut client = patient_client(&server, plan);
+    let resp = client.send(&register_request(2)).unwrap();
+    assert_predictions(&resp);
+
+    assert_eq!(tally.snapshot().resets_write, 1);
+    assert_eq!(counter("client.retry.attempts") - attempts0, 1);
+    wait_counter_at_least("serve.fault.read_errors", read_errors0 + 1);
+    server.shutdown();
+}
+
+/// Frame truncation: bytes silently vanish mid-request while the
+/// connection stays open. The server's read timeout (not the 30 s
+/// slow-peer budget) reaps it; the client retries and succeeds.
+fn truncation_is_reaped_by_read_timeout_and_retried() {
+    let server = server(ServeConfig {
+        read_timeout: Duration::from_millis(150),
+        ..ServeConfig::default()
+    });
+    let attempts0 = counter("client.retry.attempts");
+    let read_errors0 = counter("serve.fault.read_errors");
+
+    let plan = FaultPlan::new().fault(0, FaultAction::TruncateWritesAfter(25));
+    let tally = plan.tally();
+    let mut client = patient_client(&server, plan);
+    let resp = client.send(&register_request(3)).unwrap();
+    assert_predictions(&resp);
+
+    assert_eq!(tally.snapshot().truncations, 1);
+    assert_eq!(counter("client.retry.attempts") - attempts0, 1);
+    wait_counter_at_least("serve.fault.read_errors", read_errors0 + 1);
+    server.shutdown();
+}
+
+/// Frame corruption: one flipped byte in the method makes the request
+/// line non-UTF-8; the server answers 400 (`serve.fault.bad_frames`),
+/// closes, and a clean resend on a fresh connection succeeds.
+fn corruption_gets_a_400_bad_frame_then_clean_resend() {
+    let server = server(ServeConfig::default());
+    let bad_frames0 = counter("serve.fault.bad_frames");
+
+    let plan = FaultPlan::new().fault(0, FaultAction::CorruptWriteByte(1));
+    let tally = plan.tally();
+    let mut client = patient_client(&server, plan);
+    let resp = client.send(&register_request(4)).unwrap();
+    assert_eq!(
+        resp.status, 400,
+        "corrupted frame must be rejected, not served"
+    );
+    assert_eq!(tally.snapshot().corruptions, 1);
+    assert_eq!(counter("serve.fault.bad_frames") - bad_frames0, 1);
+
+    client.reset_connection();
+    let resp = client.send(&register_request(4)).unwrap();
+    assert_predictions(&resp);
+    server.shutdown();
+}
+
+/// Slow-client byte-dribbling within the budget: the request arrives one
+/// byte at a time, and the server serves it normally — no aborts, no
+/// errors. Dribbling is a survivable fault.
+fn dribbled_request_within_budget_is_served_normally() {
+    let server = server(ServeConfig::default());
+    let aborts0 = counter("serve.fault.slow_peer_aborts");
+    let read_errors0 = counter("serve.fault.read_errors");
+
+    let plan = FaultPlan::new().fault(
+        0,
+        FaultAction::DribbleWrites {
+            advance_us_per_write: 0,
+        },
+    );
+    let tally = plan.tally();
+    let mut client = patient_client(&server, plan);
+    let resp = client.send(&register_request(5)).unwrap();
+    assert_predictions(&resp);
+
+    assert_eq!(tally.snapshot().dribbles, 1);
+    assert_eq!(counter("serve.fault.slow_peer_aborts"), aborts0);
+    assert_eq!(counter("serve.fault.read_errors"), read_errors0);
+    server.shutdown();
+}
+
+/// Injected delay past the slow-peer budget: a server-side `DelayReads`
+/// fault advances the shared manual clock past the per-request deadline
+/// while a raw client dribbles an incomplete request, forcing exactly
+/// one `serve.fault.slow_peer_aborts`.
+fn delay_past_budget_forces_a_slow_peer_abort() {
+    let clock = Arc::new(ManualClock::new());
+    let plan = FaultPlan::new()
+        .fault(
+            0,
+            FaultAction::DelayReads {
+                advance_us_per_read: 60_000,
+            },
+        )
+        .with_clock(Arc::clone(&clock));
+    let tally = plan.tally();
+    let server = server(ServeConfig {
+        slow_peer_deadline: Some(Duration::from_millis(100)),
+        read_timeout: Duration::from_secs(2),
+        clock,
+        transport_wrapper: Some(Arc::new(plan)),
+        ..ServeConfig::default()
+    });
+    let aborts0 = counter("serve.fault.slow_peer_aborts");
+
+    // Dribble an incomplete request line byte by byte; every server-side
+    // read advances the clock 60 ms against a 100 ms budget, so the
+    // deadline check must fire within a handful of reads.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let partial = b"POST /predict HTTP/1.1\r\ncontent-";
+    let deadline = Instant::now() + Duration::from_secs(5);
+    'dribble: for chunk in partial.iter().cycle() {
+        if stream.write_all(&[*chunk]).is_err() {
+            break 'dribble; // server aborted us — exactly what we want
+        }
+        if counter("serve.fault.slow_peer_aborts") > aborts0 {
+            break 'dribble;
+        }
+        assert!(Instant::now() < deadline, "slow-peer abort never fired");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    wait_counter_at_least("serve.fault.slow_peer_aborts", aborts0 + 1);
+    assert!(tally.snapshot().delays >= 1, "delay fault must have fired");
+    drop(stream);
+    server.shutdown();
+}
+
+/// The slow-peer deadline is per-request, not an idle timeout: a
+/// keep-alive connection may sit idle arbitrarily long (by the injected
+/// clock) between requests without being reaped.
+fn idle_keepalive_survives_clock_advance_past_budget() {
+    let clock = Arc::new(ManualClock::new());
+    let server = server(ServeConfig {
+        slow_peer_deadline: Some(Duration::from_millis(100)),
+        clock: Arc::clone(&clock) as Arc<dyn cs2p_obs::Clock>,
+        ..ServeConfig::default()
+    });
+    let aborts0 = counter("serve.fault.slow_peer_aborts");
+
+    let mut client = HttpClient::new(server.addr());
+    assert_predictions(&client.send(&register_request(6)).unwrap());
+    // Idle for "hours" of injected time between requests.
+    clock.advance(3_600_000_000);
+    assert_predictions(&client.send(&register_request(6)).unwrap());
+    assert_eq!(counter("serve.fault.slow_peer_aborts"), aborts0);
+    server.shutdown();
+}
+
+/// Forced store eviction mid-session: the next request hits the
+/// "unknown session" path and the client replays registration
+/// idempotently, keeping the pending measurement.
+fn forced_eviction_replays_registration_with_pending_measurement() {
+    let server = server(ServeConfig::default());
+    let evictions0 = counter("serve.fault.forced_evictions");
+    let reinit0 = counter("predict.client.reinit");
+
+    let mut predictor = RemotePredictor::new(server.addr(), 7, vec![1]);
+    use cs2p_core::ThroughputPredictor;
+    assert!(predictor.predict_initial().is_some(), "registration");
+    assert!(!server.force_evict(99), "unknown session is not evicted");
+    assert!(server.force_evict(7), "live session must evict");
+    assert_eq!(counter("serve.fault.forced_evictions") - evictions0, 1);
+
+    // The observation made while evicted must survive the replay.
+    predictor.observe(5.0);
+    assert!(
+        predictor.predict_ahead(1).is_some(),
+        "prediction after forced eviction must recover via re-register"
+    );
+    assert_eq!(counter("predict.client.reinit") - reinit0, 1);
+    assert_eq!(server.stats().sessions_live, 1, "session re-registered");
+    server.shutdown();
+}
+
+/// Server-side reset mid-response write: the server's own write fails
+/// (`serve.fault.write_errors`), and the client's retry on a fresh
+/// connection succeeds.
+fn server_side_write_reset_is_counted_and_retried() {
+    let plan = FaultPlan::new().fault(0, FaultAction::ResetAfterWriteBytes(20));
+    let tally = plan.tally();
+    let server = server(ServeConfig {
+        transport_wrapper: Some(Arc::new(plan)),
+        ..ServeConfig::default()
+    });
+    let write_errors0 = counter("serve.fault.write_errors");
+    let attempts0 = counter("client.retry.attempts");
+
+    let mut client = HttpClient::new(server.addr())
+        .with_retry(RetryPolicy {
+            max_attempts: 4,
+            seed: 11,
+            ..RetryPolicy::default()
+        })
+        .with_sleeper(Arc::new(|_| {}));
+    let resp = client.send(&register_request(8)).unwrap();
+    assert_predictions(&resp);
+
+    assert_eq!(tally.snapshot().resets_write, 1);
+    wait_counter_at_least("serve.fault.write_errors", write_errors0 + 1);
+    assert_eq!(counter("client.retry.attempts") - attempts0, 1);
+    server.shutdown();
+}
+
+/// A fault on every connection exhausts the retry budget: the client
+/// gives up with an error (counted in `client.retry.giveups`) instead of
+/// hanging.
+fn unrecoverable_faults_exhaust_retries_and_give_up() {
+    let server = server(ServeConfig::default());
+    let giveups0 = counter("client.retry.giveups");
+
+    let mut plan = FaultPlan::new();
+    for conn in 0..8 {
+        plan = plan.fault(conn, FaultAction::ResetAfterWriteBytes(5));
+    }
+    let mut client = patient_client(&server, plan);
+    let err = client.send(&register_request(9)).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+    assert_eq!(counter("client.retry.giveups") - giveups0, 1);
+    // back_off() runs before attempts 2..4, so three failures are charged.
+    assert_eq!(client.consecutive_failures(), 3, "failures kept, not reset");
+    server.shutdown();
+}
+
+#[test]
+fn every_fault_class_has_a_forcing_scenario() {
+    cs2p_obs::set_enabled(true);
+    reset_mid_response_recovers_via_client_retry();
+    reset_mid_request_counts_a_server_read_error();
+    truncation_is_reaped_by_read_timeout_and_retried();
+    corruption_gets_a_400_bad_frame_then_clean_resend();
+    dribbled_request_within_budget_is_served_normally();
+    delay_past_budget_forces_a_slow_peer_abort();
+    idle_keepalive_survives_clock_advance_past_budget();
+    forced_eviction_replays_registration_with_pending_measurement();
+    server_side_write_reset_is_counted_and_retried();
+    unrecoverable_faults_exhaust_retries_and_give_up();
+    cs2p_obs::set_enabled(false);
+}

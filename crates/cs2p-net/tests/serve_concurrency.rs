@@ -133,8 +133,17 @@ fn shutdown_is_bounded_and_drains_in_flight_requests() {
     let addr = server.addr();
     let streamers: Vec<_> = (0..4).map(|i| spawn_streamer(addr, 500 + i)).collect();
 
-    // Let traffic build, then pull the plug mid-stream.
-    std::thread::sleep(Duration::from_millis(150));
+    // Let traffic build — polling the server's own served counter rather
+    // than sleeping a fixed interval, so a slow machine waits longer and
+    // a fast one doesn't wait at all — then pull the plug mid-stream.
+    let traffic_deadline = Instant::now() + Duration::from_secs(30);
+    while server.predictions_served() < 50 {
+        assert!(
+            Instant::now() < traffic_deadline,
+            "streamers never produced traffic"
+        );
+        std::thread::yield_now();
+    }
     let start = Instant::now();
     let stats = server.shutdown();
     let shutdown_elapsed = start.elapsed();

@@ -203,10 +203,11 @@ pub fn validate_jsonl(text: &str) -> Result<Coverage, Vec<String>> {
 /// - `span` records are dropped (their durations are wall time);
 /// - `histogram` records whose name ends in `.us` are dropped (latency
 ///   distributions);
-/// - records whose name starts with `serve.` are dropped entirely: the
-///   serving layer's queue depths, accept/reject counters, and eviction
-///   counts depend on connection timing and worker scheduling, not on
-///   the model pipeline's inputs;
+/// - records whose name starts with `serve.` or `client.retry.` are
+///   dropped entirely: the serving layer's queue depths, accept/reject
+///   counters, eviction counts, fault telemetry, and the client's retry
+///   accounting depend on connection timing and worker scheduling, not
+///   on the model pipeline's inputs;
 /// - field keys ending in `_us` are removed;
 /// - `run_id` fields are removed (allocation order depends on thread
 ///   scheduling);
@@ -240,7 +241,7 @@ pub fn normalize_for_determinism(text: &str) -> String {
         if kind == "histogram" && name.ends_with(".us") {
             continue;
         }
-        if name.starts_with("serve.") {
+        if name.starts_with("serve.") || name.starts_with("client.retry.") {
             continue;
         }
         let kept: Vec<(String, Value)> = fields
@@ -374,9 +375,14 @@ mod tests {
             "\n",
             r#"{"ts_us":4,"kind":"counter","name":"predict.server.served","value":9}"#,
             "\n",
+            r#"{"ts_us":5,"kind":"counter","name":"client.retry.attempts","value":2}"#,
+            "\n",
+            r#"{"ts_us":6,"kind":"counter","name":"serve.fault.bad_frames","value":1}"#,
+            "\n",
         );
         let norm = normalize_for_determinism(text);
         assert!(!norm.contains("serve."), "{norm}");
+        assert!(!norm.contains("client.retry."), "{norm}");
         assert!(norm.contains("predict.server.served"));
         assert_eq!(normalize_for_determinism(&norm), norm);
     }

@@ -18,10 +18,17 @@
 //! - [`loadgen`]: a deterministic in-process load generator driving a
 //!   running `cs2p-net` server with K client threads and seeded
 //!   per-session workloads (see TESTING.md).
+//! - [`faults`]: deterministic fault injection — a seeded [`faults::FaultPlan`]
+//!   transport wrapper (resets, truncation, corruption, dribbling,
+//!   injected delay), forced store evictions, and the
+//!   [`faults::run_chaos`] harness that drives the loadgen workload
+//!   through it for the chaos soak suites.
 //!
-//! This crate is a dev-dependency of the other crates; never depend on it
-//! from library code.
+//! This crate is a dev-dependency of the library crates; production code
+//! must never depend on it. Harness crates (`cs2p-eval`'s `chaos-bench`)
+//! may use [`faults`] directly — it is test infrastructure either way.
 
+pub mod faults;
 pub mod golden;
 pub mod invariants;
 pub mod loadgen;
