@@ -15,9 +15,9 @@ use crate::cluster::{ClusterConfig, ClusterFinder, ClusterSpec};
 use crate::dataset::Dataset;
 use crate::features::{FeatureSchema, FeatureSet, FeatureVector};
 use crate::predictor::Cs2pPredictor;
-use cs2p_ml::hmm::{train, Hmm, TrainConfig};
+use cs2p_ml::hmm::{train_seeded, Hmm, TrainConfig};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Configuration of offline training.
 #[derive(Debug, Clone)]
@@ -105,6 +105,13 @@ pub struct TrainSummary {
     pub n_combos: usize,
     /// Fraction of combos that regressed to the global model.
     pub global_fallback_fraction: f64,
+    /// Cluster models (including the global model) whose EM run resumed
+    /// from a prior engine's parameters (see
+    /// [`train_with_prior`](PredictionEngine::train_with_prior)).
+    pub warm_started: usize,
+    /// Total EM iterations across all cluster models (including the
+    /// global model) — the figure warm-start retraining drives down.
+    pub em_iterations: usize,
 }
 
 /// The trained Prediction Engine.
@@ -133,10 +140,36 @@ impl PredictionEngine {
     /// Returns `None` when the dataset cannot even support a global model
     /// (no usable sequences).
     pub fn train(dataset: &Dataset, config: &EngineConfig) -> Option<(Self, TrainSummary)> {
+        Self::train_with_prior(dataset, config, None)
+    }
+
+    /// Like [`train`](Self::train), but warm-starts every cluster's EM run
+    /// from `prior`'s model for the same `(spec, key)` cluster (and the
+    /// global model from the prior global) when one exists and matches the
+    /// configured state count and emission family — the daily-refresh path
+    /// of §5, where yesterday's engine seeds today's retraining. Clusters
+    /// with no matching prior (new feature combos, changed spec) cold-start
+    /// exactly as [`train`](Self::train) does.
+    pub fn train_with_prior(
+        dataset: &Dataset,
+        config: &EngineConfig,
+        prior: Option<&PredictionEngine>,
+    ) -> Option<(Self, TrainSummary)> {
         let _train_span = cs2p_obs::span("train.engine")
             .field("n_sessions", dataset.len())
-            .field("n_threads", config.n_threads);
+            .field("n_threads", config.n_threads)
+            .field("warm", prior.is_some());
         let finder = ClusterFinder::new(dataset, config.cluster.clone());
+        // Prior models keyed the way phase 2 keys cluster jobs, so a
+        // refreshed cluster finds its predecessor in O(1).
+        let prior_models: HashMap<(ClusterSpec, &[u32]), &Hmm> = prior
+            .map(|p| {
+                p.models()
+                    .iter()
+                    .map(|m| ((m.spec, m.key.as_slice()), &m.hmm))
+                    .collect()
+            })
+            .unwrap_or_default();
         // Reference time: just past the last training session, so every
         // cluster sees the full training history.
         let reference_time = dataset
@@ -147,8 +180,16 @@ impl PredictionEngine {
 
         // The global model doubles as the fallback and the GHM baseline.
         let all_indices: Vec<usize> = (0..dataset.len()).collect();
-        let global =
-            Self::train_cluster_model(dataset, ClusterSpec::GLOBAL, vec![], &all_indices, config)?;
+        let (global, global_report) = Self::train_cluster_model(
+            dataset,
+            ClusterSpec::GLOBAL,
+            vec![],
+            &all_indices,
+            config,
+            prior.map(|p| &p.global_model().hmm),
+        )?;
+        let mut warm_started = usize::from(global_report.start.is_warm());
+        let mut em_iterations = global_report.iterations;
 
         // One search per distinct full-feature combination, in a
         // deterministic order.
@@ -202,12 +243,15 @@ impl PredictionEngine {
             }
         }
 
-        // Phase 3 (parallel): Baum–Welch per distinct cluster.
-        let trained: Vec<Option<ClusterModel>> = {
+        // Phase 3 (parallel): Baum–Welch per distinct cluster, each run
+        // seeded by the prior engine's model for the same cluster when one
+        // exists.
+        let trained: Vec<Option<(ClusterModel, cs2p_ml::hmm::TrainReport)>> = {
             let _span = cs2p_obs::span("train.engine.em").field("n_clusters", cluster_jobs.len());
             run_parallel(config.n_threads, cluster_jobs.len(), |i| {
                 let (spec, key, members) = &cluster_jobs[i];
-                Self::train_cluster_model(dataset, *spec, key.clone(), members, config)
+                let seed = prior_models.get(&(*spec, key.as_slice())).copied();
+                Self::train_cluster_model(dataset, *spec, key.clone(), members, config, seed)
             })
         };
 
@@ -217,7 +261,9 @@ impl PredictionEngine {
         let mut job_to_model: Vec<Option<usize>> = Vec::with_capacity(trained.len());
         for t in trained {
             match t {
-                Some(model) => {
+                Some((model, report)) => {
+                    warm_started += usize::from(report.start.is_warm());
+                    em_iterations += report.iterations;
                     job_to_model.push(Some(models.len()));
                     models.push(model);
                 }
@@ -241,6 +287,8 @@ impl PredictionEngine {
             } else {
                 fallbacks as f64 / n_combos as f64
             },
+            warm_started,
+            em_iterations,
         };
         if cs2p_obs::enabled() {
             cs2p_obs::counter_add("train.engine.runs", 1);
@@ -256,6 +304,8 @@ impl PredictionEngine {
                     ("n_models", summary.n_models.into()),
                     ("n_combos", summary.n_combos.into()),
                     ("fallbacks", fallbacks.into()),
+                    ("warm_started", summary.warm_started.into()),
+                    ("em_iterations", summary.em_iterations.into()),
                 ],
             );
         }
@@ -283,12 +333,28 @@ impl PredictionEngine {
     /// `combos` records, per distinct training feature combination, which
     /// cluster model its spec search chose (`None` = the global model).
     /// The subset index built here powers [`lookup`](Self::lookup).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `combos` repeats a full feature combination. Training
+    /// dedups combos before it ever gets here, so a duplicate can only
+    /// come from a corrupt or hand-assembled bundle — and accepting it
+    /// would let whichever copy wins the index build silently shadow the
+    /// other in [`lookup`](Self::lookup).
     pub fn from_parts(
         schema: FeatureSchema,
         models: Vec<ClusterModel>,
         global: ClusterModel,
         combos: Vec<(FeatureVector, Option<usize>)>,
     ) -> Self {
+        let mut seen: std::collections::HashSet<&[u32]> = HashSet::with_capacity(combos.len());
+        for (features, _) in &combos {
+            assert!(
+                seen.insert(features.0.as_slice()),
+                "duplicate training combo {features:?}: combos must be unique per full feature \
+                 vector (one would silently shadow the other in lookup)"
+            );
+        }
         let subset_order = {
             let mut subsets = schema.all_nonempty_subsets();
             subsets.sort_by_key(|s| std::cmp::Reverse(s.len()));
@@ -334,7 +400,8 @@ impl PredictionEngine {
         key: Vec<u32>,
         members: &[usize],
         config: &EngineConfig,
-    ) -> Option<ClusterModel> {
+        prior: Option<&Hmm>,
+    ) -> Option<(ClusterModel, cs2p_ml::hmm::TrainReport)> {
         let initials: Vec<f64> = members
             .iter()
             .filter_map(|&i| dataset.get(i).initial_throughput())
@@ -350,15 +417,18 @@ impl PredictionEngine {
             .filter(|s| s.len() >= config.min_sequence_epochs)
             .take(config.max_train_sequences)
             .collect();
-        let (hmm, _) = train(&sequences, &config.hmm)?;
+        let (hmm, report) = train_seeded(&sequences, &config.hmm, prior)?;
 
-        Some(ClusterModel {
-            spec,
-            key,
-            initial_median,
-            hmm,
-            n_sessions: members.len(),
-        })
+        Some((
+            ClusterModel {
+                spec,
+                key,
+                initial_median,
+                hmm,
+                n_sessions: members.len(),
+            },
+            report,
+        ))
     }
 
     /// The schema the engine was trained on.
@@ -638,6 +708,69 @@ mod tests {
             par_summary.global_fallback_fraction,
             seq_summary.global_fallback_fraction
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate training combo")]
+    fn from_parts_rejects_duplicate_combos() {
+        let d = two_regime_dataset(30, 6);
+        let (engine, _) = PredictionEngine::train(&d, &test_config()).unwrap();
+        let mut combos = engine.combos().to_vec();
+        // Duplicate the first combo, pointing it somewhere else entirely —
+        // before the guard this silently shadowed in `lookup`.
+        let dup = (combos[0].0.clone(), None);
+        combos.push(dup);
+        let _ = PredictionEngine::from_parts(
+            engine.schema().clone(),
+            engine.models().to_vec(),
+            engine.global_model().clone(),
+            combos,
+        );
+    }
+
+    #[test]
+    fn warm_retrain_matches_clusters_and_saves_iterations() {
+        let d = two_regime_dataset(60, 7);
+        let mut cfg = test_config();
+        cfg.hmm.max_iters = 60;
+        cfg.hmm.tol = 1e-6;
+        let (prior, cold) = PredictionEngine::train(&d, &cfg).unwrap();
+        assert_eq!(cold.warm_started, 0);
+
+        // Retrain on a slightly later slice of the same world: every
+        // cluster should find its predecessor and resume from it.
+        let (warm_engine, warm) =
+            PredictionEngine::train_with_prior(&d, &cfg, Some(&prior)).unwrap();
+        assert_eq!(
+            warm.warm_started,
+            warm.n_models + 1,
+            "every cluster (and the global model) should warm-start"
+        );
+        assert!(
+            warm.em_iterations < cold.em_iterations,
+            "warm retrain took {} EM iterations, cold {}",
+            warm.em_iterations,
+            cold.em_iterations
+        );
+        // Same data, (near-)converged prior: lookups stay coherent.
+        let m = warm_engine.lookup(&FeatureVector(vec![0, 1]));
+        assert!((m.initial_median - 2.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn warm_retrain_with_mismatched_states_falls_back_cold() {
+        let d = two_regime_dataset(40, 8);
+        let cfg = test_config();
+        let (prior, _) = PredictionEngine::train(&d, &cfg).unwrap();
+        let mut wider = cfg.clone();
+        wider.hmm.n_states = 3; // prior trained with 2
+        let (engine, summary) =
+            PredictionEngine::train_with_prior(&d, &wider, Some(&prior)).unwrap();
+        assert_eq!(
+            summary.warm_started, 0,
+            "mismatched priors must be rejected"
+        );
+        assert_eq!(engine.global_model().hmm.n_states(), 3);
     }
 
     #[test]

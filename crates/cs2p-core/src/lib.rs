@@ -35,6 +35,7 @@ pub mod features;
 pub mod metrics;
 pub mod model_io;
 pub mod predictor;
+pub mod registry;
 pub mod session;
 pub mod timewin;
 
@@ -45,5 +46,6 @@ pub use features::{FeatureSchema, FeatureSet, FeatureVector};
 pub use metrics::{abs_normalized_error, ErrorSummary};
 pub use model_io::{ClientModel, ModelBundle};
 pub use predictor::{Cs2pPredictor, NoisyOracle, ThroughputPredictor};
+pub use registry::{ModelRegistry, ModelVersion};
 pub use session::Session;
 pub use timewin::TimeWindow;

@@ -7,6 +7,7 @@
 //! cs2p-eval --small --metrics out.jsonl   # default smoke set + telemetry
 //! cs2p-eval serve-bench  [--metrics out.jsonl]   # serving throughput table
 //! cs2p-eval chaos-bench  [--metrics out.jsonl]   # fault recovery table
+//! cs2p-eval refresh-bench [--metrics out.jsonl]  # stale vs refreshed model table
 //! cs2p-eval validate-metrics a.jsonl [b.jsonl] [--require stage,stage]
 //! ```
 //!
@@ -17,13 +18,15 @@
 //! preparation and benchmarks the prediction server (legacy vs sharded)
 //! plus its overload backpressure. `chaos-bench` likewise skips material
 //! preparation and reports recovery latency/success per injected fault
-//! class (see TESTING.md). `validate-metrics` checks a metrics
+//! class (see TESTING.md). `refresh-bench` generates its own drifting
+//! world and compares a stale launch model against the daily warm-start
+//! refresh pipeline (see DESIGN.md §3c). `validate-metrics` checks a metrics
 //! file against the schema — `--require` overrides the stage-coverage
 //! gate (default `train,predict,stream`); given two files it also diffs
 //! their determinism-normalized forms (the CI reproducibility gate).
 
 use cs2p_eval::experiments::{
-    chaos_bench, dataset_figs, pilot, prediction, qoe, sens, serve_bench,
+    chaos_bench, dataset_figs, pilot, prediction, qoe, refresh_bench, sens, serve_bench,
 };
 use cs2p_eval::{EvalConfig, Materials};
 use cs2p_obs::{schema, JsonlSink, Registry};
@@ -47,6 +50,7 @@ fn usage() -> ExitCode {
     );
     eprintln!("       cs2p-eval serve-bench [--metrics out.jsonl]");
     eprintln!("       cs2p-eval chaos-bench [--metrics out.jsonl]");
+    eprintln!("       cs2p-eval refresh-bench [--metrics out.jsonl]");
     eprintln!("       cs2p-eval validate-metrics <a.jsonl> [b.jsonl] [--require stage,stage]");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
     eprintln!(
@@ -88,6 +92,7 @@ fn main() -> ExitCode {
             "--profile" => profile = true,
             "--serve-bench" => positional.push("serve-bench".into()),
             "--chaos-bench" => positional.push("chaos-bench".into()),
+            "--refresh-bench" => positional.push("refresh-bench".into()),
             flag if flag.starts_with("--") => return usage(),
             _ => positional.push(arg.clone()),
         }
@@ -98,8 +103,9 @@ fn main() -> ExitCode {
 
     let serve_bench_only = positional.as_slice() == ["serve-bench"];
     let chaos_bench_only = positional.as_slice() == ["chaos-bench"];
+    let refresh_bench_only = positional.as_slice() == ["refresh-bench"];
     let ids: Vec<&str> = match positional.as_slice() {
-        _ if serve_bench_only || chaos_bench_only => Vec::new(),
+        _ if serve_bench_only || chaos_bench_only || refresh_bench_only => Vec::new(),
         [] if metrics_path.is_some() || profile => DEFAULT_SET.to_vec(),
         [] => return usage(),
         [one] if one == "all" => EXPERIMENTS.to_vec(),
@@ -121,13 +127,16 @@ fn main() -> ExitCode {
         }
     }
 
-    // `serve-bench`/`chaos-bench` need no paper materials: bench and exit.
-    if serve_bench_only || chaos_bench_only {
+    // `serve-bench`/`chaos-bench`/`refresh-bench` need no paper
+    // materials: bench and exit.
+    if serve_bench_only || chaos_bench_only || refresh_bench_only {
         let start = std::time::Instant::now();
         let (name, table) = if serve_bench_only {
             ("serve-bench", serve_bench::serve_bench())
-        } else {
+        } else if chaos_bench_only {
             ("chaos-bench", chaos_bench::chaos_bench())
+        } else {
+            ("refresh-bench", refresh_bench::refresh_bench())
         };
         print!("{table}");
         eprintln!("[{name} took {:.1}s]", start.elapsed().as_secs_f64());

@@ -6,5 +6,6 @@ pub mod dataset_figs;
 pub mod pilot;
 pub mod prediction;
 pub mod qoe;
+pub mod refresh_bench;
 pub mod sens;
 pub mod serve_bench;

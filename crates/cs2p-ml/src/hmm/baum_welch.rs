@@ -56,6 +56,25 @@ impl Default for TrainConfig {
     }
 }
 
+/// How EM was initialized for one training run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartMode {
+    /// k-means initialization — no prior model was offered.
+    Cold,
+    /// EM resumed from a prior model's parameters ([`train_seeded`]).
+    Warm,
+    /// A prior was offered but rejected (state count, emission family, or
+    /// validity mismatch); training fell back to the k-means cold start.
+    ColdFallback,
+}
+
+impl StartMode {
+    /// `true` for [`StartMode::Warm`].
+    pub fn is_warm(self) -> bool {
+        self == StartMode::Warm
+    }
+}
+
 /// What training produced, beyond the model itself.
 #[derive(Debug, Clone)]
 pub struct TrainReport {
@@ -69,6 +88,15 @@ pub struct TrainReport {
     /// Relative log-likelihood improvement of the last iteration (what the
     /// tolerance check saw; `f64::INFINITY` when only one iteration ran).
     pub final_rel_delta: f64,
+    /// How EM was initialized: cold k-means, warm resume from a prior
+    /// model, or cold fallback after a rejected prior.
+    pub start: StartMode,
+    /// Iteration budget left unused under `max_iters` when the tolerance
+    /// criterion stopped training early (0 when the cap was hit). For a
+    /// warm start this is the budget the resume saved relative to the
+    /// configured worst case; refresh benchmarks compare it against the
+    /// cold-start figure directly.
+    pub iterations_saved: usize,
     /// Correlates this run's `train.em.*` telemetry records (each carries
     /// a matching `run_id` field).
     pub telemetry_run_id: u64,
@@ -85,6 +113,35 @@ const TRANSITION_FLOOR: f64 = 1e-6;
 /// initialization degenerate — in that case we still train but states may
 /// coincide; only truly empty input is rejected).
 pub fn train(sequences: &[Vec<f64>], config: &TrainConfig) -> Option<(Hmm, TrainReport)> {
+    train_seeded(sequences, config, None)
+}
+
+/// Checks whether `prior` is a usable warm-start seed under `config`:
+/// valid parameters, matching state count, matching emission family.
+fn prior_usable(prior: &Hmm, config: &TrainConfig) -> bool {
+    prior.validate().is_ok()
+        && prior.n_states() == config.n_states
+        && prior.emissions.iter().all(|e| match config.family {
+            EmissionFamily::Gaussian => matches!(e, Emission::Gaussian(_)),
+            EmissionFamily::LogNormal => matches!(e, Emission::LogNormal(_)),
+        })
+}
+
+/// [`train`] with an optional warm-start seed: when `prior` is a valid
+/// model with the configured state count and emission family, EM resumes
+/// from its parameters `(pi, P, emissions)` instead of the k-means
+/// initialization — the online-refresh path of the paper's daily model
+/// update (§5), where yesterday's model is a far better starting point
+/// than a fresh init. A mismatched or invalid prior falls back to the
+/// cold start (recorded as [`StartMode::ColdFallback`], never a panic).
+///
+/// EM monotonicity holds from any valid starting point, so the resumed
+/// run's log-likelihood trace is non-decreasing exactly like a cold run's.
+pub fn train_seeded(
+    sequences: &[Vec<f64>],
+    config: &TrainConfig,
+    prior: Option<&Hmm>,
+) -> Option<(Hmm, TrainReport)> {
     assert!(config.n_states >= 1, "need at least one state");
     let nonempty: Vec<&Vec<f64>> = sequences.iter().filter(|s| !s.is_empty()).collect();
     if nonempty.is_empty() {
@@ -96,7 +153,15 @@ pub fn train(sequences: &[Vec<f64>], config: &TrainConfig) -> Option<(Hmm, Train
         return None; // log-normal cannot emit non-positive observations
     }
 
-    let mut hmm = kmeans_init(&nonempty, config)?;
+    let start = match prior {
+        Some(p) if prior_usable(p, config) => StartMode::Warm,
+        Some(_) => StartMode::ColdFallback,
+        None => StartMode::Cold,
+    };
+    let mut hmm = match start {
+        StartMode::Warm => prior.expect("warm start has a prior").clone(),
+        StartMode::Cold | StartMode::ColdFallback => kmeans_init(&nonempty, config)?,
+    };
     let n = config.n_states;
 
     let run_id = cs2p_obs::next_run_id();
@@ -110,8 +175,24 @@ pub fn train(sequences: &[Vec<f64>], config: &TrainConfig) -> Option<(Hmm, Train
                 ("n_sequences", nonempty.len().into()),
                 ("max_iters", config.max_iters.into()),
                 ("seed", config.seed.into()),
+                ("warm_start", start.is_warm().into()),
             ],
         );
+        if start == StartMode::ColdFallback {
+            cs2p_obs::counter_add("train.warm_start.fallbacks", 1);
+            cs2p_obs::event(
+                Level::Warn,
+                "train.warm_start.rejected",
+                vec![
+                    ("run_id", run_id.into()),
+                    ("n_states", n.into()),
+                    (
+                        "prior_states",
+                        prior.map(|p| p.n_states()).unwrap_or(0).into(),
+                    ),
+                ],
+            );
+        }
     }
 
     let mut lls = Vec::with_capacity(config.max_iters);
@@ -261,13 +342,19 @@ pub fn train(sequences: &[Vec<f64>], config: &TrainConfig) -> Option<(Hmm, Train
     }
 
     let iterations = lls.len();
+    let iterations_saved = config.max_iters.saturating_sub(iterations);
     if cs2p_obs::enabled() {
         cs2p_obs::counter_add("train.em.runs", 1);
         cs2p_obs::observe("train.em.iterations", iterations as f64);
+        if start.is_warm() {
+            cs2p_obs::counter_add("train.warm_start.runs", 1);
+            cs2p_obs::observe("train.warm_start.iterations_saved", iterations_saved as f64);
+        }
         let mut fields: cs2p_obs::Fields = vec![
             ("run_id", run_id.into()),
             ("iterations", iterations.into()),
             ("converged", converged.into()),
+            ("warm_start", start.is_warm().into()),
         ];
         if let Some(&ll) = lls.last() {
             fields.push(("log_likelihood", ll.into()));
@@ -291,6 +378,8 @@ pub fn train(sequences: &[Vec<f64>], config: &TrainConfig) -> Option<(Hmm, Train
             iterations,
             converged,
             final_rel_delta,
+            start,
+            iterations_saved,
             telemetry_run_id: run_id,
         },
     ))

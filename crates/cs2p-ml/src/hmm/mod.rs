@@ -29,7 +29,7 @@ mod init;
 mod select;
 mod viterbi;
 
-pub use baum_welch::{train, EmissionFamily, TrainConfig, TrainReport};
+pub use baum_welch::{train, train_seeded, EmissionFamily, StartMode, TrainConfig, TrainReport};
 pub use filter::{FilterState, HmmFilter};
 pub use forward::{forward, ForwardResult};
 pub use init::kmeans_init;

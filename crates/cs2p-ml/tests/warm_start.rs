@@ -1,0 +1,198 @@
+//! Differential suite for warm-start Baum–Welch ([`cs2p_ml::hmm::train_seeded`]).
+//!
+//! The refresh pipeline retrains daily models by resuming EM from the
+//! previous day's parameters (§5 of the paper: models are "updated
+//! periodically (e.g., daily)"). These tests pin the contract that makes
+//! that safe:
+//!
+//! - resuming from a *good* prior converges in no more iterations than a
+//!   cold k-means start on the same data;
+//! - EM monotonicity survives the resume — the log-likelihood trace of a
+//!   warm run never decreases;
+//! - a mismatched prior (wrong state count, wrong emission family,
+//!   invalid parameters) degrades to the cold start, bit-identically,
+//!   without panicking.
+
+use cs2p_ml::gaussian::Gaussian;
+use cs2p_ml::hmm::{
+    train, train_seeded, Emission, EmissionFamily, Hmm, StartMode, TrainConfig, TrainReport,
+};
+use cs2p_ml::matrix::Matrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The 3-state generator of the paper's Figure 8.
+fn truth() -> Hmm {
+    Hmm::new(
+        vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+        Matrix::from_rows(&[
+            vec![0.972, 0.012, 0.016],
+            vec![0.055, 0.935, 0.010],
+            vec![0.025, 0.005, 0.970],
+        ]),
+        vec![
+            Emission::Gaussian(Gaussian::new(1.43, 0.15)),
+            Emission::Gaussian(Gaussian::new(2.41, 0.49)),
+            Emission::Gaussian(Gaussian::new(0.20, 0.10)),
+        ],
+    )
+}
+
+fn sample_set(n_seqs: usize, len: usize, seed: u64) -> Vec<Vec<f64>> {
+    let hmm = truth();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n_seqs)
+        .map(|_| hmm.sample_sequence(len, &mut rng).1)
+        .collect()
+}
+
+fn config() -> TrainConfig {
+    TrainConfig {
+        n_states: 3,
+        max_iters: 100,
+        tol: 1e-6,
+        seed: 2,
+        family: EmissionFamily::Gaussian,
+    }
+}
+
+fn assert_monotone(report: &TrainReport) {
+    for w in report.log_likelihoods.windows(2) {
+        assert!(
+            w[1] >= w[0] - 1e-6 * w[0].abs().max(1.0),
+            "EM decreased log-likelihood: {} -> {}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn warm_start_from_truth_converges_no_slower_than_cold() {
+    let seqs = sample_set(30, 150, 77);
+    let cfg = config();
+    let (_, cold) = train(&seqs, &cfg).expect("cold start trains");
+    let (_, warm) = train_seeded(&seqs, &cfg, Some(&truth())).expect("warm start trains");
+
+    assert_eq!(cold.start, StartMode::Cold);
+    assert_eq!(warm.start, StartMode::Warm);
+    assert!(cold.converged, "cold run hit the cap; raise max_iters");
+    assert!(warm.converged, "warm run hit the cap; raise max_iters");
+    assert!(
+        warm.iterations <= cold.iterations,
+        "warm start took {} iterations, cold start {}",
+        warm.iterations,
+        cold.iterations
+    );
+    assert!(warm.iterations_saved >= cold.iterations_saved);
+}
+
+#[test]
+fn warm_start_log_likelihood_is_monotone_across_resumed_iterations() {
+    let seqs = sample_set(20, 120, 91);
+    // tol = 0 forces the full iteration budget so the whole trace is
+    // exercised, not just the first couple of steps.
+    let cfg = TrainConfig {
+        max_iters: 25,
+        tol: 0.0,
+        ..config()
+    };
+    let (_, warm) = train_seeded(&seqs, &cfg, Some(&truth())).expect("warm start trains");
+    assert_eq!(warm.start, StartMode::Warm);
+    assert_eq!(warm.iterations, 25);
+    assert_monotone(&warm);
+}
+
+#[test]
+fn warm_start_resumes_at_a_higher_likelihood_than_cold_begins() {
+    // The point of resuming: iteration 1 of the warm run already scores
+    // the data under (near-)converged parameters.
+    let seqs = sample_set(30, 150, 13);
+    let cfg = config();
+    let (_, cold) = train(&seqs, &cfg).unwrap();
+    let (_, warm) = train_seeded(&seqs, &cfg, Some(&truth())).unwrap();
+    assert!(
+        warm.log_likelihoods[0] > cold.log_likelihoods[0],
+        "warm first-iteration ll {} not above cold {}",
+        warm.log_likelihoods[0],
+        cold.log_likelihoods[0]
+    );
+}
+
+#[test]
+fn mismatched_state_count_falls_back_to_cold_start() {
+    let seqs = sample_set(10, 80, 5);
+    let cfg = TrainConfig {
+        n_states: 4, // prior has 3
+        ..config()
+    };
+    let (hmm, report) = train_seeded(&seqs, &cfg, Some(&truth())).expect("fallback trains");
+    assert_eq!(report.start, StartMode::ColdFallback);
+    assert_eq!(hmm.n_states(), 4);
+    assert!(hmm.validate().is_ok());
+    assert_monotone(&report);
+
+    // The fallback *is* the cold start: identical model and trace.
+    let (cold_hmm, cold_report) = train(&seqs, &cfg).unwrap();
+    assert_eq!(hmm, cold_hmm);
+    assert_eq!(report.log_likelihoods, cold_report.log_likelihoods);
+}
+
+#[test]
+fn mismatched_emission_family_falls_back_to_cold_start() {
+    let seqs = sample_set(10, 80, 19)
+        .into_iter()
+        .map(|s| s.into_iter().map(|w| w.abs().max(0.01)).collect())
+        .collect::<Vec<Vec<f64>>>();
+    let cfg = TrainConfig {
+        family: EmissionFamily::LogNormal,
+        ..config()
+    };
+    // Gaussian prior offered to a log-normal fit: reject, don't panic.
+    let (hmm, report) = train_seeded(&seqs, &cfg, Some(&truth())).expect("fallback trains");
+    assert_eq!(report.start, StartMode::ColdFallback);
+    assert!(matches!(hmm.emissions[0], Emission::LogNormal(_)));
+}
+
+#[test]
+fn no_prior_is_a_plain_cold_start() {
+    let seqs = sample_set(10, 80, 23);
+    let cfg = config();
+    let (a, ra) = train(&seqs, &cfg).unwrap();
+    let (b, rb) = train_seeded(&seqs, &cfg, None).unwrap();
+    assert_eq!(ra.start, StartMode::Cold);
+    assert_eq!(rb.start, StartMode::Cold);
+    assert_eq!(a, b);
+    assert_eq!(ra.log_likelihoods, rb.log_likelihoods);
+}
+
+#[test]
+fn warm_start_tracks_drifted_data_from_a_stale_prior() {
+    // The refresh scenario end-to-end at unit scale: the world's state
+    // means shift, and a warm start from the stale model still converges
+    // to the *new* means (EM adapts; the prior only sets the start).
+    let stale = truth();
+    let mut drifted = truth();
+    drifted.emissions = drifted
+        .emissions
+        .iter()
+        .map(|e| match e {
+            Emission::Gaussian(g) => Emission::Gaussian(Gaussian::new(g.mu * 1.5, g.sigma)),
+            Emission::LogNormal(g) => Emission::LogNormal(*g),
+        })
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(37);
+    let seqs: Vec<Vec<f64>> = (0..40)
+        .map(|_| drifted.sample_sequence(150, &mut rng).1)
+        .collect();
+    let (hmm, report) = train_seeded(&seqs, &config(), Some(&stale)).expect("warm start trains");
+    assert_eq!(report.start, StartMode::Warm);
+    let mut mus: Vec<f64> = hmm.emissions.iter().map(|e| e.mean()).collect();
+    mus.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for (m, t) in mus.iter().zip(&[0.30, 2.145, 3.615]) {
+        assert!(
+            (m - t).abs() < 0.25,
+            "mean {m} far from drifted {t} (all: {mus:?})"
+        );
+    }
+}

@@ -69,7 +69,14 @@ pub fn serve_legacy(engine: PredictionEngine, addr: &str) -> io::Result<LegacySe
     let addr = listener.local_addr()?;
     let inner = Arc::new(Inner {
         // One shard, effectively unbounded, no TTL: the old global map.
-        app: AppState::new(engine, 1, usize::MAX / 2, None),
+        // The legacy server never refreshes; default knobs are inert.
+        app: AppState::new(
+            engine,
+            &crate::server::RefreshConfig::default(),
+            1,
+            usize::MAX / 2,
+            None,
+        ),
         shutdown: AtomicBool::new(false),
     });
 

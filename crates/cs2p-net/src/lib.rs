@@ -15,6 +15,11 @@
 //!   eviction, and graceful drain (see `DESIGN.md`);
 //! - [`store`] / [`pool`]: the sharded session store and the bounded
 //!   request queue backing the server;
+//! - [`recorder`]: the bounded completed-session accumulator feeding the
+//!   online model refresh (`ServerHandle::refresh_models`), which
+//!   retrains through a versioned `cs2p_core::ModelRegistry` and
+//!   hot-swaps the new model while in-flight sessions stay pinned to
+//!   the version they started on;
 //! - [`transport`]: the byte-stream abstraction with an injectable
 //!   per-connection wrapper hook (fault injection, future middleboxes)
 //!   and the server's slow-peer deadline reader;
@@ -43,6 +48,7 @@ pub mod http;
 pub mod legacy;
 pub mod pool;
 pub mod protocol;
+pub mod recorder;
 pub mod server;
 pub mod store;
 pub mod transport;
@@ -53,5 +59,6 @@ pub use dash::{
 };
 pub use legacy::{serve_legacy, LegacyServerHandle};
 pub use protocol::{Health, LogStats, PredictRequest, PredictResponse, SessionLog, StrategyStats};
-pub use server::{serve, serve_with, ServeConfig, ServeStats, ServerHandle};
+pub use recorder::SessionRecorder;
+pub use server::{serve, serve_with, RefreshConfig, ServeConfig, ServeStats, ServerHandle};
 pub use transport::{BoxTransport, Transport, TransportWrapper};

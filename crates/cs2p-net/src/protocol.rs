@@ -41,6 +41,11 @@ pub struct PredictResponse {
     pub initial: bool,
     /// Number of sessions in the cluster backing this prediction.
     pub cluster_sessions: usize,
+    /// Version of the model that produced this prediction (see
+    /// [`cs2p_core::ModelVersion`]). A session is pinned to the version it
+    /// registered on, so this stays constant for the session's lifetime
+    /// even while the server hot-swaps newer models underneath.
+    pub model_version: u64,
 }
 
 /// The per-session log a player uploads when playback ends (§6: "log
@@ -185,6 +190,7 @@ mod tests {
             predictions_mbps: vec![1.5, 1.4, 1.4],
             initial: false,
             cluster_sessions: 250,
+            model_version: 3,
         };
         let json = serde_json::to_string(&resp).unwrap();
         let back: PredictResponse = serde_json::from_str(&json).unwrap();

@@ -30,10 +30,13 @@
 use crate::http::{read_request, write_response, Request, Response};
 use crate::pool::BoundedQueue;
 use crate::protocol::{parse_features_query, Health, PredictRequest, PredictResponse, SessionLog};
+use crate::recorder::SessionRecorder;
 use crate::store::SessionStore;
 use crate::transport::{DeadlineReader, IoHalf, TransportWrapper};
-use cs2p_core::engine::ClusterModel;
-use cs2p_core::{ClientModel, FeatureVector, PredictionEngine};
+use cs2p_core::engine::{ClusterModel, EngineConfig, TrainSummary};
+use cs2p_core::{
+    ClientModel, Dataset, FeatureVector, ModelRegistry, ModelVersion, PredictionEngine,
+};
 use cs2p_ml::hmm::{FilterState, HmmFilter};
 use cs2p_obs::{Clock, MonotonicClock};
 use parking_lot::Mutex;
@@ -55,6 +58,54 @@ const POLL_INTERVAL: Duration = Duration::from_millis(1);
 /// Requests a worker serves from one connection before re-queueing it,
 /// so a chatty pipelining client cannot starve the queue.
 const MAX_REQUESTS_PER_TURN: u32 = 32;
+/// Cap on per-session recorded observations (a marathon session cannot
+/// grow its training record unboundedly; later epochs are dropped).
+const MAX_RECORDED_EPOCHS: usize = 1024;
+/// Epoch length stamped on recorded sessions (the paper's 6-second
+/// epoch; the wire protocol carries no timing, so this is nominal).
+const RECORD_EPOCH_SECONDS: u32 = 6;
+
+/// Online model-refresh knobs (see [`ServeConfig::refresh`]).
+///
+/// The server holds its engine in a versioned `cs2p_core::ModelRegistry`.
+/// A refresh snapshots the completed-session window
+/// ([`crate::recorder::SessionRecorder`]), retrains with `train_config`
+/// (warm-starting every cluster from the live version), and publishes the
+/// result as the next [`ModelVersion`] — a brief pointer swap. Sessions
+/// already in flight stay pinned to the version they registered on, so
+/// their HMM filter state never crosses models.
+#[derive(Debug, Clone)]
+pub struct RefreshConfig {
+    /// Training configuration used by every refresh.
+    pub train_config: EngineConfig,
+    /// Model versions kept fetchable for pinned readers (min 1).
+    pub retain: usize,
+    /// Background refresh period, measured on [`ServeConfig::clock`]
+    /// (swap in a `ManualClock` for deterministic tests). `None` disables
+    /// the background trigger; [`ServerHandle::refresh_models`] still
+    /// works.
+    pub interval: Option<Duration>,
+    /// A refresh is skipped (no-op) until the recorder holds at least
+    /// this many completed sessions.
+    pub min_sessions: usize,
+    /// Completed-session window size (oldest dropped beyond this).
+    pub recorder_capacity: usize,
+    /// Completed sessions with fewer observed epochs are not recorded.
+    pub recorder_min_epochs: usize,
+}
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        RefreshConfig {
+            train_config: EngineConfig::default(),
+            retain: 4,
+            interval: None,
+            min_sessions: 20,
+            recorder_capacity: 10_000,
+            recorder_min_epochs: 2,
+        }
+    }
+}
 
 /// Tuning knobs for [`serve_with`]. `Default` is sized for tests and
 /// small deployments; every limit is explicit so the load tests can
@@ -92,6 +143,9 @@ pub struct ServeConfig {
     /// Per-connection transport hook (fault injection, middleboxes).
     /// `None` keeps the statically-dispatched `TcpStream` path.
     pub transport_wrapper: Option<Arc<dyn TransportWrapper>>,
+    /// Online model-refresh configuration (registry retention, recorder
+    /// bounds, background trigger).
+    pub refresh: RefreshConfig,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -108,6 +162,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("retry_after_seconds", &self.retry_after_seconds)
             .field("slow_peer_deadline", &self.slow_peer_deadline)
             .field("transport_wrapper", &self.transport_wrapper.is_some())
+            .field("refresh", &self.refresh)
             .finish()
     }
 }
@@ -131,24 +186,40 @@ impl Default for ServeConfig {
             slow_peer_deadline: Some(Duration::from_secs(30)),
             clock: Arc::new(MonotonicClock::new()),
             transport_wrapper: None,
+            refresh: RefreshConfig::default(),
         }
     }
 }
 
-/// Per-session server-side state.
+/// Per-session server-side state. The session is *pinned*: it holds the
+/// exact engine snapshot (and its version) it registered on, so a model
+/// hot-swap never moves its HMM filter state onto a different model —
+/// filter posteriors are only meaningful against the model that produced
+/// them. The `Arc` keeps the snapshot alive even after the registry GCs
+/// the version; eviction drops the pin naturally.
 #[derive(Debug, Clone)]
 struct SessionState {
-    /// Index into the engine's model list, or `None` for the global model.
+    /// Version of `engine` (echoed in every response).
+    version: ModelVersion,
+    /// The engine snapshot this session is pinned to.
+    engine: Arc<PredictionEngine>,
+    /// Index into the pinned engine's model list, or `None` for global.
     model: Option<usize>,
     filter: FilterState,
+    /// Registration features, kept for the completed-session record.
+    features: FeatureVector,
+    /// Measured throughputs reported so far (capped at
+    /// [`MAX_RECORDED_EPOCHS`]); drained into the recorder on completion.
+    observed: Vec<f64>,
 }
 
 /// The HTTP endpoints over a prediction engine — the part of the server
 /// that is pure request → response. Shared with [`crate::legacy`] so the
 /// benchmark compares serving architectures, not handler code.
 pub(crate) struct AppState {
-    engine: PredictionEngine,
+    registry: ModelRegistry,
     sessions: SessionStore<SessionState>,
+    recorder: Arc<SessionRecorder>,
     logs: Mutex<Vec<SessionLog>>,
     predictions_served: AtomicU64,
 }
@@ -156,13 +227,27 @@ pub(crate) struct AppState {
 impl AppState {
     pub(crate) fn new(
         engine: PredictionEngine,
+        refresh: &RefreshConfig,
         n_shards: usize,
         max_sessions: usize,
         ttl: Option<u64>,
     ) -> Self {
+        let recorder = Arc::new(SessionRecorder::new(
+            engine.schema().clone(),
+            RECORD_EPOCH_SECONDS,
+            refresh.recorder_capacity,
+            refresh.recorder_min_epochs,
+        ));
+        let mut sessions = SessionStore::new(n_shards, max_sessions, ttl);
+        let sink = Arc::clone(&recorder);
+        // An evicted viewer is a completed session: drain its record.
+        sessions.set_eviction_sink(Box::new(move |_, state: SessionState| {
+            sink.record(state.features, state.observed);
+        }));
         AppState {
-            engine,
-            sessions: SessionStore::new(n_shards, max_sessions, ttl),
+            registry: ModelRegistry::new(engine, refresh.train_config.clone(), refresh.retain),
+            sessions,
+            recorder,
             logs: Mutex::new(Vec::new()),
             predictions_served: AtomicU64::new(0),
         }
@@ -192,19 +277,78 @@ impl AppState {
         self.sessions.force_evict(session_id)
     }
 
-    fn model_of(&self, state: &SessionState) -> &ClusterModel {
-        match state.model {
-            Some(i) => &self.engine.models()[i],
-            None => self.engine.global_model(),
+    pub(crate) fn model_version(&self) -> ModelVersion {
+        self.registry.current_version()
+    }
+
+    pub(crate) fn recorded_sessions(&self) -> usize {
+        self.recorder.len()
+    }
+
+    pub(crate) fn model_versions(&self) -> Vec<ModelVersion> {
+        self.registry.versions()
+    }
+
+    pub(crate) fn model_snapshot(&self) -> (ModelVersion, Arc<PredictionEngine>) {
+        self.registry.current()
+    }
+
+    /// Retrains from the recorder's completed-session window and swaps
+    /// the result in. `None` (current version untouched) when the window
+    /// holds fewer than `min_sessions` sessions or cannot support a model.
+    pub(crate) fn refresh_models(
+        &self,
+        min_sessions: usize,
+    ) -> Option<(ModelVersion, TrainSummary)> {
+        if self.recorder.len() < min_sessions {
+            return None;
+        }
+        let dataset = self.recorder.dataset()?;
+        self.refresh_models_with(&dataset)
+    }
+
+    /// Retrains from an explicit dataset (operator push / tests) and
+    /// swaps the result in. In-flight sessions keep their pinned version;
+    /// sessions registering after the swap get the new one.
+    pub(crate) fn refresh_models_with(
+        &self,
+        dataset: &Dataset,
+    ) -> Option<(ModelVersion, TrainSummary)> {
+        let start = Instant::now();
+        let out = self.registry.retrain(dataset);
+        if let Some((version, summary)) = &out {
+            let pinned = self.sessions.count_values(|s| s.version != *version);
+            if cs2p_obs::enabled() {
+                cs2p_obs::counter_add("serve.model.swaps", 1);
+                cs2p_obs::gauge_set("serve.model.version", version.0 as f64);
+                cs2p_obs::gauge_set("serve.model.pinned_sessions", pinned as f64);
+                cs2p_obs::observe("serve.model.refresh_us", start.elapsed().as_micros() as f64);
+                cs2p_obs::event(
+                    cs2p_obs::Level::Info,
+                    "serve.model.swapped",
+                    vec![
+                        ("version", version.0.into()),
+                        ("pinned_sessions", pinned.into()),
+                        ("n_models", summary.n_models.into()),
+                        ("warm_started", summary.warm_started.into()),
+                        ("em_iterations", summary.em_iterations.into()),
+                    ],
+                );
+            }
+        }
+        out
+    }
+
+    fn model_of(engine: &PredictionEngine, model: Option<usize>) -> &ClusterModel {
+        match model {
+            Some(i) => &engine.models()[i],
+            None => engine.global_model(),
         }
     }
 
-    fn lookup_model_index(&self, features: &FeatureVector) -> Option<usize> {
-        let model = self.engine.lookup(features);
-        self.engine
-            .models()
-            .iter()
-            .position(|m| std::ptr::eq(m, model))
+    fn lookup_model_index(engine: &PredictionEngine, features: &FeatureVector) -> Option<usize> {
+        let model = engine.lookup(features);
+        engine.models().iter().position(|m| std::ptr::eq(m, model))
     }
 
     pub(crate) fn handle(&self, req: &Request) -> Response {
@@ -244,9 +388,10 @@ impl AppState {
                 }
             }
             ("GET", "/healthz") => {
+                let (_, engine) = self.registry.current();
                 let health = Health {
                     status: "ok".into(),
-                    n_models: self.engine.models().len(),
+                    n_models: engine.models().len(),
                     n_sessions: self.sessions.len(),
                     predictions_served: self.predictions_served.load(Ordering::Relaxed),
                     n_logs: self.logs.lock().len(),
@@ -274,24 +419,28 @@ impl AppState {
         let mut shard = self.sessions.lock(preq.session_id);
         if shard.get_mut(preq.session_id).is_none() {
             // Never seen (or TTL/LRU-evicted): (re-)initialize from the
-            // request's features, or tell the client to re-register.
+            // request's features, or tell the client to re-register. New
+            // sessions pin the registry's current snapshot; the version
+            // is fixed for the session's whole lifetime.
             let Some(features) = &preq.features else {
                 return Response::error(404, "unknown session: send features to (re)register");
             };
-            if features.len() != self.engine.schema().len() {
+            let (version, engine) = self.registry.current();
+            if features.len() != engine.schema().len() {
                 return Response::error(400, "feature width mismatch");
             }
             let fv = FeatureVector(features.clone());
-            let model_idx = self.lookup_model_index(&fv);
-            let model = match model_idx {
-                Some(i) => &self.engine.models()[i],
-                None => self.engine.global_model(),
-            };
+            let model_idx = Self::lookup_model_index(&engine, &fv);
+            let filter = Self::model_of(&engine, model_idx).hmm.filter().state();
             shard.insert(
                 preq.session_id,
                 SessionState {
+                    version,
+                    engine,
                     model: model_idx,
-                    filter: model.hmm.filter().state(),
+                    filter,
+                    features: fv,
+                    observed: Vec::new(),
                 },
             );
         }
@@ -299,10 +448,17 @@ impl AppState {
             .get_mut(preq.session_id)
             .expect("session just ensured");
 
-        let model = self.model_of(state);
+        // Resolve against the session's pinned snapshot, never the
+        // registry's current one: the filter state is only meaningful
+        // against the model that produced it.
+        let engine = Arc::clone(&state.engine);
+        let model = Self::model_of(&engine, state.model);
         let mut filter = HmmFilter::from_state(&model.hmm, state.filter.clone());
         if let Some(w) = preq.measured_mbps {
             filter.observe(w);
+            if state.observed.len() < MAX_RECORDED_EPOCHS {
+                state.observed.push(w);
+            }
         }
         let initial = filter.epoch() == 0;
         let predictions_mbps: Vec<f64> = (1..=preq.horizon)
@@ -316,6 +472,7 @@ impl AppState {
             .collect();
         state.filter = filter.state();
         let cluster_sessions = model.n_sessions;
+        let model_version = state.version.0;
         drop(shard);
 
         self.predictions_served.fetch_add(1, Ordering::Relaxed);
@@ -327,6 +484,7 @@ impl AppState {
             predictions_mbps,
             initial,
             cluster_sessions,
+            model_version,
         };
         Response::json(serde_json::to_vec(&resp).unwrap())
     }
@@ -335,10 +493,11 @@ impl AppState {
         let Some(features) = parse_features_query(&req.path) else {
             return Response::error(400, "missing features query");
         };
-        if features.len() != self.engine.schema().len() {
+        let (_, engine) = self.registry.current();
+        if features.len() != engine.schema().len() {
             return Response::error(400, "feature width mismatch");
         }
-        let cm = ClientModel::for_client(&self.engine, &FeatureVector(features));
+        let cm = ClientModel::for_client(&engine, &FeatureVector(features));
         match cm.to_json() {
             Ok(body) => Response::json(body.into_bytes()),
             Err(_) => Response::error(500, "serialization failed"),
@@ -349,6 +508,11 @@ impl AppState {
         let Ok(log) = serde_json::from_slice::<SessionLog>(&req.body) else {
             return Response::error(400, "malformed SessionLog");
         };
+        // A log upload marks the session complete: retire it from the
+        // store and drain its observations into the training recorder.
+        if let Some(state) = self.sessions.lock(log.session_id).remove(log.session_id) {
+            self.recorder.record(state.features, state.observed);
+        }
         self.logs.lock().push(log);
         Response::new(204, bytes::Bytes::new())
     }
@@ -519,6 +683,10 @@ pub struct ServeStats {
     pub rejected: u64,
     /// Connections accepted.
     pub accepted: u64,
+    /// The live model version (1 = the engine the server started with).
+    pub model_version: u64,
+    /// Completed sessions currently held by the training recorder.
+    pub recorded_sessions: usize,
 }
 
 /// A running prediction server (see the module docs for the thread
@@ -528,6 +696,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
     poller_thread: Option<JoinHandle<()>>,
+    refresh_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -555,6 +724,50 @@ impl ServerHandle {
         self.shared.app.force_evict(session_id)
     }
 
+    /// The live model version new sessions will pin.
+    pub fn model_version(&self) -> ModelVersion {
+        self.shared.app.model_version()
+    }
+
+    /// Completed sessions currently held by the training recorder.
+    pub fn recorded_sessions(&self) -> usize {
+        self.shared.app.recorded_sessions()
+    }
+
+    /// Model versions the registry currently retains, ascending. Bounded
+    /// by [`RefreshConfig::retain`] plus explicitly pinned versions — the
+    /// soak tests assert swaps and evictions never leak versions here.
+    pub fn model_versions(&self) -> Vec<ModelVersion> {
+        self.shared.app.model_versions()
+    }
+
+    /// The live `(version, engine)` snapshot. The `Arc` stays valid (and
+    /// bit-identical) across later swaps — what a pinned session holds,
+    /// and what `refresh-bench` evaluates offline against held-out days.
+    pub fn model_snapshot(&self) -> (ModelVersion, Arc<PredictionEngine>) {
+        self.shared.app.model_snapshot()
+    }
+
+    /// Retrains from the completed sessions the server has recorded and
+    /// hot-swaps the result in (warm-starting every cluster from the live
+    /// version). In-flight sessions keep serving from the version they
+    /// registered on; only new sessions see the new model. `None` — the
+    /// live version untouched — when the recorder holds fewer than
+    /// [`RefreshConfig::min_sessions`] sessions or the data cannot
+    /// support a model.
+    pub fn refresh_models(&self) -> Option<(ModelVersion, TrainSummary)> {
+        self.shared
+            .app
+            .refresh_models(self.shared.config.refresh.min_sessions)
+    }
+
+    /// Like [`refresh_models`](Self::refresh_models) but trains from an
+    /// explicit dataset (operator push, deterministic tests) instead of
+    /// the recorder window.
+    pub fn refresh_models_with(&self, dataset: &Dataset) -> Option<(ModelVersion, TrainSummary)> {
+        self.shared.app.refresh_models_with(dataset)
+    }
+
     /// Current serving counters.
     pub fn stats(&self) -> ServeStats {
         ServeStats {
@@ -564,6 +777,8 @@ impl ServerHandle {
             session_capacity: self.shared.app.session_capacity(),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             accepted: self.shared.accepted.load(Ordering::Relaxed),
+            model_version: self.shared.app.model_version().0,
+            recorded_sessions: self.shared.app.recorded_sessions(),
         }
     }
 
@@ -588,6 +803,11 @@ impl ServerHandle {
         // Wake the poller; it does a final ready sweep and exits.
         self.shared.intake_cv.notify_all();
         if let Some(t) = self.poller_thread.take() {
+            let _ = t.join();
+        }
+        // The refresher polls the shutdown flag every POLL_INTERVAL; any
+        // in-progress retrain finishes (bounded) before the join returns.
+        if let Some(t) = self.refresh_thread.take() {
             let _ = t.join();
         }
         // Workers drain the queue, then see `None` and exit.
@@ -623,6 +843,7 @@ pub fn serve_with(
     let addr = listener.local_addr()?;
     let app = AppState::new(
         engine,
+        &config.refresh,
         config.n_shards,
         config.max_sessions,
         config.session_ttl_requests,
@@ -656,12 +877,24 @@ pub fn serve_with(
                 .spawn(move || run_worker(worker_shared))
         })
         .collect::<io::Result<Vec<_>>>()?;
+    let refresh_thread = match shared.config.refresh.interval {
+        Some(interval) => {
+            let refresh_shared = Arc::clone(&shared);
+            Some(
+                thread::Builder::new()
+                    .name("cs2p-refresh".into())
+                    .spawn(move || run_refresher(refresh_shared, interval))?,
+            )
+        }
+        None => None,
+    };
 
     Ok(ServerHandle {
         addr,
         shared,
         accept_thread: Some(accept_thread),
         poller_thread: Some(poller_thread),
+        refresh_thread,
         workers,
     })
 }
@@ -754,6 +987,27 @@ fn run_poller(shared: Arc<Shared>) {
                 }
             }
         }
+    }
+}
+
+/// Background model-refresh loop: fires [`AppState::refresh_models`]
+/// whenever `interval` has elapsed on the *injectable* clock (so tests
+/// drive it with a `ManualClock`), checking the clock and the shutdown
+/// flag every [`POLL_INTERVAL`] of real time. Training runs on this
+/// thread, outside every request path — workers keep serving the old
+/// version until the publish swap.
+fn run_refresher(shared: Arc<Shared>, interval: Duration) {
+    let interval_us = interval.as_micros().min(u64::MAX as u128) as u64;
+    let mut last = shared.config.clock.now_micros();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let now = shared.config.clock.now_micros();
+        if now.saturating_sub(last) >= interval_us {
+            last = now;
+            let _ = shared
+                .app
+                .refresh_models(shared.config.refresh.min_sessions);
+        }
+        thread::sleep(POLL_INTERVAL);
     }
 }
 
@@ -1210,6 +1464,167 @@ mod tests {
         if let Ok(s) = again {
             s.shutdown();
         }
+    }
+
+    #[test]
+    fn responses_carry_model_version_and_sessions_stay_pinned_across_swap() {
+        use cs2p_testkit::scenarios::{tiny_dataset, tiny_train_config};
+        let config = ServeConfig {
+            refresh: RefreshConfig {
+                train_config: tiny_train_config(),
+                ..RefreshConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let server = serve_with(tiny_engine(), "127.0.0.1:0", config).unwrap();
+        let addr = server.addr();
+        let r1 = predict(
+            addr,
+            &PredictRequest {
+                session_id: 1,
+                features: Some(vec![1]),
+                measured_mbps: None,
+                horizon: 1,
+            },
+        );
+        assert_eq!(r1.model_version, 1);
+        // Hot-swap a model trained on data drifted up by 2 Mbps.
+        let (v2, summary) = server
+            .refresh_models_with(&tiny_dataset(2.0))
+            .expect("refresh trains");
+        assert_eq!(v2, ModelVersion(2));
+        assert!(summary.warm_started > 0, "refresh must warm-start");
+        assert_eq!(server.model_version(), v2);
+        assert_eq!(server.stats().model_version, 2);
+        // The in-flight session stays pinned to v1 and its old regime…
+        let r2 = predict(
+            addr,
+            &PredictRequest {
+                session_id: 1,
+                features: None,
+                measured_mbps: Some(5.0),
+                horizon: 1,
+            },
+        );
+        assert_eq!(r2.model_version, 1, "midstream session must stay pinned");
+        assert!((r2.predictions_mbps[0] - 5.0).abs() < 0.5);
+        // …while a session registering after the swap gets v2's regime.
+        let r3 = predict(
+            addr,
+            &PredictRequest {
+                session_id: 2,
+                features: Some(vec![1]),
+                measured_mbps: None,
+                horizon: 1,
+            },
+        );
+        assert_eq!(r3.model_version, 2);
+        assert!((r3.predictions_mbps[0] - 7.0).abs() < 0.5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn completed_sessions_feed_the_recorder_and_refresh_swaps() {
+        use cs2p_testkit::scenarios::tiny_train_config;
+        let config = ServeConfig {
+            refresh: RefreshConfig {
+                train_config: tiny_train_config(),
+                min_sessions: 2,
+                ..RefreshConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let server = serve_with(tiny_engine(), "127.0.0.1:0", config).unwrap();
+        let addr = server.addr();
+        // Too few completed sessions: refresh is a no-op.
+        assert!(server.refresh_models().is_none());
+        for sid in [10u64, 11] {
+            let isp = (sid % 2) as u32;
+            let mbps = if isp == 0 { 1.0 } else { 5.0 };
+            for epoch in 0..5 {
+                predict(
+                    addr,
+                    &PredictRequest {
+                        session_id: sid,
+                        features: (epoch == 0).then(|| vec![isp]),
+                        measured_mbps: (epoch > 0).then_some(mbps),
+                        horizon: 1,
+                    },
+                );
+            }
+        }
+        // One session completes via its /log upload, one via eviction.
+        let log = SessionLog {
+            session_id: 10,
+            strategy: "CS2P+MPC".into(),
+            qoe: 1.0,
+            avg_bitrate_kbps: 1000.0,
+            good_ratio: 1.0,
+            rebuffer_seconds: 0.0,
+            startup_delay_seconds: 0.5,
+            throughput_pairs: vec![],
+            bitrates_kbps: vec![],
+        };
+        let resp = send(
+            addr,
+            &Request::new("POST", "/log", serde_json::to_vec(&log).unwrap()),
+        );
+        assert_eq!(resp.status, 204);
+        assert!(server.force_evict(11));
+        assert_eq!(server.recorded_sessions(), 2);
+        assert_eq!(server.stats().recorded_sessions, 2);
+        let (version, _) = server.refresh_models().expect("enough sessions recorded");
+        assert_eq!(version, ModelVersion(2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn background_refresher_fires_on_the_injectable_clock() {
+        use cs2p_testkit::scenarios::tiny_train_config;
+        let clock = Arc::new(cs2p_obs::ManualClock::new());
+        let config = ServeConfig {
+            clock: Arc::clone(&clock) as Arc<dyn Clock>,
+            refresh: RefreshConfig {
+                train_config: tiny_train_config(),
+                interval: Some(Duration::from_secs(60)),
+                min_sessions: 2,
+                ..RefreshConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let server = serve_with(tiny_engine(), "127.0.0.1:0", config).unwrap();
+        let addr = server.addr();
+        for sid in [20u64, 21] {
+            let isp = (sid % 2) as u32;
+            let mbps = if isp == 0 { 1.0 } else { 5.0 };
+            for epoch in 0..5 {
+                predict(
+                    addr,
+                    &PredictRequest {
+                        session_id: sid,
+                        features: (epoch == 0).then(|| vec![isp]),
+                        measured_mbps: (epoch > 0).then_some(mbps),
+                        horizon: 1,
+                    },
+                );
+            }
+            assert!(server.force_evict(sid));
+        }
+        assert_eq!(server.recorded_sessions(), 2);
+        assert_eq!(server.model_version(), ModelVersion(1));
+        // Advance the injectable clock past the interval; the refresher
+        // (polling every millisecond of real time) picks it up.
+        clock.advance(Duration::from_secs(61).as_micros() as u64);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.model_version() < ModelVersion(2) && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(
+            server.model_version(),
+            ModelVersion(2),
+            "background refresh must fire after the clock advances"
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -39,6 +39,12 @@ struct Entry<V> {
 
 type Shard<V> = HashMap<u64, Entry<V>>;
 
+/// Callback invoked with each evicted `(id, value)` pair (TTL, LRU, or
+/// forced eviction — not explicit [`ShardGuard::remove`]). Runs while the
+/// owning shard's lock is held, so it must be quick and must never
+/// re-enter the store.
+pub type EvictionSink<V> = Box<dyn Fn(u64, V) + Send + Sync>;
+
 /// A sharded map from session id to per-session state with LRU + TTL
 /// eviction under a per-shard capacity bound.
 pub struct SessionStore<V> {
@@ -48,6 +54,7 @@ pub struct SessionStore<V> {
     tick: AtomicU64,
     evicted: AtomicU64,
     live: AtomicUsize,
+    sink: Option<EvictionSink<V>>,
 }
 
 impl<V> SessionStore<V> {
@@ -64,7 +71,17 @@ impl<V> SessionStore<V> {
             tick: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
             live: AtomicUsize::new(0),
+            sink: None,
         }
+    }
+
+    /// Installs an eviction sink: every evicted `(id, value)` is handed to
+    /// `sink` instead of being silently dropped. This is the server's
+    /// session-recorder seam — an evicted viewer is a *completed* session
+    /// whose observations flow back into training. Call before sharing the
+    /// store across threads.
+    pub fn set_eviction_sink(&mut self, sink: EvictionSink<V>) {
+        self.sink = Some(sink);
     }
 
     /// Number of shards.
@@ -99,12 +116,24 @@ impl<V> SessionStore<V> {
     /// eviction, which is exactly what fault tests force mid-session.
     pub fn force_evict(&self, id: u64) -> bool {
         let mut guard = self.lock(id);
-        let present = guard.guard.remove(&id).is_some();
-        if present {
-            guard.count_evictions(1);
-            cs2p_obs::counter_add("serve.fault.forced_evictions", 1);
+        match guard.guard.remove(&id) {
+            Some(entry) => {
+                guard.report_evicted(id, entry.value);
+                cs2p_obs::counter_add("serve.fault.forced_evictions", 1);
+                true
+            }
+            None => false,
         }
-        present
+    }
+
+    /// Counts live entries matching `pred`, locking each shard in turn
+    /// (without touching LRU stamps). Used for swap-time gauges like
+    /// "sessions still pinned to an older model version".
+    pub fn count_values(&self, pred: impl Fn(&V) -> bool) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().values().filter(|e| pred(&e.value)).count())
+            .sum()
     }
 
     /// Locks the shard owning `id` and returns a guard scoped to that
@@ -139,13 +168,15 @@ impl<V> ShardGuard<'_, V> {
         }
     }
 
-    fn count_evictions(&self, n: usize) {
-        if n == 0 {
-            return;
+    /// Books one eviction (counters + gauge) and hands the value to the
+    /// eviction sink, if any. Runs under the shard lock.
+    fn report_evicted(&self, id: u64, value: V) {
+        self.store.evicted.fetch_add(1, Ordering::Relaxed);
+        self.store.live.fetch_sub(1, Ordering::Relaxed);
+        cs2p_obs::counter_add("serve.evicted", 1);
+        if let Some(sink) = &self.store.sink {
+            sink(id, value);
         }
-        self.store.evicted.fetch_add(n as u64, Ordering::Relaxed);
-        self.store.live.fetch_sub(n, Ordering::Relaxed);
-        cs2p_obs::counter_add("serve.evicted", n as u64);
     }
 
     /// Mutable access to the session, touching its LRU stamp. An entry
@@ -153,8 +184,9 @@ impl<V> ShardGuard<'_, V> {
     /// sessions get the same "unknown session" answer as never-seen ones.
     pub fn get_mut(&mut self, id: u64) -> Option<&mut V> {
         if self.guard.get(&id).is_some_and(|e| self.expired(e)) {
-            self.guard.remove(&id);
-            self.count_evictions(1);
+            if let Some(entry) = self.guard.remove(&id) {
+                self.report_evicted(id, entry.value);
+            }
             return None;
         }
         let now = self.now;
@@ -168,13 +200,19 @@ impl<V> ShardGuard<'_, V> {
     /// capacity bound: expired entries go first, and if the shard is
     /// still full the least recently touched entry is evicted.
     pub fn insert(&mut self, id: u64, value: V) {
-        if self.store.ttl.is_some() {
-            let before = self.guard.len();
+        if let Some(ttl) = self.store.ttl {
             let now = self.now;
-            let ttl = self.store.ttl.unwrap_or(u64::MAX);
-            self.guard
-                .retain(|key, entry| *key == id || now.saturating_sub(entry.last_touch) <= ttl);
-            self.count_evictions(before - self.guard.len());
+            let expired: Vec<u64> = self
+                .guard
+                .iter()
+                .filter(|(key, entry)| **key != id && now.saturating_sub(entry.last_touch) > ttl)
+                .map(|(key, _)| *key)
+                .collect();
+            for key in expired {
+                if let Some(entry) = self.guard.remove(&key) {
+                    self.report_evicted(key, entry.value);
+                }
+            }
         }
         let replacing = self.guard.contains_key(&id);
         if !replacing && self.guard.len() >= self.store.per_shard_cap {
@@ -184,8 +222,9 @@ impl<V> ShardGuard<'_, V> {
                 .min_by_key(|(key, entry)| (entry.last_touch, **key))
                 .map(|(key, _)| *key)
             {
-                self.guard.remove(&victim);
-                self.count_evictions(1);
+                if let Some(entry) = self.guard.remove(&victim) {
+                    self.report_evicted(victim, entry.value);
+                }
             }
         }
         let fresh = self
@@ -280,6 +319,50 @@ mod tests {
         assert_eq!(store.lock(5).remove(5), None);
         assert_eq!(store.evicted(), 0);
         assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn eviction_sink_sees_every_evicted_value_but_not_removes() {
+        use std::sync::Arc;
+        let drained = Arc::new(Mutex::new(Vec::new()));
+        let mut store = SessionStore::new(1, 3, Some(10));
+        let sink_drained = Arc::clone(&drained);
+        store.set_eviction_sink(Box::new(move |id, value: u64| {
+            sink_drained.lock().push((id, value));
+        }));
+        store.lock(1).insert(1, 10);
+        store.lock(2).insert(2, 20);
+        store.lock(3).insert(3, 30);
+        // Capacity bound: inserting a fourth evicts the LRU entry (id 1).
+        store.lock(4).insert(4, 40);
+        // Forced eviction.
+        assert!(store.force_evict(2));
+        // TTL: burn ticks touching only id 4, then read the idle id 3.
+        for _ in 0..12 {
+            assert!(store.lock(4).get_mut(4).is_some());
+        }
+        assert!(store.lock(3).get_mut(3).is_none(), "3 expired");
+        // Explicit remove must NOT reach the sink.
+        store.lock(4).remove(4);
+        let seen = drained.lock().clone();
+        assert!(seen.contains(&(1, 10)), "LRU victim drained: {seen:?}");
+        assert!(seen.contains(&(2, 20)), "forced victim drained: {seen:?}");
+        assert!(seen.contains(&(3, 30)), "TTL victim drained: {seen:?}");
+        assert!(
+            !seen.iter().any(|&(id, _)| id == 4),
+            "remove leaked: {seen:?}"
+        );
+        assert_eq!(store.evicted() as usize, seen.len());
+    }
+
+    #[test]
+    fn count_values_scans_all_shards() {
+        let store = SessionStore::new(4, 100, None);
+        for id in 0..10u64 {
+            store.lock(id).insert(id, id % 3);
+        }
+        assert_eq!(store.count_values(|v| *v == 0), 4); // 0,3,6,9
+        assert_eq!(store.count_values(|_| true), 10);
     }
 
     #[test]

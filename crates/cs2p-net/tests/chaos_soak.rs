@@ -14,13 +14,21 @@
 //! - **blast-radius isolation**: sessions owned by fault-free clients
 //!   produce bit-identical predictions to the golden run.
 //!
+//! A second pass re-runs the schedule with model hot-swaps firing
+//! concurrently (both the explicit-dataset path and the recorder path,
+//! so a retrain races the forced evictions that feed it): the same
+//! accounting identities must stay exact, shutdown must stay bounded
+//! (no refresh/eviction/slow-peer deadlock), and the registry must not
+//! leak versions past its retention window.
+//!
 //! Own test binary, single `#[test]`: the identities diff the global
 //! cs2p-obs registry, which concurrent tests would corrupt.
 
-use cs2p_net::{serve_with, ServeConfig, ServerHandle};
+use cs2p_net::{serve_with, RefreshConfig, ServeConfig, ServerHandle};
 use cs2p_testkit::faults::{run_chaos, ChaosConfig};
 use cs2p_testkit::loadgen::{run_load, LoadConfig};
-use cs2p_testkit::scenarios::tiny_engine;
+use cs2p_testkit::scenarios::{tiny_dataset, tiny_engine, tiny_train_config};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 fn counter(name: &str) -> u64 {
@@ -198,6 +206,177 @@ fn soak_one_seed(seed: u64) -> (u64, usize) {
     )
 }
 
+/// Same shards/workers/timeouts as [`chaos_server`], plus an active
+/// refresh configuration: tiny training knobs, a 2-version retention
+/// window, and a recorder that accepts a refresh from the very first
+/// completed session (so the recorder retrain path actually runs).
+fn refresh_chaos_server() -> ServerHandle {
+    let config = ServeConfig {
+        n_shards: 4,
+        n_workers: 3,
+        queue_depth: 1024,
+        max_sessions: 10_000,
+        session_ttl_requests: None,
+        read_timeout: Duration::from_millis(150),
+        refresh: RefreshConfig {
+            train_config: tiny_train_config(),
+            retain: 2,
+            min_sessions: 1,
+            ..Default::default()
+        },
+        ..ServeConfig::default()
+    };
+    serve_with(tiny_engine(), "127.0.0.1:0", config).unwrap()
+}
+
+/// The chaos schedule with hot-swaps racing it: a swapper thread
+/// alternates explicit-dataset refreshes with recorder refreshes (the
+/// latter retrains from sessions the concurrent forced evictions just
+/// completed) while the full fault schedule runs. Blast-radius
+/// bit-identity is not asserted here — sessions registering after a swap
+/// legitimately see a different model; `refresh_soak.rs` proves pinning
+/// bit-identity deterministically. Everything else must hold unchanged.
+/// Returns the number of swaps published.
+fn refresh_chaos_one_seed(seed: u64) -> u64 {
+    let config = ChaosConfig {
+        load: LoadConfig {
+            n_clients: 4,
+            n_sessions: 8,
+            epochs_per_session: 5,
+            horizon: 2,
+            seed,
+            session_id_base: 1_000,
+            ..LoadConfig::default()
+        },
+        ..ChaosConfig::default()
+    };
+
+    let attempts0 = counter("client.retry.attempts");
+    let giveups0 = counter("client.retry.giveups");
+    let bad_frames0 = counter("serve.fault.bad_frames");
+    let read_errors0 = counter("serve.fault.read_errors");
+    let evictions0 = counter("serve.fault.forced_evictions");
+    let aborts0 = counter("serve.fault.slow_peer_aborts");
+    let swaps0 = counter("serve.model.swaps");
+
+    let server = refresh_chaos_server();
+    let addr = server.addr();
+    let done = AtomicBool::new(false);
+    let (report, swaps) = std::thread::scope(|scope| {
+        let server_ref = &server;
+        let done_ref = &done;
+        let swapper = scope.spawn(move || {
+            let mut swaps = 0u64;
+            let mut round = 0u64;
+            while !done_ref.load(Ordering::Relaxed) {
+                let published = if round.is_multiple_of(2) {
+                    // Operator push: always trains.
+                    let shift = 0.5 * (round % 4) as f64;
+                    server_ref
+                        .refresh_models_with(&tiny_dataset(shift))
+                        .is_some()
+                } else {
+                    // Recorder path: races the forced evictions feeding
+                    // it; a no-op until the first session completes.
+                    server_ref.refresh_models().is_some()
+                };
+                if published {
+                    swaps += 1;
+                }
+                round += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            swaps
+        });
+        let report = run_chaos(&server, &config);
+        done.store(true, Ordering::Relaxed);
+        (report, swapper.join().expect("swapper panicked"))
+    });
+
+    // Version retention under churn: at most `retain` versions (nothing
+    // pins past the window — session pins are Arcs, not registry pins).
+    let versions = server.model_versions();
+    assert!(
+        versions.len() <= 2,
+        "seed {seed}: swaps under chaos leaked versions: {versions:?}"
+    );
+
+    let stats = shutdown_bounded(server);
+
+    let fired = report.fired;
+    let d_attempts = counter("client.retry.attempts") - attempts0;
+    let d_giveups = counter("client.retry.giveups") - giveups0;
+    let d_bad_frames = counter("serve.fault.bad_frames") - bad_frames0;
+    let d_read_errors = counter("serve.fault.read_errors") - read_errors0;
+    let d_evictions = counter("serve.fault.forced_evictions") - evictions0;
+    let d_swaps = counter("serve.model.swaps") - swaps0;
+
+    // Liveness with swaps in the mix: nothing abandoned, nothing shed.
+    assert_eq!(report.gave_up, 0, "seed {seed}: requests abandoned");
+    assert_eq!(d_giveups, 0, "seed {seed}: client send() gave up");
+    assert_eq!(report.load.errors, 0, "seed {seed}");
+    assert_eq!(report.load.rejected, 0, "seed {seed}");
+    assert_eq!(stats.rejected, 0, "seed {seed}");
+    for s in 0..config.load.n_sessions as u64 {
+        let id = config.load.session_id_base + s;
+        let preds = report.load.predictions.get(&id).map_or(0, Vec::len);
+        assert_eq!(
+            preds, config.load.epochs_per_session,
+            "seed {seed}: session {id} lost predictions under swaps"
+        );
+    }
+    assert_eq!(
+        report.load.sent,
+        report.load.ok + report.load.reinit + report.load.rejected + report.error_statuses,
+        "seed {seed}: request ledger out of balance under swaps"
+    );
+
+    // The fault accounting identities are swap-independent: a refresh
+    // must neither absorb nor duplicate any fault observation.
+    assert_eq!(d_attempts, fired.transport_failures(), "seed {seed}");
+    assert_eq!(d_bad_frames, fired.corruptions, "seed {seed}");
+    assert_eq!(report.error_statuses, fired.corruptions, "seed {seed}");
+    assert!(
+        d_read_errors >= fired.resets_write + fired.truncations
+            && d_read_errors <= fired.transport_failures(),
+        "seed {seed}: read errors {d_read_errors} outside [{}, {}]",
+        fired.resets_write + fired.truncations,
+        fired.transport_failures()
+    );
+    assert_eq!(d_evictions, report.forced_evictions, "seed {seed}");
+    assert_eq!(report.load.reinit, report.forced_evictions, "seed {seed}");
+    assert_eq!(
+        stats.sessions_evicted, report.forced_evictions,
+        "seed {seed}: only forced evictions may evict (no TTL, huge cap)"
+    );
+    assert_eq!(
+        counter("serve.fault.slow_peer_aborts"),
+        aborts0,
+        "seed {seed}"
+    );
+
+    // Swap accounting: every publish bumped the counter and the version
+    // exactly once (versions are dense), and the recorder only ever held
+    // sessions the evictions completed.
+    assert_eq!(d_swaps, swaps, "seed {seed}: swap counter vs publishes");
+    assert_eq!(
+        stats.model_version,
+        1 + swaps,
+        "seed {seed}: versions must be dense in publishes"
+    );
+    assert!(
+        (stats.recorded_sessions as u64) <= report.forced_evictions,
+        "seed {seed}: recorder invented sessions"
+    );
+
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "seed {seed}: port still accepting after shutdown"
+    );
+
+    swaps
+}
+
 #[test]
 fn seeded_chaos_schedules_are_survived_with_exact_accounting() {
     cs2p_obs::set_enabled(true);
@@ -215,5 +394,13 @@ fn seeded_chaos_schedules_are_survived_with_exact_accounting() {
         "no fault ever fired across the seed matrix"
     );
     assert!(total_clean > 0, "no clean session was ever compared");
+
+    // Refresh-under-chaos pass (a subset of the matrix — each pass costs
+    // a full chaos run): hot-swaps racing the same fault schedules.
+    let mut total_swaps = 0;
+    for seed in seeds().into_iter().take(2) {
+        total_swaps += refresh_chaos_one_seed(seed);
+    }
+    assert!(total_swaps > 0, "no swap ever published under chaos");
     cs2p_obs::set_enabled(false);
 }

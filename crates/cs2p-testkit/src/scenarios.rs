@@ -26,6 +26,7 @@ pub fn small_world(seed: u64) -> WorldConfig {
         ases_per_isp: 2,
         n_states: 3,
         seed,
+        drift: 0.0,
     }
 }
 
@@ -80,24 +81,37 @@ pub fn two_regime_config() -> EngineConfig {
     config
 }
 
-/// The 40-session, two-ISP engine used by server/client failure tests:
-/// ISP 0 sits at 1 Mbps, ISP 1 at 5 Mbps, constant traces, trains in
-/// milliseconds.
-pub fn tiny_engine() -> PredictionEngine {
+/// The 40-session, two-ISP dataset behind [`tiny_engine`]: ISP 0 sits at
+/// `1.0 + shift` Mbps, ISP 1 at `5.0 + shift`, constant traces. A nonzero
+/// `shift` models the regime drifting between model refreshes — retrain
+/// on `tiny_dataset(shift)` and the cluster medians move by `shift`.
+pub fn tiny_dataset(shift: f64) -> Dataset {
     let schema = FeatureSchema::new(vec!["isp"]);
     let sessions: Vec<Session> = (0..40)
         .map(|k| {
             let isp = (k % 2) as u32;
-            let tp = if isp == 0 { 1.0 } else { 5.0 };
+            let tp = if isp == 0 { 1.0 } else { 5.0 } + shift;
             Session::new(k, FeatureVector(vec![isp]), k * 50, 6, vec![tp; 8])
         })
         .collect();
-    let d = Dataset::new(schema, sessions);
+    Dataset::new(schema, sessions)
+}
+
+/// The training configuration matching [`tiny_dataset`] (also the right
+/// `RefreshConfig::train_config` for servers built on [`tiny_engine`]).
+pub fn tiny_train_config() -> EngineConfig {
     let mut config = EngineConfig::default();
     config.cluster.min_cluster_size = 5;
     config.hmm.n_states = 2;
     config.hmm.max_iters = 10;
-    PredictionEngine::train(&d, &config)
+    config
+}
+
+/// The 40-session, two-ISP engine used by server/client failure tests:
+/// ISP 0 sits at 1 Mbps, ISP 1 at 5 Mbps, constant traces, trains in
+/// milliseconds.
+pub fn tiny_engine() -> PredictionEngine {
+    PredictionEngine::train(&tiny_dataset(0.0), &tiny_train_config())
         .expect("tiny engine trains")
         .0
 }

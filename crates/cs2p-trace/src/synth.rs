@@ -108,7 +108,11 @@ pub fn generate_over(world: &World, config: &SynthConfig) -> Dataset {
         let start_time = sample_start_time(&mut rng, config.days);
         let n_epochs = sample_duration(&mut rng, config);
 
-        let profile = world.path_profile(info.isp, info.city, server);
+        // With drift configured on the world, the session samples the
+        // profile as of its start day — day 0 is bit-identical to the
+        // undrifted world, so this is a no-op unless the knob is set.
+        let day = start_time / 86_400;
+        let profile = world.path_profile_at(info.isp, info.city, server, day);
         // Sample the hidden congestion-state path, then synthesize the
         // within-state measurement noise as a negative MA(1): the per-state
         // emission sigma of the profile is the *total* noise scale, so the
@@ -221,6 +225,41 @@ mod tests {
         let (a, _) = generate(&small_config(200));
         let (b, _) = generate(&small_config(200));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_drift_generation_matches_driftless_world_bitwise() {
+        let base = small_config(300);
+        let explicit_zero = SynthConfig {
+            world: WorldConfig {
+                drift: 0.0,
+                ..Default::default()
+            },
+            ..small_config(300)
+        };
+        assert_eq!(generate(&base).0, generate(&explicit_zero).0);
+    }
+
+    #[test]
+    fn drift_separates_day_populations() {
+        // With drift on, the day-0 and day-1 session populations come
+        // from shifted worlds; without it they share every path profile.
+        let drifting = SynthConfig {
+            world: WorldConfig {
+                drift: 0.5,
+                ..Default::default()
+            },
+            ..small_config(2_000)
+        };
+        let (d, world) = generate(&drifting);
+        let (day0, day1) = d.split_at_day(1);
+        assert!(day0.len() > 100 && day1.len() > 100);
+        // The same path yields different state means across days.
+        let p0 = world.path_profile_at(0, 0, 0, 0);
+        let p1 = world.path_profile_at(0, 0, 0, 1);
+        assert_ne!(p0.hmm.emissions[0].mean(), p1.hmm.emissions[0].mean());
+        // And generation is still deterministic end to end.
+        assert_eq!(d, generate(&drifting).0);
     }
 
     #[test]

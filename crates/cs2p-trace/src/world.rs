@@ -48,6 +48,13 @@ pub struct WorldConfig {
     pub n_states: usize,
     /// Master seed; every profile derives its own deterministic stream.
     pub seed: u64,
+    /// Day-over-day parameter drift: log-normal sigma of the multiplicative
+    /// capacity shift each path compounds per day (see
+    /// [`World::path_profile_at`]). `0` disables drift entirely — day `d`
+    /// then equals day 0 bit for bit. This is the knob behind the paper's
+    /// daily-refresh rationale (§5): with drift on, a model trained on day
+    /// 0 systematically mispredicts day 1.
+    pub drift: f64,
 }
 
 impl Default for WorldConfig {
@@ -61,6 +68,7 @@ impl Default for WorldConfig {
             ases_per_isp: 2,
             n_states: 4,
             seed: 0,
+            drift: 0.0,
         }
     }
 }
@@ -232,6 +240,55 @@ impl World {
             hmm: Hmm::new(initial, Matrix::from_rows(&rows), emissions),
         }
     }
+
+    /// The path profile as of day `day` (0-based): the day-0 profile of
+    /// [`path_profile`](Self::path_profile) with `day` compounded
+    /// multiplicative capacity shifts applied to the base and every state
+    /// mean (sigmas scale along, keeping relative noise constant; the
+    /// chain dynamics — stickiness and initial bias — do not drift).
+    ///
+    /// Each shift is `exp(drift · N(0, 1))`, drawn from a stream seeded by
+    /// the *(path, drift)* pair and separate from the day-0 stream — so
+    /// turning drift on never perturbs the day-0 world, and `drift == 0`
+    /// or `day == 0` returns the base profile bit for bit.
+    pub fn path_profile_at(&self, isp: u32, city: u32, server: u32, day: u64) -> PathProfile {
+        let base = self.path_profile(isp, city, server);
+        if self.config.drift == 0.0 || day == 0 {
+            return base;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_mul(0xD81F_75A7_0000_0001) // distinct from the day-0 stream
+                .wrapping_add(((isp as u64) << 40) | ((city as u64) << 20) | server as u64)
+                ^ 0x4452_4946_5400, // "DRIFT"
+        );
+        let mut factor = 1.0;
+        for _ in 0..day {
+            factor *= lognormal(&mut rng, 0.0, self.config.drift);
+        }
+        let emissions: Vec<Emission> = base
+            .hmm
+            .emissions
+            .iter()
+            .map(|e| match e {
+                Emission::Gaussian(g) => {
+                    Emission::Gaussian(Gaussian::new(g.mu * factor, g.sigma * factor))
+                }
+                Emission::LogNormal(g) => {
+                    Emission::LogNormal(Gaussian::new(g.mu * factor, g.sigma * factor))
+                }
+            })
+            .collect();
+        PathProfile {
+            base_mbps: base.base_mbps * factor,
+            hmm: Hmm::new(
+                base.hmm.initial.clone(),
+                base.hmm.transition.clone(),
+                emissions,
+            ),
+        }
+    }
 }
 
 /// The actual diurnal shape: multiplier in [0.92, 1.08]. Kept moderate —
@@ -328,6 +385,52 @@ mod tests {
             let f = 1.0 + diurnal_raw(h as f64);
             assert!((0.7..=1.3).contains(&f), "hour {h}: factor {f}");
         }
+    }
+
+    #[test]
+    fn zero_drift_profiles_are_bitwise_day_invariant() {
+        let w = World::new(WorldConfig::default());
+        let base = w.path_profile(1, 3, 2);
+        for day in 0..4 {
+            assert_eq!(w.path_profile_at(1, 3, 2, day), base);
+        }
+    }
+
+    #[test]
+    fn drift_leaves_day_zero_untouched() {
+        let still = World::new(WorldConfig::default());
+        let drifting = World::new(WorldConfig {
+            drift: 0.4,
+            ..Default::default()
+        });
+        assert_eq!(
+            still.path_profile(2, 1, 0),
+            drifting.path_profile_at(2, 1, 0, 0),
+            "turning drift on must not perturb the day-0 world"
+        );
+    }
+
+    #[test]
+    fn drift_shifts_later_days_deterministically() {
+        let w = World::new(WorldConfig {
+            drift: 0.4,
+            ..Default::default()
+        });
+        let d0 = w.path_profile_at(0, 0, 0, 0);
+        let d1 = w.path_profile_at(0, 0, 0, 1);
+        let d2 = w.path_profile_at(0, 0, 0, 2);
+        assert_ne!(d0.base_mbps, d1.base_mbps);
+        assert_ne!(d1.base_mbps, d2.base_mbps);
+        // Same factor on every state mean: dynamics don't drift.
+        assert_eq!(d0.hmm.transition, d1.hmm.transition);
+        assert_eq!(d0.hmm.initial, d1.hmm.initial);
+        let ratio = d1.base_mbps / d0.base_mbps;
+        for (a, b) in d0.hmm.emissions.iter().zip(&d1.hmm.emissions) {
+            assert!((b.mean() / a.mean() - ratio).abs() < 1e-9);
+        }
+        assert!(d1.hmm.validate().is_ok() && d2.hmm.validate().is_ok());
+        // Deterministic: same world, same day, same profile.
+        assert_eq!(d2, w.path_profile_at(0, 0, 0, 2));
     }
 
     #[test]

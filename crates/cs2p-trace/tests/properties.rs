@@ -25,6 +25,7 @@ fn arb_world_config() -> impl Strategy<Value = WorldConfig> {
                 ases_per_isp: 2,
                 n_states: states,
                 seed,
+                drift: 0.0,
             },
         )
 }
