@@ -33,6 +33,7 @@ fn workload() -> LoadConfig {
         seed: 131,
         max_gap_us: 0,
         session_id_base: 60_000,
+        trace_seed: None,
     }
 }
 

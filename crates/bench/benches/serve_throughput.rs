@@ -32,6 +32,7 @@ fn workload(n_clients: usize) -> LoadConfig {
         seed: 97,
         max_gap_us: 0,
         session_id_base: 50_000,
+        trace_seed: None,
     }
 }
 

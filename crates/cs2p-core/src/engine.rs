@@ -455,6 +455,15 @@ impl PredictionEngine {
     /// the model that combo's cluster search selected; with no match at
     /// all (or if that combo fell back), return the global model.
     pub fn lookup(&self, features: &FeatureVector) -> &ClusterModel {
+        self.lookup_detailed(features).model
+    }
+
+    /// Like [`lookup`](Self::lookup), but also reports *how* the session
+    /// resolved: the index of the cluster model (when one matched) and
+    /// whether the prediction will come from a cluster HMM or the global
+    /// fallback. Serving layers surface this provenance to callers and to
+    /// the per-`{cluster, global}` quality sketches.
+    pub fn lookup_detailed(&self, features: &FeatureVector) -> LookupResult<'_> {
         assert_eq!(
             features.len(),
             self.schema.len(),
@@ -466,17 +475,29 @@ impl PredictionEngine {
                 return match self.combos[ci].1 {
                     Some(mi) => {
                         cs2p_obs::counter_add("predict.lookup.cluster", 1);
-                        &self.models[mi]
+                        LookupResult {
+                            model: &self.models[mi],
+                            model_index: Some(mi),
+                            provenance: Provenance::Cluster,
+                        }
                     }
                     None => {
                         cs2p_obs::counter_add("predict.lookup.global", 1);
-                        &self.global
+                        LookupResult {
+                            model: &self.global,
+                            model_index: None,
+                            provenance: Provenance::Global,
+                        }
                     }
                 };
             }
         }
         cs2p_obs::counter_add("predict.lookup.global", 1);
-        &self.global
+        LookupResult {
+            model: &self.global,
+            model_index: None,
+            provenance: Provenance::Global,
+        }
     }
 
     /// The training combos and their chosen models (for persistence).
@@ -493,6 +514,34 @@ impl PredictionEngine {
     pub fn global_predictor(&self) -> Cs2pPredictor<'_> {
         Cs2pPredictor::new(&self.global)
     }
+}
+
+/// Where a session's model came from: a feature-cluster HMM, or the
+/// global fallback (§5.2's "no sufficiently similar training session").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// A cluster model matched the session's features.
+    Cluster,
+    /// No combo matched (or its cluster fell back): the global HMM serves.
+    Global,
+}
+
+impl Provenance {
+    /// Whether the session hit a cluster model.
+    pub fn is_cluster_hit(self) -> bool {
+        matches!(self, Provenance::Cluster)
+    }
+}
+
+/// The outcome of [`PredictionEngine::lookup_detailed`].
+#[derive(Debug, Clone, Copy)]
+pub struct LookupResult<'a> {
+    /// The model predictions will come from.
+    pub model: &'a ClusterModel,
+    /// Index into [`PredictionEngine::models`] when a cluster matched.
+    pub model_index: Option<usize>,
+    /// Cluster hit vs global fallback.
+    pub provenance: Provenance,
 }
 
 /// Runs `job(i)` for `i in 0..n`, fanned out over worker threads, and
@@ -693,6 +742,27 @@ mod tests {
             "lookup returned median {} — wrong cluster",
             m.initial_median
         );
+    }
+
+    #[test]
+    fn lookup_detailed_reports_provenance() {
+        let d = two_regime_dataset(60, 4);
+        let (engine, _) = PredictionEngine::train(&d, &test_config()).unwrap();
+        // A trained combo resolves to a cluster model with its index.
+        let hit = engine.lookup_detailed(&FeatureVector(vec![1, 0]));
+        assert!(hit.provenance.is_cluster_hit());
+        let mi = hit.model_index.expect("cluster hit carries an index");
+        assert!(std::ptr::eq(hit.model, &engine.models()[mi]));
+        // Features no training combo shares anything with fall back.
+        let miss = engine.lookup_detailed(&FeatureVector(vec![99, 99]));
+        assert_eq!(miss.provenance, Provenance::Global);
+        assert_eq!(miss.model_index, None);
+        assert!(std::ptr::eq(miss.model, engine.global_model()));
+        // `lookup` and `lookup_detailed` agree.
+        assert!(std::ptr::eq(
+            engine.lookup(&FeatureVector(vec![1, 0])),
+            hit.model
+        ));
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub mod timewin;
 
 pub use cluster::{ClusterConfig, ClusterFinder, ClusterSpec};
 pub use dataset::{Dataset, FeatureIndex};
-pub use engine::{ClusterModel, EngineConfig, PredictionEngine, TrainSummary};
+pub use engine::{
+    ClusterModel, EngineConfig, LookupResult, PredictionEngine, Provenance, TrainSummary,
+};
 pub use features::{FeatureSchema, FeatureSet, FeatureVector};
 pub use metrics::{abs_normalized_error, ErrorSummary};
 pub use model_io::{ClientModel, ModelBundle};

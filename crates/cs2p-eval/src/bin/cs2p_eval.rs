@@ -9,6 +9,7 @@
 //! cs2p-eval chaos-bench  [--metrics out.jsonl]   # fault recovery table
 //! cs2p-eval refresh-bench [--metrics out.jsonl]  # stale vs refreshed model table
 //! cs2p-eval validate-metrics a.jsonl [b.jsonl] [--require stage,stage]
+//! cs2p-eval trace-report <metrics.jsonl>  # per-trace waterfalls
 //! ```
 //!
 //! `--metrics` enables the global `cs2p-obs` registry and streams every
@@ -24,9 +25,13 @@
 //! file against the schema — `--require` overrides the stage-coverage
 //! gate (default `train,predict,stream`); given two files it also diffs
 //! their determinism-normalized forms (the CI reproducibility gate).
+//! `trace-report` groups a metrics file by the `trace_id` the serving
+//! layer scopes over each request and prints the slowest `serve.request`
+//! spans plus per-trace waterfalls (see OBSERVABILITY.md).
 
 use cs2p_eval::experiments::{
     chaos_bench, dataset_figs, pilot, prediction, qoe, refresh_bench, sens, serve_bench,
+    trace_report,
 };
 use cs2p_eval::{EvalConfig, Materials};
 use cs2p_obs::{schema, JsonlSink, Registry};
@@ -52,6 +57,7 @@ fn usage() -> ExitCode {
     eprintln!("       cs2p-eval chaos-bench [--metrics out.jsonl]");
     eprintln!("       cs2p-eval refresh-bench [--metrics out.jsonl]");
     eprintln!("       cs2p-eval validate-metrics <a.jsonl> [b.jsonl] [--require stage,stage]");
+    eprintln!("       cs2p-eval trace-report <metrics.jsonl>");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
     eprintln!(
         "with no experiment, --metrics/--profile run: {}",
@@ -64,6 +70,19 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("validate-metrics") {
         return validate_metrics(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace-report") {
+        let [path] = &args[1..] else { return usage() };
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                print!("{}", trace_report::trace_report(&text));
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     let mut config = EvalConfig::default();

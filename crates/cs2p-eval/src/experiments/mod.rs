@@ -9,3 +9,4 @@ pub mod qoe;
 pub mod refresh_bench;
 pub mod sens;
 pub mod serve_bench;
+pub mod trace_report;

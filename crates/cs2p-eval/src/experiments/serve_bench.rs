@@ -51,18 +51,27 @@ struct Tally {
 
 /// One closed-loop run: `n_clients` threads, one keep-alive connection
 /// and one session each, `EPOCHS_PER_SESSION` predict POSTs per session.
+///
+/// Clients are trace-seeded, so a `--metrics` run captures `serve.request`
+/// spans with `trace_id`s (the CI tracing gate greps for them). Measured
+/// throughputs match each session's trained regime: the APE the quality
+/// monitor scores is ~0, so the drift alarm — whose firing point would
+/// depend on cross-client interleaving — never contaminates a metrics
+/// file that CI diffs across two runs.
 fn drive(addr: SocketAddr, n_clients: usize) -> Tally {
     let tallies: Vec<Tally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_clients as u64)
             .map(|session_id| {
                 scope.spawn(move || {
-                    let mut client = HttpClient::new(addr);
+                    let mut client =
+                        HttpClient::new(addr).with_trace_seed(0x5E12_BE4C ^ session_id);
                     let mut t = Tally::default();
+                    let regime_mbps = if session_id % 2 == 0 { 1.0 } else { 5.0 };
                     for epoch in 0..EPOCHS_PER_SESSION {
                         let preq = PredictRequest {
                             session_id: 90_000 + session_id,
                             features: (epoch == 0).then(|| vec![(session_id % 2) as u32]),
-                            measured_mbps: (epoch > 0).then_some(2.5),
+                            measured_mbps: (epoch > 0).then_some(regime_mbps),
                             horizon: 2,
                         };
                         let body = serde_json::to_vec(&preq).expect("serialize request");

@@ -1,0 +1,244 @@
+//! `trace-report`: reconstruct end-to-end request traces from a metrics
+//! JSONL capture.
+//!
+//! A trace-seeded client ([`cs2p_net::HttpClient::with_trace_seed`])
+//! stamps every logical request with an `x-trace-id`; the server scopes
+//! the id over its `serve.request` span and every event dispatched while
+//! handling the request. This report groups a `--metrics` file back by
+//! that id and renders:
+//!
+//! 1. a summary (records, traced records, distinct traces);
+//! 2. the slowest-N `serve.request` spans with their trace ids;
+//! 3. a per-trace waterfall for the slowest traces — every record
+//!    carrying the id, ordered by timestamp, offset-relative to the
+//!    trace's first record.
+//!
+//! The input needs no ordering guarantees: records are grouped and
+//! re-sorted here, so interleaved multi-client captures work as-is.
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// How many slowest server spans the table lists.
+const SLOWEST_N: usize = 10;
+/// How many traces get a full waterfall.
+const WATERFALL_TRACES: usize = 3;
+
+/// One parsed record that carries a `trace_id`.
+#[derive(Debug, Clone)]
+struct TracedRecord {
+    ts_us: u64,
+    name: String,
+    kind: String,
+    /// Span duration, when the record is a span.
+    duration_us: Option<u64>,
+    /// Event level, when the record is an event.
+    level: Option<String>,
+}
+
+/// Extracts a u64 out of any JSON number shape.
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(i) => u64::try_from(*i).ok(),
+        Value::UInt(u) => Some(*u),
+        Value::Float(f) if *f >= 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Builds the report from the raw JSONL text of a metrics capture.
+/// Unparseable lines are counted, never fatal — a report over a
+/// partially corrupt capture is more useful than no report.
+pub fn trace_report(text: &str) -> String {
+    let mut n_records = 0u64;
+    let mut n_unparseable = 0u64;
+    let mut n_traced = 0u64;
+    let mut traces: BTreeMap<u64, Vec<TracedRecord>> = BTreeMap::new();
+
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = serde_json::parse(line) else {
+            n_unparseable += 1;
+            continue;
+        };
+        n_records += 1;
+        let trace_id = match v.get("fields").and_then(|f| f.get("trace_id")) {
+            Some(id) => match as_u64(id) {
+                Some(id) => id,
+                None => continue,
+            },
+            None => continue,
+        };
+        let (Some(ts_us), Some(name), Some(kind)) = (
+            v.get("ts_us").and_then(as_u64),
+            v.get("name").and_then(as_str),
+            v.get("kind").and_then(as_str),
+        ) else {
+            continue;
+        };
+        n_traced += 1;
+        traces.entry(trace_id).or_default().push(TracedRecord {
+            ts_us,
+            name: name.to_string(),
+            kind: kind.to_string(),
+            duration_us: v.get("duration_us").and_then(as_u64),
+            level: v.get("level").and_then(as_str).map(str::to_string),
+        });
+    }
+    for records in traces.values_mut() {
+        records.sort_by_key(|r| r.ts_us);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace-report: {n_records} records ({n_unparseable} unparseable), \
+         {n_traced} traced, {} distinct traces",
+        traces.len()
+    );
+    if traces.is_empty() {
+        let _ = writeln!(
+            out,
+            "no trace_id fields found — capture with a trace-seeded client \
+             (e.g. `cs2p-eval serve-bench --metrics out.jsonl`)"
+        );
+        return out;
+    }
+
+    // Slowest server spans across every trace.
+    let mut server_spans: Vec<(u64, &TracedRecord)> = traces
+        .iter()
+        .flat_map(|(&id, records)| {
+            records
+                .iter()
+                .filter(|r| r.kind == "span" && r.name == "serve.request")
+                .map(move |r| (id, r))
+        })
+        .collect();
+    server_spans.sort_by_key(|(id, r)| (std::cmp::Reverse(r.duration_us.unwrap_or(0)), *id));
+    let _ = writeln!(
+        out,
+        "\nslowest serve.request spans (top {}):",
+        SLOWEST_N.min(server_spans.len())
+    );
+    let _ = writeln!(
+        out,
+        "{:>20} {:>14} {:>14}",
+        "trace_id", "ts_us", "duration_us"
+    );
+    for (id, span) in server_spans.iter().take(SLOWEST_N) {
+        let _ = writeln!(
+            out,
+            "{:>20} {:>14} {:>14}",
+            id,
+            span.ts_us,
+            span.duration_us.unwrap_or(0)
+        );
+    }
+
+    // Waterfalls for the traces owning the slowest spans (deduped,
+    // preserving slowness order).
+    let mut picked: Vec<u64> = Vec::new();
+    for (id, _) in &server_spans {
+        if !picked.contains(id) {
+            picked.push(*id);
+        }
+        if picked.len() == WATERFALL_TRACES {
+            break;
+        }
+    }
+    for id in picked {
+        let records = &traces[&id];
+        let t0 = records.first().map_or(0, |r| r.ts_us);
+        let _ = writeln!(out, "\ntrace {id} ({} records):", records.len());
+        for r in records {
+            let detail = match (r.kind.as_str(), r.duration_us, &r.level) {
+                ("span", Some(d), _) => format!("span {d}us"),
+                ("event", _, Some(level)) => format!("event ({level})"),
+                (kind, _, _) => kind.to_string(),
+            };
+            let _ = writeln!(out, "  +{:>10}us  {:<36} {}", r.ts_us - t0, r.name, detail);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture() -> String {
+        [
+            // Trace 7: client span wrapping a server span, plus an event.
+            r#"{"ts_us":100,"kind":"span","name":"serve.request","duration_us":40,"fields":{"trace_id":7}}"#,
+            r#"{"ts_us":90,"kind":"span","name":"net.client.request","duration_us":70,"fields":{"trace_id":7}}"#,
+            r#"{"ts_us":110,"kind":"event","name":"quality.drift.alarm","level":"warn","fields":{"trace_id":7,"median_ape":0.8}}"#,
+            // Trace 8: a faster request.
+            r#"{"ts_us":200,"kind":"span","name":"serve.request","duration_us":10,"fields":{"trace_id":8}}"#,
+            // Untraced noise and garbage must not break the report.
+            r#"{"ts_us":1,"kind":"counter","name":"predict.server.served","value":2}"#,
+            "not json at all",
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn groups_by_trace_and_counts_honestly() {
+        let report = trace_report(&capture());
+        assert!(
+            report.contains("5 records (1 unparseable), 4 traced, 2 distinct traces"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn slowest_table_is_sorted_by_duration() {
+        let report = trace_report(&capture());
+        let slow = report
+            .find("      7            100             40")
+            .expect("trace 7 row");
+        let fast = report
+            .find("      8            200             10")
+            .expect("trace 8 row");
+        assert!(slow < fast, "slower span must come first:\n{report}");
+    }
+
+    #[test]
+    fn waterfall_orders_by_timestamp_with_relative_offsets() {
+        let report = trace_report(&capture());
+        assert!(report.contains("trace 7 (3 records):"), "{report}");
+        let client = report.find("net.client.request").expect("client span");
+        let server = report
+            .find("serve.request                        span 40us")
+            .expect("server span");
+        let alarm = report.find("quality.drift.alarm").expect("alarm event");
+        assert!(client < server && server < alarm, "{report}");
+        // The client span starts the trace, so its offset is zero.
+        assert!(
+            report.contains("+         0us  net.client.request"),
+            "{report}"
+        );
+        assert!(
+            report.contains("+        20us  quality.drift.alarm"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn untraced_capture_says_so() {
+        let report =
+            trace_report(r#"{"ts_us":1,"kind":"counter","name":"stream.chunks","value":2}"#);
+        assert!(report.contains("0 distinct traces"));
+        assert!(report.contains("no trace_id fields found"));
+    }
+}

@@ -98,6 +98,10 @@ pub struct HttpClient {
     transport_wrapper: Option<Arc<dyn TransportWrapper>>,
     /// Connections opened so far — the `conn_seq` fault plans key on.
     connects: u64,
+    /// When set, every logical request gets a fresh trace id from this
+    /// (seeded) RNG, sent as `x-trace-id` and scoped over the client's
+    /// own spans. Retries of one request share its id.
+    trace_rng: Option<ChaCha8Rng>,
 }
 
 impl std::fmt::Debug for HttpClient {
@@ -109,6 +113,7 @@ impl std::fmt::Debug for HttpClient {
             .field("consecutive_failures", &self.backoff.consecutive_failures)
             .field("transport_wrapper", &self.transport_wrapper.is_some())
             .field("connects", &self.connects)
+            .field("tracing", &self.trace_rng.is_some())
             .finish()
     }
 }
@@ -126,7 +131,18 @@ impl HttpClient {
             sleeper: Arc::new(std::thread::sleep),
             transport_wrapper: None,
             connects: 0,
+            trace_rng: None,
         }
+    }
+
+    /// Enables end-to-end request tracing: each logical request draws a
+    /// trace id from a ChaCha RNG seeded here, propagates it to the
+    /// server in the `x-trace-id` header, and scopes it over the
+    /// client-side telemetry. Fixed seed, fixed id sequence — traces
+    /// stay correlatable across deterministic reruns.
+    pub fn with_trace_seed(mut self, seed: u64) -> Self {
+        self.trace_rng = Some(ChaCha8Rng::seed_from_u64(seed ^ 0x7ACE_1D5E_ED00_C52F));
+        self
     }
 
     /// Replaces the retry policy (resetting the backoff RNG to its seed).
@@ -195,6 +211,20 @@ impl HttpClient {
     /// 503 does *not* reset the backoff state (see
     /// [`Self::note_backpressure`]).
     pub fn send(&mut self, req: &Request) -> io::Result<Response> {
+        // One trace id per *logical* request: every retry attempt (and
+        // the server handling whichever one lands) shares it.
+        let trace_id = self.trace_rng.as_mut().map(|rng| rng.gen::<u64>());
+        let _trace = trace_id.map(cs2p_obs::TraceScope::enter);
+        let traced_req;
+        let req = match trace_id {
+            Some(id) => {
+                let mut r = req.clone();
+                r.headers.push(("x-trace-id".into(), id.to_string()));
+                traced_req = r;
+                &traced_req
+            }
+            None => req,
+        };
         let _span = cs2p_obs::span("net.client.request");
         cs2p_obs::counter_add("net.client.requests", 1);
         let max_attempts = self.retry.max_attempts.max(1);

@@ -73,6 +73,8 @@ pub fn serve_legacy(engine: PredictionEngine, addr: &str) -> io::Result<LegacySe
         app: AppState::new(
             engine,
             &crate::server::RefreshConfig::default(),
+            crate::quality::QualityConfig::default(),
+            Arc::new(cs2p_obs::MonotonicClock::new()),
             1,
             usize::MAX / 2,
             None,

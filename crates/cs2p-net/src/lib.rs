@@ -20,6 +20,12 @@
 //!   retrains through a versioned `cs2p_core::ModelRegistry` and
 //!   hot-swaps the new model while in-flight sessions stay pinned to
 //!   the version they started on;
+//! - [`quality`]: the online prediction-quality monitor — every
+//!   measurement a player reports scores the previous prediction (APE),
+//!   feeding per-model-version quantile sketches and a drift alarm that
+//!   can trigger an online model refresh;
+//! - [`ops`]: the read-only operations surface behind `GET /ops`
+//!   (JSON) and `GET /ops/metrics` (Prometheus text);
 //! - [`transport`]: the byte-stream abstraction with an injectable
 //!   per-connection wrapper hook (fault injection, future middleboxes)
 //!   and the server's slow-peer deadline reader;
@@ -46,8 +52,10 @@ pub mod client;
 pub mod dash;
 pub mod http;
 pub mod legacy;
+pub mod ops;
 pub mod pool;
 pub mod protocol;
+pub mod quality;
 pub mod recorder;
 pub mod server;
 pub mod store;
@@ -58,7 +66,9 @@ pub use dash::{
     play_remote_session, AbrKind, DashPlayer, LocalModelPredictor, Manifest, PlayerConfig,
 };
 pub use legacy::{serve_legacy, LegacyServerHandle};
+pub use ops::{FaultRow, OpsQuality, OpsSnapshot, QualityRow};
 pub use protocol::{Health, LogStats, PredictRequest, PredictResponse, SessionLog, StrategyStats};
+pub use quality::{QualityConfig, QualityMonitor};
 pub use recorder::SessionRecorder;
 pub use server::{serve, serve_with, RefreshConfig, ServeConfig, ServeStats, ServerHandle};
 pub use transport::{BoxTransport, Transport, TransportWrapper};

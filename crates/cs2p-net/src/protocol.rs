@@ -41,6 +41,11 @@ pub struct PredictResponse {
     pub initial: bool,
     /// Number of sessions in the cluster backing this prediction.
     pub cluster_sessions: usize,
+    /// True when the session matched a cluster model at registration;
+    /// false means it is served by the global fallback (§4.2's minimum
+    /// cluster-size rule). Constant for the session's lifetime; the
+    /// server's quality monitor keys its APE sketches on it.
+    pub cluster_hit: bool,
     /// Version of the model that produced this prediction (see
     /// [`cs2p_core::ModelVersion`]). A session is pinned to the version it
     /// registered on, so this stays constant for the session's lifetime
@@ -190,6 +195,7 @@ mod tests {
             predictions_mbps: vec![1.5, 1.4, 1.4],
             initial: false,
             cluster_sessions: 250,
+            cluster_hit: true,
             model_version: 3,
         };
         let json = serde_json::to_string(&resp).unwrap();

@@ -28,8 +28,10 @@
 //! preserved as [`crate::legacy`] for the `serve_throughput` benchmark.
 
 use crate::http::{read_request, write_response, Request, Response};
+use crate::ops::{FaultRow, OpsQuality, OpsSnapshot, QualityRow};
 use crate::pool::BoundedQueue;
 use crate::protocol::{parse_features_query, Health, PredictRequest, PredictResponse, SessionLog};
+use crate::quality::{ape, QualityConfig, QualityMonitor};
 use crate::recorder::SessionRecorder;
 use crate::store::SessionStore;
 use crate::transport::{DeadlineReader, IoHalf, TransportWrapper};
@@ -38,12 +40,12 @@ use cs2p_core::{
     ClientModel, Dataset, FeatureVector, ModelRegistry, ModelVersion, PredictionEngine,
 };
 use cs2p_ml::hmm::{FilterState, HmmFilter};
-use cs2p_obs::{Clock, MonotonicClock};
+use cs2p_obs::{Clock, MonotonicClock, TraceScope};
 use parking_lot::Mutex;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -146,6 +148,9 @@ pub struct ServeConfig {
     /// Online model-refresh configuration (registry retention, recorder
     /// bounds, background trigger).
     pub refresh: RefreshConfig,
+    /// Online prediction-quality monitoring (APE sketches, drift alarm;
+    /// see [`crate::quality`]). The alarm runs on [`ServeConfig::clock`].
+    pub quality: QualityConfig,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -163,6 +168,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("slow_peer_deadline", &self.slow_peer_deadline)
             .field("transport_wrapper", &self.transport_wrapper.is_some())
             .field("refresh", &self.refresh)
+            .field("quality", &self.quality)
             .finish()
     }
 }
@@ -187,8 +193,19 @@ impl Default for ServeConfig {
             clock: Arc::new(MonotonicClock::new()),
             transport_wrapper: None,
             refresh: RefreshConfig::default(),
+            quality: QualityConfig::default(),
         }
     }
+}
+
+/// The 1-step-ahead prediction the server is waiting to score against
+/// the measurement the player reports on its *next* `/predict`.
+#[derive(Debug, Clone, Copy)]
+struct PendingPrediction {
+    /// Predicted next-epoch throughput, Mbps.
+    value: f64,
+    /// Whether it was the session's initial (cluster-median) prediction.
+    initial: bool,
 }
 
 /// Per-session server-side state. The session is *pinned*: it holds the
@@ -205,12 +222,18 @@ struct SessionState {
     engine: Arc<PredictionEngine>,
     /// Index into the pinned engine's model list, or `None` for global.
     model: Option<usize>,
+    /// Whether registration found a cluster model (vs. the global
+    /// fallback) — stamped on responses and quality sketches.
+    cluster_hit: bool,
     filter: FilterState,
     /// Registration features, kept for the completed-session record.
     features: FeatureVector,
     /// Measured throughputs reported so far (capped at
     /// [`MAX_RECORDED_EPOCHS`]); drained into the recorder on completion.
     observed: Vec<f64>,
+    /// The last 1-step prediction served, awaiting the next measurement
+    /// (the online accuracy loop — see [`crate::quality`]).
+    pending: Option<PendingPrediction>,
 }
 
 /// The HTTP endpoints over a prediction engine — the part of the server
@@ -222,12 +245,25 @@ pub(crate) struct AppState {
     recorder: Arc<SessionRecorder>,
     logs: Mutex<Vec<SessionLog>>,
     predictions_served: AtomicU64,
+    /// Online accuracy monitor (APE sketches, drift alarm). `Arc` so
+    /// the store's eviction sink can count evicted-with-pending
+    /// predictions as unmatched.
+    monitor: Arc<QualityMonitor>,
+    /// Sessions the recorder must hold before a drift-triggered refresh
+    /// does anything (mirrors [`RefreshConfig::min_sessions`]).
+    refresh_min_sessions: usize,
+    /// Back-reference to the serving layer for `/ops` connection/queue
+    /// gauges. `Weak` breaks the `Shared → AppState` cycle; unset under
+    /// the legacy server (its gauges read as zero).
+    server: OnceLock<Weak<Shared>>,
 }
 
 impl AppState {
     pub(crate) fn new(
         engine: PredictionEngine,
         refresh: &RefreshConfig,
+        quality: QualityConfig,
+        clock: Arc<dyn Clock>,
         n_shards: usize,
         max_sessions: usize,
         ttl: Option<u64>,
@@ -238,10 +274,17 @@ impl AppState {
             refresh.recorder_capacity,
             refresh.recorder_min_epochs,
         ));
+        let monitor = Arc::new(QualityMonitor::new(quality, clock));
         let mut sessions = SessionStore::new(n_shards, max_sessions, ttl);
         let sink = Arc::clone(&recorder);
-        // An evicted viewer is a completed session: drain its record.
+        let sink_monitor = Arc::clone(&monitor);
+        // An evicted viewer is a completed session: drain its record. A
+        // prediction still awaiting its measurement will never be
+        // scored — count it so coverage stays honest.
         sessions.set_eviction_sink(Box::new(move |_, state: SessionState| {
+            if state.pending.is_some() {
+                sink_monitor.note_unmatched();
+            }
             sink.record(state.features, state.observed);
         }));
         AppState {
@@ -250,7 +293,20 @@ impl AppState {
             recorder,
             logs: Mutex::new(Vec::new()),
             predictions_served: AtomicU64::new(0),
+            monitor,
+            refresh_min_sessions: refresh.min_sessions,
+            server: OnceLock::new(),
         }
+    }
+
+    /// Installs the back-reference to the serving layer (called once by
+    /// [`serve_with`] after the `Shared` is built).
+    pub(crate) fn install_server(&self, server: Weak<Shared>) {
+        let _ = self.server.set(server);
+    }
+
+    pub(crate) fn monitor(&self) -> &QualityMonitor {
+        &self.monitor
     }
 
     pub(crate) fn predictions_served(&self) -> u64 {
@@ -346,9 +402,79 @@ impl AppState {
         }
     }
 
-    fn lookup_model_index(engine: &PredictionEngine, features: &FeatureVector) -> Option<usize> {
-        let model = engine.lookup(features);
-        engine.models().iter().position(|m| std::ptr::eq(m, model))
+    /// Fires an alarm-triggered model refresh, at most one at a time.
+    /// Called outside every shard lock (training is slow). A refresh
+    /// already in flight, or too few recorded sessions, makes this a
+    /// no-op — the alarm event itself has already been emitted.
+    fn refresh_on_drift(&self) {
+        if !self.monitor.begin_refresh() {
+            return;
+        }
+        let _ = self.refresh_models(self.refresh_min_sessions);
+        self.monitor.end_refresh();
+    }
+
+    /// Assembles the `/ops` snapshot (also [`ServerHandle::metrics_snapshot`]).
+    pub(crate) fn ops_snapshot(&self) -> OpsSnapshot {
+        // Serving-layer gauges come through the weak back-reference;
+        // the legacy server never installs it, so they read zero there.
+        let (accepted, rejected, live_connections, queue_depth) = self
+            .server
+            .get()
+            .and_then(Weak::upgrade)
+            .map(|s| {
+                (
+                    s.accepted.load(Ordering::Relaxed),
+                    s.rejected.load(Ordering::Relaxed),
+                    s.live_conns.load(Ordering::Relaxed) as u64,
+                    s.queue.len() as u64,
+                )
+            })
+            .unwrap_or((0, 0, 0, 0));
+        let (windowed_samples, windowed_median_ape) = self.monitor.windowed();
+        // Fault counters live on the global registry (they are bumped
+        // on I/O paths with no AppState in scope); empty when disabled.
+        let faults = if cs2p_obs::enabled() {
+            cs2p_obs::Registry::global()
+                .snapshot()
+                .counters
+                .into_iter()
+                .filter(|(name, _)| name.starts_with("serve.fault."))
+                .map(|(name, value)| FaultRow { name, value })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let (_, engine) = self.registry.current();
+        OpsSnapshot {
+            status: "ok".into(),
+            model_version: self.registry.current_version().0,
+            n_models: engine.models().len() as u64,
+            sessions_live: self.sessions.len() as u64,
+            sessions_evicted: self.sessions.evicted(),
+            predictions_served: self.predictions_served.load(Ordering::Relaxed),
+            logs: self.logs.lock().len() as u64,
+            recorded_sessions: self.recorder.len() as u64,
+            accepted,
+            rejected,
+            live_connections,
+            queue_depth,
+            request_latency_us: self.monitor.latency_snapshot(),
+            quality: OpsQuality {
+                matched: self.monitor.matched(),
+                unmatched: self.monitor.unmatched(),
+                drift_alarms: self.monitor.alarms(),
+                windowed_samples: windowed_samples as u64,
+                windowed_median_ape,
+                ape: self
+                    .monitor
+                    .ape_snapshots()
+                    .into_iter()
+                    .map(|(key, snap)| QualityRow::from_snapshot(key, snap))
+                    .collect(),
+            },
+            faults,
+        }
     }
 
     pub(crate) fn handle(&self, req: &Request) -> Response {
@@ -386,6 +512,17 @@ impl AppState {
                     Ok(body) => Response::json(body),
                     Err(_) => Response::error(500, "serialization failed"),
                 }
+            }
+            ("GET", "/ops") => match serde_json::to_vec(&self.ops_snapshot()) {
+                Ok(body) => Response::json(body),
+                Err(_) => Response::error(500, "serialization failed"),
+            },
+            ("GET", "/ops/metrics") => {
+                let text = self.ops_snapshot().to_prometheus();
+                let mut resp = Response::new(200, bytes::Bytes::from(text.into_bytes()));
+                resp.headers
+                    .push(("content-type".into(), "text/plain; version=0.0.4".into()));
+                resp
             }
             ("GET", "/healthz") => {
                 let (_, engine) = self.registry.current();
@@ -430,17 +567,21 @@ impl AppState {
                 return Response::error(400, "feature width mismatch");
             }
             let fv = FeatureVector(features.clone());
-            let model_idx = Self::lookup_model_index(&engine, &fv);
-            let filter = Self::model_of(&engine, model_idx).hmm.filter().state();
+            let lookup = engine.lookup_detailed(&fv);
+            let model_idx = lookup.model_index;
+            let cluster_hit = lookup.provenance.is_cluster_hit();
+            let filter = lookup.model.hmm.filter().state();
             shard.insert(
                 preq.session_id,
                 SessionState {
                     version,
                     engine,
                     model: model_idx,
+                    cluster_hit,
                     filter,
                     features: fv,
                     observed: Vec::new(),
+                    pending: None,
                 },
             );
         }
@@ -454,7 +595,18 @@ impl AppState {
         let engine = Arc::clone(&state.engine);
         let model = Self::model_of(&engine, state.model);
         let mut filter = HmmFilter::from_state(&model.hmm, state.filter.clone());
+        // The measurement this request carries is the ground truth for
+        // the 1-step prediction served last time: score it (outside the
+        // shard lock, below). An actual of zero leaves APE undefined.
+        let mut scored: Option<(bool, f64)> = None;
+        let mut unscorable = false;
         if let Some(w) = preq.measured_mbps {
+            if let Some(p) = state.pending.take() {
+                match ape(p.value, w) {
+                    Some(e) => scored = Some((p.initial, e)),
+                    None => unscorable = true,
+                }
+            }
             filter.observe(w);
             if state.observed.len() < MAX_RECORDED_EPOCHS {
                 state.observed.push(w);
@@ -471,9 +623,28 @@ impl AppState {
             })
             .collect();
         state.filter = filter.state();
+        state.pending = Some(PendingPrediction {
+            value: predictions_mbps[0],
+            initial,
+        });
         let cluster_sessions = model.n_sessions;
         let model_version = state.version.0;
+        let cluster_hit = state.cluster_hit;
         drop(shard);
+
+        let mut alarm = false;
+        if let Some((was_initial, e)) = scored {
+            alarm = self
+                .monitor
+                .record_ape(model_version, cluster_hit, was_initial, e);
+        } else if unscorable {
+            self.monitor.note_unmatched();
+        }
+        if alarm && self.monitor.config().trigger_refresh {
+            // Training is slow — it runs here, after the shard lock is
+            // gone, on the worker that happened to trip the alarm.
+            self.refresh_on_drift();
+        }
 
         self.predictions_served.fetch_add(1, Ordering::Relaxed);
         if cs2p_obs::enabled() {
@@ -484,6 +655,7 @@ impl AppState {
             predictions_mbps,
             initial,
             cluster_sessions,
+            cluster_hit,
             model_version,
         };
         Response::json(serde_json::to_vec(&resp).unwrap())
@@ -510,10 +682,32 @@ impl AppState {
         };
         // A log upload marks the session complete: retire it from the
         // store and drain its observations into the training recorder.
+        let mut alarm = false;
         if let Some(state) = self.sessions.lock(log.session_id).remove(log.session_id) {
+            // The session's in-band loop already scored every prediction
+            // it could; the one still pending has no later measurement
+            // and never will.
+            if state.pending.is_some() {
+                self.monitor.note_unmatched();
+            }
             self.recorder.record(state.features, state.observed);
+        } else {
+            // No live session (completed offline, or evicted long ago):
+            // the log's own (predicted, actual) pairs are the only
+            // accuracy signal. Provenance and model version are unknown
+            // here, so they land in the dedicated `log` sketch.
+            for &(predicted, actual) in &log.throughput_pairs {
+                let Some(p) = predicted else { continue };
+                match ape(p, actual) {
+                    Some(e) => alarm |= self.monitor.record_log_ape(e),
+                    None => self.monitor.note_unmatched(),
+                }
+            }
         }
         self.logs.lock().push(log);
+        if alarm && self.monitor.config().trigger_refresh {
+            self.refresh_on_drift();
+        }
         Response::new(204, bytes::Bytes::new())
     }
 }
@@ -632,7 +826,7 @@ impl Conn {
 }
 
 /// Everything the acceptor, poller, and workers share.
-struct Shared {
+pub(crate) struct Shared {
     app: AppState,
     config: ServeConfig,
     queue: BoundedQueue<Conn>,
@@ -768,6 +962,14 @@ impl ServerHandle {
         self.shared.app.refresh_models_with(dataset)
     }
 
+    /// The full operational snapshot — exactly the struct `GET /ops`
+    /// serializes, without a socket round-trip. Includes request-latency
+    /// and online-APE quantiles from the quality monitor (see
+    /// [`crate::ops::OpsSnapshot`]).
+    pub fn metrics_snapshot(&self) -> OpsSnapshot {
+        self.shared.app.ops_snapshot()
+    }
+
     /// Current serving counters.
     pub fn stats(&self) -> ServeStats {
         ServeStats {
@@ -844,6 +1046,8 @@ pub fn serve_with(
     let app = AppState::new(
         engine,
         &config.refresh,
+        config.quality.clone(),
+        Arc::clone(&config.clock),
         config.n_shards,
         config.max_sessions,
         config.session_ttl_requests,
@@ -860,6 +1064,7 @@ pub fn serve_with(
         rejected: AtomicU64::new(0),
         accepted: AtomicU64::new(0),
     });
+    shared.app.install_server(Arc::downgrade(&shared));
 
     let accept_shared = Arc::clone(&shared);
     let accept_thread = thread::Builder::new()
@@ -1036,8 +1241,21 @@ fn serve_turn(mut conn: Conn, shared: &Shared) {
                 // Request fully received: disarm the slow-peer deadline
                 // before doing any (unbounded-by-it) handler work.
                 conn.reader.get_mut().finish_request();
+                // A client-supplied trace id scopes every span and event
+                // this request produces (declared before the span so the
+                // span's drop-record still sees it).
+                let trace_id = req
+                    .header("x-trace-id")
+                    .and_then(|v| v.trim().parse::<u64>().ok());
+                let _trace = trace_id.map(TraceScope::enter);
                 let _span = cs2p_obs::span("serve.request");
+                let start_us = shared.config.clock.now_micros();
                 let resp = shared.app.handle(&req);
+                let elapsed_us = shared.config.clock.now_micros().saturating_sub(start_us);
+                shared.app.monitor().record_latency_us(elapsed_us as f64);
+                if cs2p_obs::enabled() {
+                    cs2p_obs::quantile_observe("serve.request.latency_us", elapsed_us as f64);
+                }
                 if write_response(&mut conn.writer, &resp).is_err() {
                     cs2p_obs::counter_add("serve.fault.write_errors", 1);
                     return;

@@ -1,0 +1,246 @@
+//! End-to-end drift story, fully deterministic: a server trained on the
+//! tiny two-ISP world serves accurate predictions, the world drifts
+//! (ISP0 1.0 → 3.0 Mbps, ISP1 5.0 → 15.0 Mbps), the quality monitor's
+//! windowed median APE crosses the threshold and fires
+//! `quality.drift.alarm`, the alarm triggers a model refresh from the
+//! recorded drifted sessions (`serve.model.swapped`), and sessions
+//! registering on the new version score near-zero APE again — the
+//! recovery is visible in the same ops snapshot that showed the drift.
+//!
+//! Every request goes through a trace-seeded [`HttpClient`], so the test
+//! also proves the tracing contract: every `serve.request` span the
+//! server emits carries the client's `trace_id`.
+//!
+//! This binary holds exactly one test because it flips the process-global
+//! `cs2p-obs` registry (the `serve_soak.rs` convention).
+
+use cs2p_core::ModelVersion;
+use cs2p_net::http::Request;
+use cs2p_net::protocol::{PredictRequest, PredictResponse, SessionLog};
+use cs2p_net::{serve_with, QualityConfig, RefreshConfig, ServeConfig};
+use cs2p_obs::{MemorySink, RecordKind, Registry};
+use cs2p_testkit::scenarios::{tiny_engine, tiny_train_config};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Register+measure one session to completion: epoch 0 carries features,
+/// later epochs the measured throughput (scoring the previous prediction
+/// in the quality monitor).
+fn stream_session(
+    client: &mut cs2p_net::HttpClient,
+    sid: u64,
+    isp: u32,
+    mbps: f64,
+    epochs: usize,
+) -> Vec<PredictResponse> {
+    (0..epochs)
+        .map(|epoch| {
+            let preq = PredictRequest {
+                session_id: sid,
+                features: (epoch == 0).then(|| vec![isp]),
+                measured_mbps: (epoch > 0).then_some(mbps),
+                horizon: 1,
+            };
+            let body = serde_json::to_vec(&preq).unwrap();
+            let resp = client
+                .send(&Request::new("POST", "/predict", body))
+                .unwrap();
+            assert_eq!(resp.status, 200, "session {sid} epoch {epoch}");
+            serde_json::from_slice(&resp.body).unwrap()
+        })
+        .collect()
+}
+
+/// Complete a session via `/log` so the recorder keeps it for retraining.
+fn log_session(client: &mut cs2p_net::HttpClient, sid: u64) {
+    let log = SessionLog {
+        session_id: sid,
+        strategy: "CS2P+MPC".into(),
+        qoe: 1.0,
+        avg_bitrate_kbps: 1000.0,
+        good_ratio: 1.0,
+        rebuffer_seconds: 0.0,
+        startup_delay_seconds: 0.5,
+        throughput_pairs: vec![],
+        bitrates_kbps: vec![],
+    };
+    let resp = client
+        .send(&Request::new(
+            "POST",
+            "/log",
+            serde_json::to_vec(&log).unwrap(),
+        ))
+        .unwrap();
+    assert_eq!(resp.status, 204);
+}
+
+#[test]
+fn drift_alarm_triggers_refresh_and_windowed_ape_recovers() {
+    let sink = Arc::new(MemorySink::new());
+    Registry::global().add_sink(sink.clone());
+    Registry::global().set_enabled(true);
+
+    let config = ServeConfig {
+        quality: QualityConfig {
+            window: 4,
+            threshold_ape: 0.5,
+            min_samples: 4,
+            cooldown: Duration::ZERO,
+            trigger_refresh: true,
+        },
+        refresh: RefreshConfig {
+            train_config: tiny_train_config(),
+            // Exactly the number of drifted sessions phase B records, so
+            // the refresh the alarm triggers is a no-op until the full
+            // drifted world has been observed — deterministic swap point.
+            min_sessions: 12,
+            ..RefreshConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = serve_with(tiny_engine(), "127.0.0.1:0", config).expect("server starts");
+    let mut client = cs2p_net::HttpClient::new(server.addr()).with_trace_seed(42);
+
+    // ---- Phase A: the trained world. Predictions match measurements,
+    // the window's median APE stays ~0, no alarm fires.
+    for (sid, isp, mbps) in [(1u64, 0u32, 1.0f64), (2, 1, 5.0)] {
+        let preds = stream_session(&mut client, sid, isp, mbps, 5);
+        assert!(
+            (preds[0].predictions_mbps[0] - mbps).abs() < 0.5,
+            "v1 must predict the trained regime, got {:?}",
+            preds[0].predictions_mbps
+        );
+        assert!(preds[0].cluster_hit, "tiny engine clusters both ISPs");
+        assert_eq!(preds[0].model_version, 1);
+    }
+    let calm = server.metrics_snapshot();
+    assert_eq!(calm.quality.drift_alarms, 0, "no alarm on accurate serving");
+    assert!(calm.quality.matched >= 8);
+    assert!(calm.quality.windowed_median_ape < 0.1);
+
+    // ---- Phase B: the world drifts (ISP0 → 3.0, ISP1 → 15.0; APE vs the
+    // v1 models is ~0.67 everywhere). Alarms fire as the window fills,
+    // but the triggered refreshes no-op until all 12 drifted sessions
+    // have completed into the recorder.
+    for sid in 100u64..112 {
+        let isp = (sid % 2) as u32;
+        let mbps = if isp == 0 { 3.0 } else { 15.0 };
+        stream_session(&mut client, sid, isp, mbps, 5);
+        log_session(&mut client, sid);
+    }
+    assert_eq!(server.recorded_sessions(), 12);
+    assert_eq!(
+        server.model_version(),
+        ModelVersion(1),
+        "refresh must not fire before the recorder holds min_sessions"
+    );
+    let drifted = server.metrics_snapshot();
+    assert!(
+        drifted.quality.drift_alarms >= 1,
+        "drifted serving must alarm"
+    );
+
+    // ---- Phase C, part 1: one more drifted session re-fills the window
+    // (cooldown is zero), and this alarm's refresh finally has enough
+    // recorded sessions — the server hot-swaps to a model trained on the
+    // drifted world.
+    let mut swapped = false;
+    for epoch in 0..10 {
+        let preq = PredictRequest {
+            session_id: 500,
+            features: (epoch == 0).then(|| vec![1]),
+            measured_mbps: (epoch > 0).then_some(15.0),
+            horizon: 1,
+        };
+        let body = serde_json::to_vec(&preq).unwrap();
+        let resp = client
+            .send(&Request::new("POST", "/predict", body))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        if server.model_version() == ModelVersion(2) {
+            swapped = true;
+            break;
+        }
+    }
+    assert!(swapped, "drift alarm must trigger the refresh to v2");
+
+    // ---- Phase C, part 2: a session registering on v2 predicts the
+    // drifted regime, so its APE is ~0 and the window recovers below the
+    // alarm threshold.
+    let preds = stream_session(&mut client, 600, 1, 15.0, 5);
+    assert_eq!(preds[0].model_version, 2, "new session pins v2");
+    assert!(
+        (preds[0].predictions_mbps[0] - 15.0).abs() < 1.0,
+        "v2 must predict the drifted regime, got {:?}",
+        preds[0].predictions_mbps
+    );
+
+    let recovered = server.metrics_snapshot();
+    assert_eq!(recovered.model_version, 2);
+    assert_eq!(recovered.quality.windowed_samples, 4);
+    assert!(
+        recovered.quality.windowed_median_ape < 0.5,
+        "windowed APE must recover below the threshold after the swap, got {}",
+        recovered.quality.windowed_median_ape
+    );
+    assert_eq!(
+        recovered.quality.drift_alarms,
+        server.metrics_snapshot().quality.drift_alarms,
+        "recovered serving must not alarm"
+    );
+    let keys: Vec<&str> = recovered
+        .quality
+        .ape
+        .iter()
+        .map(|r| r.key.as_str())
+        .collect();
+    for expected in [
+        "v1.cluster.initial",
+        "v1.cluster.midstream",
+        "v2.cluster.initial",
+        "v2.cluster.midstream",
+    ] {
+        assert!(
+            keys.contains(&expected),
+            "missing APE key {expected} in {keys:?}"
+        );
+    }
+
+    server.shutdown();
+
+    // ---- The event record stream tells the same story in order: at
+    // least one drift alarm precedes the model swap.
+    let records = sink.records();
+    let swap_idx = records
+        .iter()
+        .position(|r| r.name == "serve.model.swapped")
+        .expect("swap event recorded");
+    let alarm_idxs: Vec<usize> = records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.name == "quality.drift.alarm")
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!alarm_idxs.is_empty(), "alarm events recorded");
+    assert!(
+        alarm_idxs.iter().any(|&i| i < swap_idx),
+        "a drift alarm must precede the swap (alarms {alarm_idxs:?}, swap {swap_idx})"
+    );
+
+    // ---- Tracing contract: every `serve.request` span the server
+    // emitted carries the trace-seeded client's id.
+    let request_spans: Vec<_> = records
+        .iter()
+        .filter(|r| matches!(r.kind, RecordKind::Span { .. }) && r.name == "serve.request")
+        .collect();
+    assert!(!request_spans.is_empty(), "serve.request spans recorded");
+    for span in &request_spans {
+        assert!(
+            span.field("trace_id").is_some(),
+            "span missing trace_id: {span:?}"
+        );
+    }
+
+    Registry::global().set_enabled(false);
+    Registry::global().clear_sinks();
+}

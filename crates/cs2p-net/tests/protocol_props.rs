@@ -78,12 +78,14 @@ proptest! {
         predictions in prop::collection::vec(0.0f64..1e9, 0..33),
         initial in any::<bool>(),
         cluster_sessions in 0usize..1_000_000,
+        cluster_hit in any::<bool>(),
         model_version in any::<u64>(),
     ) {
         let resp = PredictResponse {
             predictions_mbps: predictions,
             initial,
             cluster_sessions,
+            cluster_hit,
             model_version,
         };
         prop_assert_eq!(roundtrip(&resp), resp);

@@ -172,6 +172,7 @@ fn hot_swaps_under_load_cause_no_downtime() {
         seed: 17,
         max_gap_us: 200, // open-loop pacing so swaps land mid-workload
         session_id_base: 1_000,
+        trace_seed: None,
     };
 
     let done = AtomicBool::new(false);

@@ -126,6 +126,11 @@ pub enum RecordKind {
         /// The serialized snapshot.
         snapshot: crate::metrics::HistogramSnapshot,
     },
+    /// A streaming-quantile sketch snapshot row.
+    Quantile {
+        /// The serialized snapshot (count/min/max and p50/p90/p99).
+        snapshot: crate::quantile::QuantileSnapshot,
+    },
 }
 
 /// One telemetry record — the unit every [`Sink`](crate::sink::Sink)
@@ -152,6 +157,7 @@ impl Record {
             RecordKind::Counter { .. } => "counter",
             RecordKind::Gauge { .. } => "gauge",
             RecordKind::Histogram { .. } => "histogram",
+            RecordKind::Quantile { .. } => "quantile",
         }
     }
 
@@ -189,6 +195,14 @@ impl Record {
                     })
                     .collect();
                 obj.push(("buckets".into(), Value::Array(buckets)));
+            }
+            RecordKind::Quantile { snapshot } => {
+                obj.push(("count".into(), Value::UInt(snapshot.count)));
+                obj.push(("min".into(), Value::Float(snapshot.min)));
+                obj.push(("max".into(), Value::Float(snapshot.max)));
+                obj.push(("p50".into(), Value::Float(snapshot.p50)));
+                obj.push(("p90".into(), Value::Float(snapshot.p90)));
+                obj.push(("p99".into(), Value::Float(snapshot.p99)));
             }
         }
         if !self.fields.is_empty() {

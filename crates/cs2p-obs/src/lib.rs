@@ -35,15 +35,19 @@
 pub mod clock;
 pub mod event;
 pub mod metrics;
+pub mod quantile;
 pub mod registry;
 pub mod schema;
 pub mod sink;
+pub mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use event::{Field, Fields, Level, Record, RecordKind};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot};
+pub use quantile::{QuantileSketch, QuantileSnapshot};
 pub use registry::{Registry, SpanGuard};
 pub use sink::{JsonlSink, MemorySink, Sink, StderrSink};
+pub use trace::{current_trace_id, TraceScope};
 
 /// Whether the global registry is recording.
 #[inline]
@@ -72,6 +76,12 @@ pub fn gauge_set(name: &str, value: f64) {
 #[inline]
 pub fn observe(name: &str, value: f64) {
     Registry::global().observe(name, value);
+}
+
+/// Records a streaming-quantile observation on the global registry.
+#[inline]
+pub fn quantile_observe(name: &str, value: f64) {
+    Registry::global().quantile_observe(name, value);
 }
 
 /// Emits a structured event on the global registry.

@@ -137,11 +137,16 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram snapshots.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Streaming-quantile sketch snapshots.
+    pub quantiles: BTreeMap<String, crate::quantile::QuantileSnapshot>,
 }
 
 impl MetricsSnapshot {
     /// Merges another snapshot into this one: counters and histograms
-    /// add; for gauges the other snapshot's value wins (last writer).
+    /// add; for gauges and quantile snapshots the other snapshot's value
+    /// wins (last writer — quantile *snapshots* carry no buckets, so they
+    /// cannot be re-merged; merge live [`crate::quantile::QuantileSketch`]
+    /// values instead when exact aggregation is needed).
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -151,6 +156,9 @@ impl MetricsSnapshot {
         }
         for (k, h) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, q) in &other.quantiles {
+            self.quantiles.insert(k.clone(), *q);
         }
     }
 }

@@ -11,9 +11,11 @@
 //! sharing the global.
 
 use crate::clock::{Clock, MonotonicClock};
-use crate::event::{Fields, Level, Record, RecordKind};
+use crate::event::{Field, Fields, Level, Record, RecordKind};
 use crate::metrics::{Histogram, MetricsSnapshot};
+use crate::quantile::QuantileSketch;
 use crate::sink::Sink;
+use crate::trace::current_trace_id;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -27,6 +29,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, f64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    quantiles: Mutex<BTreeMap<String, QuantileSketch>>,
     next_run_id: AtomicU64,
 }
 
@@ -45,6 +48,7 @@ impl Registry {
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            quantiles: Mutex::new(BTreeMap::new()),
             next_run_id: AtomicU64::new(1),
         }
     }
@@ -110,11 +114,26 @@ impl Registry {
         }
     }
 
+    /// Appends the active [`TraceScope`](crate::trace::TraceScope) id, if
+    /// any, to a live-dispatched record's fields. Only events and
+    /// span-close records pass through here — table updates (counters,
+    /// gauges, histograms, quantiles) are aggregates across requests and
+    /// carry no trace identity.
+    fn attach_trace(fields: &mut Fields) {
+        if let Some(id) = current_trace_id() {
+            if !fields.iter().any(|(k, _)| *k == "trace_id") {
+                fields.push(("trace_id", Field::U64(id)));
+            }
+        }
+    }
+
     /// Emits a structured event.
     pub fn event(&self, level: Level, name: &str, fields: Fields) {
         if !self.enabled() {
             return;
         }
+        let mut fields = fields;
+        Self::attach_trace(&mut fields);
         self.dispatch(Record {
             ts_us: self.now_micros(),
             name: name.to_string(),
@@ -168,6 +187,25 @@ impl Registry {
         }
     }
 
+    /// Records one observation into a streaming-quantile sketch. Unlike
+    /// [`observe`](Self::observe) (log₂ buckets, factor-of-two error) the
+    /// sketch resolves p50/p90/p99 to within ~5% relative error and its
+    /// state merges exactly; see [`crate::quantile`].
+    pub fn quantile_observe(&self, name: &str, value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut quantiles = self.quantiles.lock();
+        match quantiles.get_mut(name) {
+            Some(q) => q.observe(value),
+            None => {
+                let mut q = QuantileSketch::new();
+                q.observe(value);
+                quantiles.insert(name.to_string(), q);
+            }
+        }
+    }
+
     /// Starts a scoped span. On drop it records the duration into the
     /// `<name>.us` histogram and emits a `span` record.
     ///
@@ -203,6 +241,12 @@ impl Registry {
                 .iter()
                 .map(|(k, h)| (k.clone(), h.snapshot()))
                 .collect(),
+            quantiles: self
+                .quantiles
+                .lock()
+                .iter()
+                .map(|(k, q)| (k.clone(), q.snapshot()))
+                .collect(),
         }
     }
 
@@ -211,6 +255,7 @@ impl Registry {
         self.counters.lock().clear();
         self.gauges.lock().clear();
         self.histograms.lock().clear();
+        self.quantiles.lock().clear();
     }
 
     /// Emits one record per metric (counter/gauge/histogram rows) to the
@@ -242,6 +287,14 @@ impl Registry {
                 ts_us: ts,
                 name,
                 kind: RecordKind::Histogram { snapshot },
+                fields: Vec::new(),
+            });
+        }
+        for (name, snapshot) in snap.quantiles {
+            self.dispatch(Record {
+                ts_us: ts,
+                name,
+                kind: RecordKind::Quantile { snapshot },
                 fields: Vec::new(),
             });
         }
@@ -283,11 +336,13 @@ impl Drop for SpanGuard<'_> {
         let duration_us = end.saturating_sub(self.start_us);
         self.registry
             .observe(&format!("{}.us", self.name), duration_us as f64);
+        let mut fields = std::mem::take(&mut self.fields);
+        Registry::attach_trace(&mut fields);
         self.registry.dispatch(Record {
             ts_us: end,
             name: self.name.to_string(),
             kind: RecordKind::Span { duration_us },
-            fields: std::mem::take(&mut self.fields),
+            fields,
         });
     }
 }
@@ -357,5 +412,57 @@ mod tests {
         let a = r.next_run_id();
         let b = r.next_run_id();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn quantile_observe_feeds_snapshot_and_emit() {
+        let r = Registry::with_clock(Arc::new(ManualClock::starting_at(5)));
+        let sink = Arc::new(MemorySink::new());
+        r.add_sink(sink.clone());
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            r.quantile_observe("quality.ape.v1", v);
+        }
+        let snap = r.snapshot();
+        let q = &snap.quantiles["quality.ape.v1"];
+        assert_eq!(q.count, 4);
+        assert_eq!(q.min, 1.0);
+        assert_eq!(q.max, 4.0);
+        assert!(q.p50 >= 1.0 && q.p50 <= 4.0);
+        r.emit_snapshot();
+        let records = sink.records_named("quality.ape.v1");
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].kind_str(), "quantile");
+        let line = records[0].to_json_line();
+        assert!(line.contains(r#""kind":"quantile""#));
+        assert!(line.contains(r#""p99""#));
+    }
+
+    #[test]
+    fn disabled_registry_skips_quantiles() {
+        let r = Registry::new();
+        r.set_enabled(false);
+        r.quantile_observe("q", 1.0);
+        assert!(r.snapshot().quantiles.is_empty());
+    }
+
+    #[test]
+    fn trace_scope_tags_events_and_spans() {
+        let clock = Arc::new(ManualClock::new());
+        let r = Registry::with_clock(clock.clone());
+        let sink = Arc::new(MemorySink::new());
+        r.add_sink(sink.clone());
+        {
+            let _scope = crate::trace::TraceScope::enter(77);
+            r.event(Level::Info, "net.server.hit", vec![("n", 1u64.into())]);
+            let _span = r.span("serve.request");
+            clock.advance(10);
+        }
+        // Outside the scope: no trace id.
+        r.event(Level::Info, "net.server.hit", vec![]);
+        let events = sink.records_named("net.server.hit");
+        assert_eq!(events[0].field("trace_id"), Some(&Field::U64(77)));
+        assert_eq!(events[1].field("trace_id"), None);
+        let spans = sink.records_named("serve.request");
+        assert_eq!(spans[0].field("trace_id"), Some(&Field::U64(77)));
     }
 }

@@ -2,9 +2,9 @@
 //! determinism normalizer used by CI.
 //!
 //! One JSON object per line. Every line has `ts_us` (unsigned), `kind`
-//! (one of `event`, `span`, `counter`, `gauge`, `histogram`), and a
-//! non-empty dotted `name` whose first segment is the pipeline stage.
-//! Kind-specific required keys:
+//! (one of `event`, `span`, `counter`, `gauge`, `histogram`,
+//! `quantile`), and a non-empty dotted `name` whose first segment is the
+//! pipeline stage. Kind-specific required keys:
 //!
 //! | kind        | required keys                                    |
 //! |-------------|--------------------------------------------------|
@@ -13,6 +13,7 @@
 //! | `counter`   | `value` (unsigned)                               |
 //! | `gauge`     | `value` (number)                                 |
 //! | `histogram` | `count`, `sum`, `min`, `max`, `buckets` (array of `[exp, count]`) |
+//! | `quantile`  | `count` (unsigned), `min`, `max`, `p50`, `p90`, `p99` (numbers) |
 //!
 //! An optional `fields` object may carry scalar values. No other
 //! top-level keys are allowed. See `OBSERVABILITY.md` for the prose
@@ -22,7 +23,7 @@ use serde::Value;
 use std::collections::BTreeSet;
 
 /// The valid `kind` strings.
-pub const KINDS: [&str; 5] = ["event", "span", "counter", "gauge", "histogram"];
+pub const KINDS: [&str; 6] = ["event", "span", "counter", "gauge", "histogram", "quantile"];
 
 /// What a validated JSONL file covered.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -125,6 +126,13 @@ fn validate_line(line_no: usize, line: &str, errors: &mut Vec<String>) -> Option
             };
             scalars_ok && buckets_ok
         }
+        "quantile" => {
+            required.extend(["count", "min", "max", "p50", "p90", "p99"]);
+            v.get("count").is_some_and(is_uint)
+                && ["min", "max", "p50", "p90", "p99"]
+                    .iter()
+                    .all(|k| v.get(k).is_some_and(is_number))
+        }
         _ => unreachable!("kind checked above"),
     };
     if !ok {
@@ -159,6 +167,9 @@ fn validate_line(line_no: usize, line: &str, errors: &mut Vec<String>) -> Option
         "min",
         "max",
         "buckets",
+        "p50",
+        "p90",
+        "p99",
         "fields",
     ];
     for (k, _) in fields {
@@ -201,22 +212,26 @@ pub fn validate_jsonl(text: &str) -> Result<Coverage, Vec<String>> {
 ///
 /// - `ts_us` is removed from every record;
 /// - `span` records are dropped (their durations are wall time);
-/// - `histogram` records whose name ends in `.us` are dropped (latency
-///   distributions);
+/// - `histogram` and `quantile` records whose name ends in `.us` are
+///   dropped (latency distributions);
 /// - records whose name starts with `serve.` or `client.retry.` are
 ///   dropped entirely: the serving layer's queue depths, accept/reject
 ///   counters, eviction counts, fault telemetry, and the client's retry
 ///   accounting depend on connection timing and worker scheduling, not
 ///   on the model pipeline's inputs;
 /// - field keys ending in `_us` are removed;
-/// - `run_id` fields are removed (allocation order depends on thread
-///   scheduling);
+/// - `run_id` and `trace_id` fields are removed (allocation order and
+///   scope-to-record attachment depend on thread scheduling);
 /// - the surviving lines are sorted, because parallel stages (e.g. the
 ///   per-cluster EM runs) stream their events in scheduling order.
 ///
 /// Everything else — counter values, gauges, value histograms, event
 /// fields like per-iteration log-likelihoods — must be bit-identical
-/// across runs, and CI diffs exactly this.
+/// across runs, and CI diffs exactly this. In particular `quality.*`
+/// records (online APE sketches and coverage counters) **survive**: the
+/// per-session APE values are functions of seed-deterministic
+/// observations and model state, independent of worker interleaving, so
+/// two same-seed runs must agree on them exactly.
 pub fn normalize_for_determinism(text: &str) -> String {
     let mut lines_out: Vec<String> = Vec::new();
     for line in text.lines() {
@@ -238,7 +253,7 @@ pub fn normalize_for_determinism(text: &str) -> String {
             Some(Value::Str(n)) => n.clone(),
             _ => continue,
         };
-        if kind == "histogram" && name.ends_with(".us") {
+        if (kind == "histogram" || kind == "quantile") && name.ends_with(".us") {
             continue;
         }
         if name.starts_with("serve.") || name.starts_with("client.retry.") {
@@ -252,7 +267,9 @@ pub fn normalize_for_determinism(text: &str) -> String {
                     if let Value::Object(kv) = v {
                         let kv: Vec<(String, Value)> = kv
                             .into_iter()
-                            .filter(|(fk, _)| !fk.ends_with("_us") && fk != "run_id")
+                            .filter(|(fk, _)| {
+                                !fk.ends_with("_us") && fk != "run_id" && fk != "trace_id"
+                            })
                             .collect();
                         return (k, Value::Object(kv));
                     }
@@ -391,5 +408,46 @@ mod tests {
     fn same_manual_clock_runs_are_identical_even_unnormalized() {
         let (a, b) = (emitted_jsonl(), emitted_jsonl());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantile_records_validate() {
+        let good = r#"{"ts_us":1,"kind":"quantile","name":"quality.ape.v1.cluster.initial","count":4,"min":0.1,"max":0.9,"p50":0.2,"p90":0.8,"p99":0.9}"#;
+        let cov = validate_jsonl(good).expect("valid quantile line");
+        assert!(cov.covers(&["quality"]));
+        for bad in [
+            // Missing p99.
+            r#"{"ts_us":1,"kind":"quantile","name":"q","count":4,"min":0.1,"max":0.9,"p50":0.2,"p90":0.8}"#,
+            // Negative count.
+            r#"{"ts_us":1,"kind":"quantile","name":"q","count":-1,"min":0.1,"max":0.9,"p50":0.2,"p90":0.8,"p99":0.9}"#,
+            // Non-numeric quantile.
+            r#"{"ts_us":1,"kind":"quantile","name":"q","count":1,"min":0.1,"max":0.9,"p50":"mid","p90":0.8,"p99":0.9}"#,
+        ] {
+            assert!(validate_jsonl(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn normalization_keeps_quality_drops_latency_quantiles_and_trace_ids() {
+        let text = concat!(
+            r#"{"ts_us":1,"kind":"quantile","name":"quality.ape.v1.cluster.midstream","count":4,"min":0.1,"max":0.9,"p50":0.2,"p90":0.8,"p99":0.9}"#,
+            "\n",
+            r#"{"ts_us":2,"kind":"quantile","name":"net.server.request.us","count":4,"min":1.0,"max":9.0,"p50":2.0,"p90":8.0,"p99":9.0}"#,
+            "\n",
+            r#"{"ts_us":3,"kind":"counter","name":"quality.coverage.matched","value":12}"#,
+            "\n",
+            r#"{"ts_us":4,"kind":"event","name":"quality.drift.alarm","level":"warn","fields":{"median_ape":0.6,"trace_id":42,"window":16}}"#,
+            "\n",
+        );
+        let norm = normalize_for_determinism(text);
+        // Seed-deterministic quality content survives...
+        assert!(norm.contains("quality.ape.v1.cluster.midstream"), "{norm}");
+        assert!(norm.contains("quality.coverage.matched"));
+        assert!(norm.contains("quality.drift.alarm"));
+        assert!(norm.contains("median_ape"));
+        // ...while wall-clock latency sketches and trace ids are stripped.
+        assert!(!norm.contains("net.server.request.us"), "{norm}");
+        assert!(!norm.contains("trace_id"), "{norm}");
+        assert_eq!(normalize_for_determinism(&norm), norm);
     }
 }

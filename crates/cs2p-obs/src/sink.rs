@@ -122,6 +122,10 @@ impl StderrSink {
                 snapshot.min,
                 snapshot.max
             )),
+            RecordKind::Quantile { snapshot } => line.push_str(&format!(
+                " n={} p50={:.3} p90={:.3} p99={:.3}",
+                snapshot.count, snapshot.p50, snapshot.p90, snapshot.p99
+            )),
         }
         for (k, v) in &record.fields {
             line.push_str(&format!(

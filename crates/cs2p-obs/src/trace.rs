@@ -1,0 +1,90 @@
+//! Scoped request-trace context.
+//!
+//! A trace id is a caller-generated `u64` (clients derive theirs from a
+//! ChaCha stream so same-seed runs produce the same ids). Entering a
+//! [`TraceScope`] installs the id into a thread-local slot; while the scope
+//! is alive, every record the registry *dispatches* on that thread — events
+//! and span-close records — automatically gains a `trace_id` field, so one
+//! JSONL file can be regrouped into per-request traces.
+//!
+//! Scopes nest: the innermost id wins, and dropping a scope restores
+//! whatever was active before it. The guard is deliberately `!Send` — a
+//! trace context belongs to the thread that opened it.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+
+thread_local! {
+    static CURRENT: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Returns the trace id active on this thread, if any.
+pub fn current_trace_id() -> Option<u64> {
+    CURRENT.with(Cell::get)
+}
+
+/// RAII guard holding a trace id active on the current thread.
+///
+/// ```
+/// let scope = cs2p_obs::TraceScope::enter(42);
+/// assert_eq!(cs2p_obs::current_trace_id(), Some(42));
+/// drop(scope);
+/// assert_eq!(cs2p_obs::current_trace_id(), None);
+/// ```
+#[derive(Debug)]
+pub struct TraceScope {
+    prev: Option<u64>,
+    /// Pins the guard to its thread (`*const ()` is `!Send + !Sync`).
+    _not_send: PhantomData<*const ()>,
+}
+
+impl TraceScope {
+    /// Installs `id` as the current trace id, returning a guard that
+    /// restores the previous id when dropped.
+    pub fn enter(id: u64) -> Self {
+        let prev = CURRENT.with(|c| c.replace(Some(id)));
+        Self {
+            prev,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_installs_and_restores() {
+        assert_eq!(current_trace_id(), None);
+        {
+            let _a = TraceScope::enter(7);
+            assert_eq!(current_trace_id(), Some(7));
+            {
+                let _b = TraceScope::enter(9);
+                assert_eq!(current_trace_id(), Some(9));
+            }
+            assert_eq!(current_trace_id(), Some(7));
+        }
+        assert_eq!(current_trace_id(), None);
+    }
+
+    #[test]
+    fn scopes_are_per_thread() {
+        let _outer = TraceScope::enter(11);
+        std::thread::spawn(|| {
+            assert_eq!(current_trace_id(), None);
+            let _inner = TraceScope::enter(12);
+            assert_eq!(current_trace_id(), Some(12));
+        })
+        .join()
+        .unwrap();
+        assert_eq!(current_trace_id(), Some(11));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the streaming-quantile sketch: merging partial
+//! sketches must be *exactly* equivalent to observing the whole stream
+//! sequentially, for every field — that equality is what lets sharded
+//! pipelines aggregate quality sketches without breaking the determinism
+//! normalizer.
+
+use cs2p_obs::quantile::{QuantileSketch, SUBS};
+use proptest::prelude::*;
+
+/// Observations spanning the sentinel bucket, sub-unit values, and large
+/// magnitudes (the vendored proptest has no `prop_oneof`, so a selector
+/// tuple picks the branch).
+fn observation() -> impl Strategy<Value = f64> {
+    (0u32..10, 1e-6f64..1e9, -10.0f64..0.0).prop_map(|(sel, pos, neg)| match sel {
+        0 => 0.0,
+        1 => neg,
+        _ => pos,
+    })
+}
+
+proptest! {
+    #[test]
+    fn merge_equals_sequential_observe(
+        xs in proptest::collection::vec(observation(), 0..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let mut seq = QuantileSketch::new();
+        for &x in &xs {
+            seq.observe(x);
+        }
+        let mut left = QuantileSketch::new();
+        let mut right = QuantileSketch::new();
+        for &x in &xs[..split] {
+            left.observe(x);
+        }
+        for &x in &xs[split..] {
+            right.observe(x);
+        }
+        left.merge(&right);
+        // Field-for-field equality of internal state *and* snapshot.
+        prop_assert_eq!(&left, &seq);
+        prop_assert_eq!(left.snapshot(), seq.snapshot());
+    }
+
+    #[test]
+    fn merge_order_is_irrelevant(
+        xs in proptest::collection::vec(observation(), 1..64),
+        ys in proptest::collection::vec(observation(), 1..64),
+    ) {
+        let mut a = QuantileSketch::new();
+        for &x in &xs {
+            a.observe(x);
+        }
+        let mut b = QuantileSketch::new();
+        for &y in &ys {
+            b.observe(y);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded(
+        mut xs in proptest::collection::vec(1e-3..1e6f64, 1..200),
+        q in 0.01..1.0f64,
+    ) {
+        let mut sketch = QuantileSketch::new();
+        for &x in &xs {
+            sketch.observe(x);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+        let truth = xs[rank - 1];
+        let est = sketch.quantile(q).unwrap();
+        // Grid resolution bound: one sub-bucket of relative error, plus
+        // half a sub-bucket of slack for log2 rounding at bucket edges.
+        let bound = (1.5 / f64::from(SUBS)).exp2() - 1.0;
+        prop_assert!(
+            (est - truth).abs() <= truth * (bound + 1e-9),
+            "q={} est={} truth={}", q, est, truth
+        );
+    }
+}

@@ -53,6 +53,11 @@ pub struct LoadConfig {
     pub max_gap_us: u64,
     /// First session id (ids are `base..base + n_sessions`).
     pub session_id_base: u64,
+    /// When set, every client enables end-to-end request tracing
+    /// ([`HttpClient::with_trace_seed`]) with a per-client seed derived
+    /// from this one — each request carries an `x-trace-id` the server
+    /// scopes over its `serve.request` span and events.
+    pub trace_seed: Option<u64>,
 }
 
 impl Default for LoadConfig {
@@ -65,6 +70,7 @@ impl Default for LoadConfig {
             seed: 7,
             max_gap_us: 0,
             session_id_base: 1_000,
+            trace_seed: None,
         }
     }
 }
@@ -145,6 +151,11 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
 
 fn run_client(addr: SocketAddr, config: &LoadConfig, client_idx: usize) -> LoadReport {
     let mut client = HttpClient::new(addr);
+    if let Some(trace_seed) = config.trace_seed {
+        // Per-client derivation keeps the id streams disjoint while the
+        // whole run stays a function of one seed.
+        client = client.with_trace_seed(trace_seed ^ ((client_idx as u64) << 17));
+    }
     let mut pacing = ChaCha8Rng::seed_from_u64(config.seed ^ (client_idx as u64) << 32);
     let mut report = LoadReport::default();
     let sessions: Vec<u64> = (0..config.n_sessions as u64)
