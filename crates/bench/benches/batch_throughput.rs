@@ -1,0 +1,119 @@
+//! Batched prediction serving: `/predict_batch` frames vs singleton
+//! `/predict` POSTs over the identical workload and worker pool.
+//!
+//! The batch path exists to amortize — one HTTP round trip, one request
+//! frame, and one shard-lock acquisition per *group* instead of per
+//! entry. This bench drives the same seeded entry stream (sessions ×
+//! epochs) in both modes through the testkit load generator and prints a
+//! headline entries/second table.
+//!
+//! The headline assertion: at batch size 64 the batched mode must clear
+//! at least 2× the singleton entries/second on the same sharded pool.
+//! Unlike the worker-scaling target of `serve_throughput`, this ratio
+//! comes from round-trip amortization, not parallelism, so it holds on
+//! the 1-core CI box too.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs2p_net::{serve_with, ServeConfig};
+use cs2p_testkit::loadgen::{run_load, BatchSpec, LoadConfig};
+use cs2p_testkit::scenarios::tiny_engine;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+const BATCH_SIZES: [usize; 3] = [1, 7, 64];
+
+/// Each client walks 64 sessions through 4 epochs: 256 entries per
+/// client, enough for batch-64 frames to fill completely.
+fn workload(n_clients: usize, batch: Option<usize>) -> LoadConfig {
+    LoadConfig {
+        n_clients,
+        n_sessions: n_clients * 64,
+        epochs_per_session: 4,
+        horizon: 2,
+        seed: 211,
+        max_gap_us: 0,
+        session_id_base: 70_000,
+        trace_seed: None,
+        batch: batch.map(BatchSpec::fixed),
+    }
+}
+
+fn sharded_config() -> ServeConfig {
+    ServeConfig {
+        n_workers: 8,
+        n_shards: 8,
+        queue_depth: 1024,
+        max_connections: 4096,
+        max_sessions: 1 << 20,
+        session_ttl_requests: None,
+        ..ServeConfig::default()
+    }
+}
+
+fn run_and_check(addr: SocketAddr, config: &LoadConfig) {
+    let report = run_load(addr, config);
+    assert_eq!(
+        report.ok,
+        config.total_requests(),
+        "bench workload must not shed load (rejected {}, errors {})",
+        report.rejected,
+        report.errors
+    );
+}
+
+fn measure_eps(addr: SocketAddr, config: &LoadConfig) -> f64 {
+    // Warm up connections and session state once.
+    run_and_check(addr, config);
+    let start = Instant::now();
+    run_and_check(addr, config);
+    config.total_requests() as f64 / start.elapsed().as_secs_f64()
+}
+
+fn batch_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch-throughput");
+    group.sample_size(10);
+
+    for &batch in &BATCH_SIZES {
+        let config = workload(2, (batch > 1).then_some(batch));
+        let server = serve_with(tiny_engine(), "127.0.0.1:0", sharded_config()).unwrap();
+        group.bench_function(&format!("batch/{batch}"), |b| {
+            b.iter(|| run_and_check(server.addr(), &config))
+        });
+        server.shutdown();
+    }
+    group.finish();
+
+    headline_table();
+}
+
+/// One-shot entries/second per (clients, batch size), printed for
+/// DESIGN.md / eval cross-checks, with the ≥2× amortization assertion
+/// at batch 64.
+fn headline_table() {
+    println!("[batch-throughput] closed-loop predict entries/second (one-shot):");
+    println!("  clients   singleton     batch-7    batch-64   64/1 ratio");
+    for &n_clients in &[1usize, 4] {
+        let mut eps = Vec::new();
+        for &batch in &BATCH_SIZES {
+            let config = workload(n_clients, (batch > 1).then_some(batch));
+            let server = serve_with(tiny_engine(), "127.0.0.1:0", sharded_config()).unwrap();
+            eps.push(measure_eps(server.addr(), &config));
+            server.shutdown();
+        }
+        let ratio = eps[2] / eps[0];
+        println!(
+            "  {:>7} {:>11.0} {:>11.0} {:>11.0} {:>11.2}x",
+            n_clients, eps[0], eps[1], eps[2], ratio
+        );
+        assert!(
+            ratio >= 2.0,
+            "batch-64 must amortize to >=2x singleton entries/second, got {ratio:.2}x \
+             ({:.0} vs {:.0} eps at {n_clients} clients)",
+            eps[2],
+            eps[0]
+        );
+    }
+}
+
+criterion_group!(batch_throughput_group, batch_throughput);
+criterion_main!(batch_throughput_group);

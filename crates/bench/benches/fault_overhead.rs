@@ -34,6 +34,7 @@ fn workload() -> LoadConfig {
         max_gap_us: 0,
         session_id_base: 60_000,
         trace_seed: None,
+        batch: None,
     }
 }
 

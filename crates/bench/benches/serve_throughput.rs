@@ -33,6 +33,7 @@ fn workload(n_clients: usize) -> LoadConfig {
         max_gap_us: 0,
         session_id_base: 50_000,
         trace_seed: None,
+        batch: None,
     }
 }
 

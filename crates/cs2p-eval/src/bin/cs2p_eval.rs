@@ -5,7 +5,7 @@
 //!           [--metrics out.jsonl] [--profile]
 //! cs2p-eval all          # run everything
 //! cs2p-eval --small --metrics out.jsonl   # default smoke set + telemetry
-//! cs2p-eval serve-bench  [--metrics out.jsonl]   # serving throughput table
+//! cs2p-eval serve-bench  [--batch] [--metrics out.jsonl]  # serving throughput table
 //! cs2p-eval chaos-bench  [--metrics out.jsonl]   # fault recovery table
 //! cs2p-eval refresh-bench [--metrics out.jsonl]  # stale vs refreshed model table
 //! cs2p-eval validate-metrics a.jsonl [b.jsonl] [--require stage,stage]
@@ -53,7 +53,7 @@ fn usage() -> ExitCode {
         "usage: cs2p-eval [experiment|all] [--sessions N] [--seed S] [--small] \
          [--metrics out.jsonl] [--profile]"
     );
-    eprintln!("       cs2p-eval serve-bench [--metrics out.jsonl]");
+    eprintln!("       cs2p-eval serve-bench [--batch] [--metrics out.jsonl]");
     eprintln!("       cs2p-eval chaos-bench [--metrics out.jsonl]");
     eprintln!("       cs2p-eval refresh-bench [--metrics out.jsonl]");
     eprintln!("       cs2p-eval validate-metrics <a.jsonl> [b.jsonl] [--require stage,stage]");
@@ -91,6 +91,7 @@ fn main() -> ExitCode {
     let mut explicit_seed = None;
     let mut metrics_path: Option<String> = None;
     let mut profile = false;
+    let mut batch = false;
     let mut positional: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -109,6 +110,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--profile" => profile = true,
+            "--batch" => batch = true,
             "--serve-bench" => positional.push("serve-bench".into()),
             "--chaos-bench" => positional.push("chaos-bench".into()),
             "--refresh-bench" => positional.push("refresh-bench".into()),
@@ -121,6 +123,10 @@ fn main() -> ExitCode {
     }
 
     let serve_bench_only = positional.as_slice() == ["serve-bench"];
+    // `--batch` only modifies serve-bench.
+    if batch && !serve_bench_only {
+        return usage();
+    }
     let chaos_bench_only = positional.as_slice() == ["chaos-bench"];
     let refresh_bench_only = positional.as_slice() == ["refresh-bench"];
     let ids: Vec<&str> = match positional.as_slice() {
@@ -150,7 +156,9 @@ fn main() -> ExitCode {
     // materials: bench and exit.
     if serve_bench_only || chaos_bench_only || refresh_bench_only {
         let start = std::time::Instant::now();
-        let (name, table) = if serve_bench_only {
+        let (name, table) = if serve_bench_only && batch {
+            ("serve-bench --batch", serve_bench::serve_bench_batch())
+        } else if serve_bench_only {
             ("serve-bench", serve_bench::serve_bench())
         } else if chaos_bench_only {
             ("chaos-bench", chaos_bench::chaos_bench())

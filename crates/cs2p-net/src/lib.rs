@@ -61,13 +61,16 @@ pub mod server;
 pub mod store;
 pub mod transport;
 
-pub use client::{HttpClient, RemotePredictor, RetryPolicy, Sleeper};
+pub use client::{BatchFlush, HttpClient, RemotePredictor, RetryPolicy, Sleeper};
 pub use dash::{
     play_remote_session, AbrKind, DashPlayer, LocalModelPredictor, Manifest, PlayerConfig,
 };
 pub use legacy::{serve_legacy, LegacyServerHandle};
 pub use ops::{FaultRow, OpsQuality, OpsSnapshot, QualityRow};
-pub use protocol::{Health, LogStats, PredictRequest, PredictResponse, SessionLog, StrategyStats};
+pub use protocol::{
+    BatchEntryResult, BatchPredictRequest, BatchPredictResponse, Health, LogStats, PredictRequest,
+    PredictResponse, SessionLog, StrategyStats, MAX_BATCH_ENTRIES,
+};
 pub use quality::{QualityConfig, QualityMonitor};
 pub use recorder::SessionRecorder;
 pub use server::{serve, serve_with, RefreshConfig, ServeConfig, ServeStats, ServerHandle};

@@ -8,6 +8,7 @@
 //!
 //! Endpoints:
 //! - `POST /predict` — [`PredictRequest`] → [`PredictResponse`]
+//! - `POST /predict_batch` — [`BatchPredictRequest`] → [`BatchPredictResponse`]
 //! - `GET /model?features=a,b,c` — [`cs2p_core::ClientModel`] JSON
 //! - `POST /log` — [`SessionLog`] (stored server-side)
 //! - `GET /logs` — all stored [`SessionLog`]s
@@ -15,10 +16,44 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Upper bound on entries per [`BatchPredictRequest`]. Frames above this
+/// are rejected whole with a 400 — the cap keeps one peer from pinning a
+/// worker (and several shard locks) for an unbounded stretch.
+pub const MAX_BATCH_ENTRIES: usize = 1024;
+
+/// Checks the value is a JSON object (for hand-written `Deserialize`).
+fn expect_object(v: &serde::Value, ty: &str) -> Result<(), serde::DeError> {
+    match v {
+        serde::Value::Object(_) => Ok(()),
+        other => Err(serde::DeError::expected(ty, other)),
+    }
+}
+
+/// Fetches and parses a mandatory field (hand-written `Deserialize`).
+fn required<T: Deserialize>(v: &serde::Value, key: &str, ty: &str) -> Result<T, serde::DeError> {
+    T::from_value(
+        v.get(key)
+            .ok_or_else(|| serde::DeError(format!("missing field `{key}` in {ty}")))?,
+    )
+}
+
+/// Fetches an optional field: missing or `null` parses as `None`.
+fn optional<T: Deserialize>(v: &serde::Value, key: &str) -> Result<Option<T>, serde::DeError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => Option::<T>::from_value(x),
+    }
+}
+
 /// A prediction request. The first request of a session carries
 /// `features` and no measurement; subsequent ones carry the last epoch's
 /// measured throughput.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (not derived) so the two
+/// `Option` fields are omitted from the wire when `None` — batch frames
+/// carry dozens of these, and `"features":null` per entry is pure hot-path
+/// weight. A missing field parses back as `None`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PredictRequest {
     /// Client-chosen session identifier (unique per video session).
     pub session_id: u64,
@@ -30,6 +65,33 @@ pub struct PredictRequest {
     pub measured_mbps: Option<f64>,
     /// How many epochs ahead to predict (≥ 1).
     pub horizon: usize,
+}
+
+impl Serialize for PredictRequest {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = Vec::with_capacity(4);
+        fields.push(("session_id".to_string(), self.session_id.to_value()));
+        if self.features.is_some() {
+            fields.push(("features".to_string(), self.features.to_value()));
+        }
+        if self.measured_mbps.is_some() {
+            fields.push(("measured_mbps".to_string(), self.measured_mbps.to_value()));
+        }
+        fields.push(("horizon".to_string(), self.horizon.to_value()));
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for PredictRequest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        expect_object(v, "PredictRequest")?;
+        Ok(PredictRequest {
+            session_id: required(v, "session_id", "PredictRequest")?,
+            features: optional(v, "features")?,
+            measured_mbps: optional(v, "measured_mbps")?,
+            horizon: required(v, "horizon", "PredictRequest")?,
+        })
+    }
 }
 
 /// A prediction response.
@@ -51,6 +113,231 @@ pub struct PredictResponse {
     /// registered on, so this stays constant for the session's lifetime
     /// even while the server hot-swaps newer models underneath.
     pub model_version: u64,
+}
+
+/// A batched prediction request: many independent `(session, measurement)`
+/// entries in one HTTP frame. The server groups entries by session-store
+/// shard, takes each shard lock once, and answers every entry with its own
+/// status — one evicted session (per-entry 404) cannot fail the batch.
+/// Entries for the same session are processed in frame order, so a batch
+/// is semantically identical to sending its entries as sequential
+/// `POST /predict` requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchPredictRequest {
+    /// The per-session prediction requests, in arrival order. Must be
+    /// non-empty and at most [`MAX_BATCH_ENTRIES`] long.
+    pub entries: Vec<PredictRequest>,
+}
+
+/// One entry's outcome inside a [`BatchPredictResponse`].
+///
+/// Like [`PredictRequest`], serde impls are hand-written so `None` fields
+/// stay off the wire: a 64-entry frame is serialized and parsed on the
+/// hot path, and `"error":null` per successful entry is dead weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchEntryResult {
+    /// Per-entry status, mirroring what the singleton `/predict` endpoint
+    /// would have answered: 200 (prediction), 400 (invalid entry), or
+    /// 404 (unknown/evicted session — re-register with features).
+    pub status: u16,
+    /// The prediction; present exactly when `status == 200`.
+    pub response: Option<PredictResponse>,
+    /// Error message; present exactly when `status != 200`.
+    pub error: Option<String>,
+}
+
+impl Serialize for BatchEntryResult {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = Vec::with_capacity(3);
+        fields.push(("status".to_string(), self.status.to_value()));
+        if self.response.is_some() {
+            fields.push(("response".to_string(), self.response.to_value()));
+        }
+        if self.error.is_some() {
+            fields.push(("error".to_string(), self.error.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for BatchEntryResult {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        expect_object(v, "BatchEntryResult")?;
+        Ok(BatchEntryResult {
+            status: required(v, "status", "BatchEntryResult")?,
+            response: optional(v, "response")?,
+            error: optional(v, "error")?,
+        })
+    }
+}
+
+impl BatchEntryResult {
+    /// A successful entry.
+    pub fn ok(response: PredictResponse) -> Self {
+        BatchEntryResult {
+            status: 200,
+            response: Some(response),
+            error: None,
+        }
+    }
+
+    /// A failed entry with the singleton endpoint's status and message.
+    pub fn failed(status: u16, error: &str) -> Self {
+        BatchEntryResult {
+            status,
+            response: None,
+            error: Some(error.to_string()),
+        }
+    }
+}
+
+/// The response to a [`BatchPredictRequest`]: one [`BatchEntryResult`]
+/// per entry, in the same order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchPredictResponse {
+    /// Per-entry outcomes, aligned with the request's `entries`.
+    pub results: Vec<BatchEntryResult>,
+}
+
+// ---------------------------------------------------------------------------
+// Direct JSON writers for the batch hot path
+// ---------------------------------------------------------------------------
+//
+// The vendored serde layer serializes through a `Value` tree: every field
+// key is a heap `String` and every entry an `Object` node, which for a
+// 64-entry frame is thousands of allocations per request. The writers
+// below render the same bytes the generic path produces (asserted in
+// `fast_writers_match_the_generic_serializer` and by proptest coverage)
+// straight into one preallocated buffer. Only serialization has a fast
+// path — parsing still goes through `serde_json::from_slice`, so hostile
+// input handling stays in one place.
+
+/// Writes `f` exactly as the vendored `serde_json` writer does: shortest
+/// round-trip `Display`, `.0` appended to integral values, `null` for
+/// non-finite floats.
+fn write_json_f64(out: &mut String, f: f64) {
+    use std::fmt::Write;
+    if f.is_finite() {
+        let start = out.len();
+        let _ = write!(out, "{f}");
+        if !out[start..].contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Writes `s` as a JSON string with the vendored writer's escaping.
+fn write_json_str(out: &mut String, s: &str) {
+    use std::fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl PredictRequest {
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(out, "{{\"session_id\":{}", self.session_id);
+        if let Some(features) = &self.features {
+            out.push_str(",\"features\":[");
+            for (k, f) in features.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{f}");
+            }
+            out.push(']');
+        }
+        if let Some(m) = self.measured_mbps {
+            out.push_str(",\"measured_mbps\":");
+            write_json_f64(out, m);
+        }
+        let _ = write!(out, ",\"horizon\":{}}}", self.horizon);
+    }
+}
+
+impl BatchPredictRequest {
+    /// Serializes the frame straight to bytes, bypassing the `Value`
+    /// tree. Byte-identical to `serde_json::to_vec(self)`.
+    pub fn to_json_bytes(&self) -> Vec<u8> {
+        let mut out = String::with_capacity(16 + self.entries.len() * 96);
+        out.push_str("{\"entries\":[");
+        for (k, entry) in self.entries.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            entry.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out.into_bytes()
+    }
+}
+
+impl PredictResponse {
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        out.push_str("{\"predictions_mbps\":[");
+        for (k, p) in self.predictions_mbps.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            write_json_f64(out, *p);
+        }
+        let _ = write!(
+            out,
+            "],\"initial\":{},\"cluster_sessions\":{},\"cluster_hit\":{},\"model_version\":{}}}",
+            self.initial, self.cluster_sessions, self.cluster_hit, self.model_version
+        );
+    }
+}
+
+impl BatchEntryResult {
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(out, "{{\"status\":{}", self.status);
+        if let Some(resp) = &self.response {
+            out.push_str(",\"response\":");
+            resp.write_json(out);
+        }
+        if let Some(err) = &self.error {
+            out.push_str(",\"error\":");
+            write_json_str(out, err);
+        }
+        out.push('}');
+    }
+}
+
+impl BatchPredictResponse {
+    /// Serializes the frame straight to bytes, bypassing the `Value`
+    /// tree. Byte-identical to `serde_json::to_vec(self)`.
+    pub fn to_json_bytes(&self) -> Vec<u8> {
+        let mut out = String::with_capacity(16 + self.results.len() * 160);
+        out.push_str("{\"results\":[");
+        for (k, result) in self.results.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            result.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out.into_bytes()
+    }
 }
 
 /// The per-session log a player uploads when playback ends (§6: "log
@@ -201,6 +488,125 @@ mod tests {
         let json = serde_json::to_string(&resp).unwrap();
         let back: PredictResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn batch_request_and_response_roundtrip() {
+        let req = BatchPredictRequest {
+            entries: vec![
+                PredictRequest {
+                    session_id: 1,
+                    features: Some(vec![0]),
+                    measured_mbps: None,
+                    horizon: 2,
+                },
+                PredictRequest {
+                    session_id: 2,
+                    features: None,
+                    measured_mbps: Some(4.5),
+                    horizon: 1,
+                },
+            ],
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: BatchPredictRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+
+        let resp = BatchPredictResponse {
+            results: vec![
+                BatchEntryResult::ok(PredictResponse {
+                    predictions_mbps: vec![1.0, 1.1],
+                    initial: true,
+                    cluster_sessions: 20,
+                    cluster_hit: true,
+                    model_version: 1,
+                }),
+                BatchEntryResult::failed(404, "unknown session"),
+            ],
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: BatchPredictResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
+        assert_eq!(back.results[0].status, 200);
+        assert!(back.results[1].response.is_none());
+    }
+
+    #[test]
+    fn none_fields_stay_off_the_wire_and_parse_back() {
+        let req = PredictRequest {
+            session_id: 9,
+            features: None,
+            measured_mbps: Some(3.25),
+            horizon: 1,
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(!json.contains("features"), "None field on the wire: {json}");
+        let back: PredictRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+
+        // Explicit nulls (the pre-batch wire format) still parse.
+        let back: PredictRequest = serde_json::from_str(
+            r#"{"session_id":9,"features":null,"measured_mbps":3.25,"horizon":1}"#,
+        )
+        .unwrap();
+        assert_eq!(req, back);
+
+        let ok = BatchEntryResult::ok(PredictResponse {
+            predictions_mbps: vec![2.0],
+            initial: false,
+            cluster_sessions: 3,
+            cluster_hit: false,
+            model_version: 1,
+        });
+        let json = serde_json::to_string(&ok).unwrap();
+        assert!(!json.contains("error"), "None field on the wire: {json}");
+        assert_eq!(ok, serde_json::from_str::<BatchEntryResult>(&json).unwrap());
+    }
+
+    #[test]
+    fn fast_writers_match_the_generic_serializer() {
+        let req = BatchPredictRequest {
+            entries: vec![
+                PredictRequest {
+                    session_id: 1,
+                    features: Some(vec![0, 7, 2]),
+                    measured_mbps: None,
+                    horizon: 2,
+                },
+                PredictRequest {
+                    session_id: u64::MAX,
+                    features: None,
+                    measured_mbps: Some(4.5),
+                    horizon: 1,
+                },
+                PredictRequest {
+                    session_id: 2,
+                    features: Some(vec![]),
+                    measured_mbps: Some(3.0),
+                    horizon: 8,
+                },
+            ],
+        };
+        assert_eq!(req.to_json_bytes(), serde_json::to_vec(&req).unwrap());
+
+        let resp = BatchPredictResponse {
+            results: vec![
+                BatchEntryResult::ok(PredictResponse {
+                    predictions_mbps: vec![1.0, 1.25, f64::NAN, 0.1 + 0.2],
+                    initial: true,
+                    cluster_sessions: 20,
+                    cluster_hit: true,
+                    model_version: 3,
+                }),
+                BatchEntryResult::failed(404, "unknown session \"x\"\n\ttab\u{1}"),
+                BatchEntryResult {
+                    status: 200,
+                    response: None,
+                    error: None,
+                },
+            ],
+        };
+        assert_eq!(resp.to_json_bytes(), serde_json::to_vec(&resp).unwrap());
     }
 
     #[test]

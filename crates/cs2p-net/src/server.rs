@@ -27,13 +27,18 @@
 //! (see OBSERVABILITY.md). The pre-PR thread-per-connection server is
 //! preserved as [`crate::legacy`] for the `serve_throughput` benchmark.
 
-use crate::http::{read_request, write_response, Request, Response};
+use crate::http::{
+    read_request_buffered, write_response, write_response_buffered, IoScratch, Request, Response,
+};
 use crate::ops::{FaultRow, OpsQuality, OpsSnapshot, QualityRow};
 use crate::pool::BoundedQueue;
-use crate::protocol::{parse_features_query, Health, PredictRequest, PredictResponse, SessionLog};
+use crate::protocol::{
+    parse_features_query, BatchEntryResult, BatchPredictRequest, BatchPredictResponse, Health,
+    PredictRequest, PredictResponse, SessionLog, MAX_BATCH_ENTRIES,
+};
 use crate::quality::{ape, QualityConfig, QualityMonitor};
 use crate::recorder::SessionRecorder;
-use crate::store::SessionStore;
+use crate::store::{SessionStore, ShardGuard};
 use crate::transport::{DeadlineReader, IoHalf, TransportWrapper};
 use cs2p_core::engine::{ClusterModel, EngineConfig, TrainSummary};
 use cs2p_core::{
@@ -206,6 +211,17 @@ struct PendingPrediction {
     value: f64,
     /// Whether it was the session's initial (cluster-median) prediction.
     initial: bool,
+}
+
+/// A prediction's quality outcome, carried out of the shard lock: the
+/// scored `(was_initial, ape)` pair for the previous prediction, or a
+/// mark that its measurement left APE undefined. The monitor is only
+/// touched after every shard lock is dropped (see
+/// [`AppState::score_deferred`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct DeferredScore {
+    scored: Option<(bool, f64)>,
+    unscorable: bool,
 }
 
 /// Per-session server-side state. The session is *pinned*: it holds the
@@ -497,6 +513,7 @@ impl AppState {
             req.path.split('?').next().unwrap_or(""),
         ) {
             ("POST", "/predict") => self.handle_predict(req),
+            ("POST", "/predict_batch") => self.handle_predict_batch(req),
             ("GET", "/model") => self.handle_model(req),
             ("POST", "/log") => self.handle_log(req),
             ("GET", "/logs") => {
@@ -540,31 +557,41 @@ impl AppState {
         }
     }
 
-    fn handle_predict(&self, req: &Request) -> Response {
-        let Ok(preq) = serde_json::from_slice::<PredictRequest>(&req.body) else {
-            return Response::error(400, "malformed PredictRequest");
-        };
+    /// Lock-free validation shared by `/predict` and `/predict_batch`:
+    /// entries failing here never touch the session store.
+    fn validate_predict(preq: &PredictRequest) -> Result<(), (u16, &'static str)> {
         if preq.horizon == 0 || preq.horizon > MAX_HORIZON {
-            return Response::error(400, "horizon out of range");
+            return Err((400, "horizon out of range"));
         }
         if let Some(w) = preq.measured_mbps {
             if !w.is_finite() || w < 0.0 {
-                return Response::error(400, "measured throughput must be finite and nonnegative");
+                return Err((400, "measured throughput must be finite and nonnegative"));
             }
         }
+        Ok(())
+    }
 
-        let mut shard = self.sessions.lock(preq.session_id);
+    /// The per-entry prediction core, run under the owning shard's lock.
+    /// Shared verbatim between the singleton and batched endpoints so a
+    /// batch is bit-identical to its sequential expansion. Returns the
+    /// response plus the deferred quality outcome — APE scoring happens
+    /// *after* the shard lock drops, in both endpoints.
+    fn predict_locked(
+        &self,
+        shard: &mut ShardGuard<'_, SessionState>,
+        preq: &PredictRequest,
+    ) -> Result<(PredictResponse, DeferredScore), (u16, &'static str)> {
         if shard.get_mut(preq.session_id).is_none() {
             // Never seen (or TTL/LRU-evicted): (re-)initialize from the
             // request's features, or tell the client to re-register. New
             // sessions pin the registry's current snapshot; the version
             // is fixed for the session's whole lifetime.
             let Some(features) = &preq.features else {
-                return Response::error(404, "unknown session: send features to (re)register");
+                return Err((404, "unknown session: send features to (re)register"));
             };
             let (version, engine) = self.registry.current();
             if features.len() != engine.schema().len() {
-                return Response::error(400, "feature width mismatch");
+                return Err((400, "feature width mismatch"));
             }
             let fv = FeatureVector(features.clone());
             let lookup = engine.lookup_detailed(&fv);
@@ -597,7 +624,7 @@ impl AppState {
         let mut filter = HmmFilter::from_state(&model.hmm, state.filter.clone());
         // The measurement this request carries is the ground truth for
         // the 1-step prediction served last time: score it (outside the
-        // shard lock, below). An actual of zero leaves APE undefined.
+        // shard lock). An actual of zero leaves APE undefined.
         let mut scored: Option<(bool, f64)> = None;
         let mut unscorable = false;
         if let Some(w) = preq.measured_mbps {
@@ -627,17 +654,26 @@ impl AppState {
             value: predictions_mbps[0],
             initial,
         });
-        let cluster_sessions = model.n_sessions;
-        let model_version = state.version.0;
-        let cluster_hit = state.cluster_hit;
-        drop(shard);
+        let resp = PredictResponse {
+            predictions_mbps,
+            initial,
+            cluster_sessions: model.n_sessions,
+            cluster_hit: state.cluster_hit,
+            model_version: state.version.0,
+        };
+        Ok((resp, DeferredScore { scored, unscorable }))
+    }
 
+    /// Books one entry's deferred quality outcome: APE into the monitor's
+    /// sketches (possibly tripping the drift alarm and its refresh), or
+    /// an unmatched mark. Must run outside every shard lock.
+    fn score_deferred(&self, resp: &PredictResponse, deferred: DeferredScore) {
         let mut alarm = false;
-        if let Some((was_initial, e)) = scored {
+        if let Some((was_initial, e)) = deferred.scored {
             alarm = self
                 .monitor
-                .record_ape(model_version, cluster_hit, was_initial, e);
-        } else if unscorable {
+                .record_ape(resp.model_version, resp.cluster_hit, was_initial, e);
+        } else if deferred.unscorable {
             self.monitor.note_unmatched();
         }
         if alarm && self.monitor.config().trigger_refresh {
@@ -645,20 +681,126 @@ impl AppState {
             // gone, on the worker that happened to trip the alarm.
             self.refresh_on_drift();
         }
+    }
+
+    fn handle_predict(&self, req: &Request) -> Response {
+        let Ok(preq) = serde_json::from_slice::<PredictRequest>(&req.body) else {
+            return Response::error(400, "malformed PredictRequest");
+        };
+        if let Err((status, msg)) = Self::validate_predict(&preq) {
+            return Response::error(status, msg);
+        }
+
+        let mut shard = self.sessions.lock(preq.session_id);
+        let out = self.predict_locked(&mut shard, &preq);
+        drop(shard);
+        let (resp, deferred) = match out {
+            Ok(out) => out,
+            Err((status, msg)) => return Response::error(status, msg),
+        };
+        self.score_deferred(&resp, deferred);
 
         self.predictions_served.fetch_add(1, Ordering::Relaxed);
         if cs2p_obs::enabled() {
             cs2p_obs::counter_add("predict.server.served", 1);
             cs2p_obs::gauge_set("serve.sessions", self.sessions.len() as f64);
         }
-        let resp = PredictResponse {
-            predictions_mbps,
-            initial,
-            cluster_sessions,
-            cluster_hit,
-            model_version,
-        };
         Response::json(serde_json::to_vec(&resp).unwrap())
+    }
+
+    /// `POST /predict_batch`: many prediction entries in one frame.
+    ///
+    /// Entries are grouped by session-store shard and each shard lock is
+    /// taken **once** per batch; within a group entries run in frame
+    /// order, so same-session entries (which always share a shard) see
+    /// exactly the sequential `/predict` semantics. Every entry gets its
+    /// own status — an evicted session answers a per-entry 404 while the
+    /// rest of the batch proceeds. Quality scoring is deferred until all
+    /// shard locks are dropped and then runs in frame order, matching
+    /// the sequential path's monitor-call order.
+    fn handle_predict_batch(&self, req: &Request) -> Response {
+        let Ok(breq) = serde_json::from_slice::<BatchPredictRequest>(&req.body) else {
+            return Response::error(400, "malformed BatchPredictRequest");
+        };
+        let n = breq.entries.len();
+        if n == 0 {
+            return Response::error(400, "empty batch");
+        }
+        if n > MAX_BATCH_ENTRIES {
+            return Response::error(400, "batch too large");
+        }
+
+        // Group entry indices by owning shard, in first-appearance order
+        // (deterministic in the frame alone). The dense `seen` map keeps
+        // grouping O(n) without hashing per entry twice.
+        let n_shards = self.sessions.n_shards();
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut group_of: Vec<Option<usize>> = vec![None; n_shards];
+        for (i, entry) in breq.entries.iter().enumerate() {
+            let shard_idx = self.sessions.shard_of(entry.session_id);
+            match group_of[shard_idx] {
+                Some(g) => groups[g].1.push(i),
+                None => {
+                    group_of[shard_idx] = Some(groups.len());
+                    groups.push((shard_idx, vec![i]));
+                }
+            }
+        }
+
+        // Preallocated response builder: every slot is filled exactly
+        // once, no reallocation while a shard lock is held.
+        let mut results: Vec<Option<BatchEntryResult>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let mut deferred: Vec<DeferredScore> = vec![DeferredScore::default(); n];
+        let mut ok_entries = 0u64;
+        for (shard_idx, indices) in &groups {
+            let mut shard = self.sessions.lock_shard(*shard_idx);
+            for &i in indices {
+                let preq = &breq.entries[i];
+                let result = match Self::validate_predict(preq) {
+                    Err((status, msg)) => BatchEntryResult::failed(status, msg),
+                    Ok(()) => match self.predict_locked(&mut shard, preq) {
+                        Ok((resp, score)) => {
+                            deferred[i] = score;
+                            ok_entries += 1;
+                            BatchEntryResult::ok(resp)
+                        }
+                        Err((status, msg)) => BatchEntryResult::failed(status, msg),
+                    },
+                };
+                results[i] = Some(result);
+            }
+        }
+        let results: Vec<BatchEntryResult> = results
+            .into_iter()
+            .map(|r| r.expect("every batch slot filled"))
+            .collect();
+
+        // Frame-order scoring, outside every shard lock — the same calls
+        // in the same order as the sequential expansion of this batch.
+        for (result, score) in results.iter().zip(deferred) {
+            if let Some(resp) = &result.response {
+                self.score_deferred(resp, score);
+            }
+        }
+
+        self.predictions_served
+            .fetch_add(ok_entries, Ordering::Relaxed);
+        let partial_failures = n as u64 - ok_entries;
+        if cs2p_obs::enabled() {
+            cs2p_obs::counter_add("predict.server.served", ok_entries);
+            cs2p_obs::counter_add("serve.batch.requests", 1);
+            cs2p_obs::counter_add("serve.batch.entries", n as u64);
+            cs2p_obs::counter_add("serve.batch.shard_groups", groups.len() as u64);
+            if partial_failures > 0 {
+                cs2p_obs::counter_add("serve.batch.partial_failures", partial_failures);
+            }
+            cs2p_obs::gauge_set("serve.sessions", self.sessions.len() as f64);
+        }
+        let bresp = BatchPredictResponse { results };
+        // Direct writer: skips the serde Value tree, which at 64 entries
+        // per frame costs thousands of small allocations.
+        Response::json(bresp.to_json_bytes())
     }
 
     fn handle_model(&self, req: &Request) -> Response {
@@ -1220,23 +1362,27 @@ fn run_refresher(shared: Arc<Shared>, interval: Duration) {
 /// to the poller when it goes idle. After `close()` the queue hands out
 /// its backlog before `None`, so draining is automatic.
 fn run_worker(shared: Arc<Shared>) {
+    // Per-worker reusable I/O buffers: every request this worker serves
+    // frames through the same line/response scratch, so the steady-state
+    // hot path allocates nothing for framing.
+    let mut scratch = IoScratch::new();
     while let Some(conn) = shared.queue.pop() {
         if cs2p_obs::enabled() {
             cs2p_obs::gauge_set("serve.queue_depth", shared.queue.len() as f64);
         }
-        serve_turn(conn, &shared);
+        serve_turn(conn, &shared, &mut scratch);
     }
 }
 
 /// Serves requests from one ready connection until it goes idle, closes,
 /// errors, or exhausts its fairness budget.
-fn serve_turn(mut conn: Conn, shared: &Shared) {
+fn serve_turn(mut conn: Conn, shared: &Shared, scratch: &mut IoScratch) {
     let mut served: u32 = 0;
     loop {
         if conn.set_blocking().is_err() {
             return;
         }
-        match read_request(&mut conn.reader) {
+        match read_request_buffered(&mut conn.reader, scratch) {
             Ok(Some(req)) => {
                 // Request fully received: disarm the slow-peer deadline
                 // before doing any (unbounded-by-it) handler work.
@@ -1256,7 +1402,7 @@ fn serve_turn(mut conn: Conn, shared: &Shared) {
                 if cs2p_obs::enabled() {
                     cs2p_obs::quantile_observe("serve.request.latency_us", elapsed_us as f64);
                 }
-                if write_response(&mut conn.writer, &resp).is_err() {
+                if write_response_buffered(&mut conn.writer, &resp, scratch).is_err() {
                     cs2p_obs::counter_add("serve.fault.write_errors", 1);
                     return;
                 }
@@ -1266,7 +1412,11 @@ fn serve_turn(mut conn: Conn, shared: &Shared) {
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Unparseable framing (truncated/corrupted request).
                 cs2p_obs::counter_add("serve.fault.bad_frames", 1);
-                let _ = write_response(&mut conn.writer, &Response::error(400, &e.to_string()));
+                let _ = write_response_buffered(
+                    &mut conn.writer,
+                    &Response::error(400, &e.to_string()),
+                    scratch,
+                );
                 return;
             }
             Err(_) => {
@@ -1537,6 +1687,173 @@ mod tests {
             assert_eq!(resp.status, 200);
         }
         assert_eq!(server.predictions_served(), n as u64);
+        server.shutdown();
+    }
+
+    fn predict_batch(
+        addr: SocketAddr,
+        entries: Vec<PredictRequest>,
+    ) -> crate::protocol::BatchPredictResponse {
+        let body = serde_json::to_vec(&BatchPredictRequest { entries }).unwrap();
+        let resp = send(addr, &Request::new("POST", "/predict_batch", body));
+        assert_eq!(resp.status, 200, "body: {:?}", resp.body);
+        serde_json::from_slice(&resp.body).unwrap()
+    }
+
+    #[test]
+    fn batch_matches_its_sequential_expansion() {
+        // Same per-session request stream, once as sequential singles,
+        // once as batch frames — predictions must be bit-identical.
+        let entries_of_epoch = |epoch: usize| -> Vec<PredictRequest> {
+            (0..6u64)
+                .map(|sid| PredictRequest {
+                    session_id: 100 + sid,
+                    features: (epoch == 0).then(|| vec![(sid % 2) as u32]),
+                    measured_mbps: (epoch > 0).then_some(1.0 + sid as f64 / 3.0),
+                    horizon: 2,
+                })
+                .collect()
+        };
+
+        let sequential = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let mut expect: Vec<PredictResponse> = Vec::new();
+        for epoch in 0..3 {
+            for preq in entries_of_epoch(epoch) {
+                expect.push(predict(sequential.addr(), &preq));
+            }
+        }
+        let served = sequential.predictions_served();
+        sequential.shutdown();
+
+        let batched = serve_with(
+            tiny_engine(),
+            "127.0.0.1:0",
+            ServeConfig {
+                n_shards: 4,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut got: Vec<PredictResponse> = Vec::new();
+        for epoch in 0..3 {
+            let bresp = predict_batch(batched.addr(), entries_of_epoch(epoch));
+            for r in bresp.results {
+                assert_eq!(r.status, 200, "error: {:?}", r.error);
+                got.push(r.response.unwrap());
+            }
+        }
+        assert_eq!(expect, got);
+        assert_eq!(batched.predictions_served(), served);
+        batched.shutdown();
+    }
+
+    #[test]
+    fn batch_duplicate_session_entries_run_in_frame_order() {
+        // Registration and two measurements for one session in a single
+        // frame: the filter must advance exactly as three singles would.
+        let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let entry = |features: Option<Vec<u32>>, measured: Option<f64>| PredictRequest {
+            session_id: 9,
+            features,
+            measured_mbps: measured,
+            horizon: 1,
+        };
+        let bresp = predict_batch(
+            server.addr(),
+            vec![
+                entry(Some(vec![1]), None),
+                entry(None, Some(5.2)),
+                entry(None, Some(4.9)),
+            ],
+        );
+        assert!(bresp.results.iter().all(|r| r.status == 200));
+        assert!(bresp.results[0].response.as_ref().unwrap().initial);
+        assert!(!bresp.results[1].response.as_ref().unwrap().initial);
+        assert!(!bresp.results[2].response.as_ref().unwrap().initial);
+
+        let control = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let expect = [
+            predict(control.addr(), &entry(Some(vec![1]), None)),
+            predict(control.addr(), &entry(None, Some(5.2))),
+            predict(control.addr(), &entry(None, Some(4.9))),
+        ];
+        for (r, e) in bresp.results.iter().zip(&expect) {
+            assert_eq!(r.response.as_ref().unwrap(), e);
+        }
+        control.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_partial_failures_answer_per_entry_statuses() {
+        let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let bresp = predict_batch(
+            server.addr(),
+            vec![
+                PredictRequest {
+                    session_id: 1,
+                    features: Some(vec![0]),
+                    measured_mbps: None,
+                    horizon: 1,
+                },
+                // Unknown session, no features: per-entry 404.
+                PredictRequest {
+                    session_id: 2,
+                    features: None,
+                    measured_mbps: Some(1.0),
+                    horizon: 1,
+                },
+                // Invalid horizon: per-entry 400.
+                PredictRequest {
+                    session_id: 3,
+                    features: Some(vec![0]),
+                    measured_mbps: None,
+                    horizon: 0,
+                },
+                // Feature width mismatch: per-entry 400.
+                PredictRequest {
+                    session_id: 4,
+                    features: Some(vec![0, 1, 2]),
+                    measured_mbps: None,
+                    horizon: 1,
+                },
+            ],
+        );
+        let statuses: Vec<u16> = bresp.results.iter().map(|r| r.status).collect();
+        assert_eq!(statuses, [200, 404, 400, 400]);
+        assert!(bresp.results[1]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("unknown session"));
+        // Only the successful entry counts as served.
+        assert_eq!(server.predictions_served(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn empty_and_oversized_batches_are_400() {
+        let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let body = serde_json::to_vec(&BatchPredictRequest { entries: vec![] }).unwrap();
+        let resp = send(server.addr(), &Request::new("POST", "/predict_batch", body));
+        assert_eq!(resp.status, 400, "empty batch must be a 400, not a 500");
+
+        let too_many: Vec<PredictRequest> = (0..=MAX_BATCH_ENTRIES as u64)
+            .map(|sid| PredictRequest {
+                session_id: sid,
+                features: Some(vec![0]),
+                measured_mbps: None,
+                horizon: 1,
+            })
+            .collect();
+        let body = serde_json::to_vec(&BatchPredictRequest { entries: too_many }).unwrap();
+        let resp = send(server.addr(), &Request::new("POST", "/predict_batch", body));
+        assert_eq!(resp.status, 400);
+        assert_eq!(
+            server.predictions_served(),
+            0,
+            "rejected batches serve nothing"
+        );
         server.shutdown();
     }
 

@@ -136,12 +136,26 @@ impl<V> SessionStore<V> {
             .sum()
     }
 
+    /// Index of the shard owning `id`. Stable for the store's lifetime —
+    /// the batch handler uses it to group a frame's entries so each shard
+    /// lock is taken once per batch instead of once per entry.
+    pub fn shard_of(&self, id: u64) -> usize {
+        (fnv1a(id) % self.shards.len() as u64) as usize
+    }
+
     /// Locks the shard owning `id` and returns a guard scoped to that
     /// shard. All reads/writes for `id` go through the guard; the shard
     /// lock-hold time is recorded to `serve.shard.lock_us` on drop.
     pub fn lock(&self, id: u64) -> ShardGuard<'_, V> {
+        self.lock_shard(self.shard_of(id))
+    }
+
+    /// Locks shard `shard_idx` directly (see [`Self::shard_of`]). One
+    /// logical tick is consumed per lock, not per entry, so a batched
+    /// access ages the TTL clock once per shard group — an explicitly
+    /// amortized reading of "one store access".
+    pub fn lock_shard(&self, shard_idx: usize) -> ShardGuard<'_, V> {
         let now = self.tick.fetch_add(1, Ordering::Relaxed);
-        let shard_idx = (fnv1a(id) % self.shards.len() as u64) as usize;
         let guard = self.shards[shard_idx].lock();
         ShardGuard {
             store: self,
@@ -363,6 +377,19 @@ mod tests {
         }
         assert_eq!(store.count_values(|v| *v == 0), 4); // 0,3,6,9
         assert_eq!(store.count_values(|_| true), 10);
+    }
+
+    #[test]
+    fn lock_shard_reaches_the_same_entries_as_lock() {
+        let store = SessionStore::new(4, 100, None);
+        for id in 0..32u64 {
+            store.lock(id).insert(id, id * 10);
+        }
+        for id in 0..32u64 {
+            let idx = store.shard_of(id);
+            assert!(idx < store.n_shards());
+            assert_eq!(store.lock_shard(idx).get_mut(id).copied(), Some(id * 10));
+        }
     }
 
     #[test]

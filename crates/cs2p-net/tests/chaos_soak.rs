@@ -26,7 +26,7 @@
 
 use cs2p_net::{serve_with, RefreshConfig, ServeConfig, ServerHandle};
 use cs2p_testkit::faults::{run_chaos, ChaosConfig};
-use cs2p_testkit::loadgen::{run_load, LoadConfig};
+use cs2p_testkit::loadgen::{run_load, BatchSpec, LoadConfig};
 use cs2p_testkit::scenarios::{tiny_dataset, tiny_engine, tiny_train_config};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -203,6 +203,184 @@ fn soak_one_seed(seed: u64) -> (u64, usize) {
     (
         fired.error_class_total() + fired.survivable_total(),
         report.clean_sessions.len(),
+    )
+}
+
+/// The chaos schedule driven through `/predict_batch`: every client
+/// chunks its request stream into seeded ragged frames (1..=7 entries)
+/// and the fault schedules now fire *mid-batch* — a reset can kill a
+/// frame carrying seven sessions' requests, a corruption 400s the whole
+/// frame, and a forced eviction surfaces as a per-entry 404 inside an
+/// otherwise-healthy frame. The golden baseline stays the *singleton*
+/// fault-free run: clean sessions must be bit-identical across the
+/// framing change AND the fault schedule simultaneously.
+///
+/// The batched ledger differs from the singleton one: a frame-level
+/// 503/400 books one `rejected`/`error_statuses` without a `sent`
+/// (nothing was applied), while per-entry 404s replay as singletons
+/// that book their own sends. What stays exact: every logical entry
+/// yields exactly one `ok`, every corruption exactly one client-visible
+/// error status, every forced eviction exactly one re-registration.
+fn batched_soak_one_seed(seed: u64) -> (u64, u64) {
+    let config = ChaosConfig {
+        load: LoadConfig {
+            n_clients: 4,
+            n_sessions: 8,
+            epochs_per_session: 5,
+            horizon: 2,
+            seed,
+            session_id_base: 1_000,
+            batch: Some(BatchSpec {
+                min_entries: 1,
+                max_entries: 7,
+            }),
+            ..LoadConfig::default()
+        },
+        ..ChaosConfig::default()
+    };
+
+    // Golden pass: the same workload as sequential singleton requests,
+    // no faults — the strongest baseline the batched chaos pass can be
+    // held to.
+    let golden_config = LoadConfig {
+        batch: None,
+        ..config.load.clone()
+    };
+    let golden_server = chaos_server();
+    let golden = run_load(golden_server.addr(), &golden_config);
+    assert_eq!(golden.errors, 0, "seed {seed}: golden run must be clean");
+    assert_eq!(golden.rejected, 0);
+    shutdown_bounded(golden_server);
+
+    let attempts0 = counter("client.retry.attempts");
+    let giveups0 = counter("client.retry.giveups");
+    let bad_frames0 = counter("serve.fault.bad_frames");
+    let read_errors0 = counter("serve.fault.read_errors");
+    let evictions0 = counter("serve.fault.forced_evictions");
+    let batch_requests0 = counter("serve.batch.requests");
+    let batch_entries0 = counter("serve.batch.entries");
+    let partial_failures0 = counter("serve.batch.partial_failures");
+
+    let server = chaos_server();
+    let addr = server.addr();
+    let report = run_chaos(&server, &config);
+    let stats = shutdown_bounded(server);
+
+    let fired = report.fired;
+    let d_attempts = counter("client.retry.attempts") - attempts0;
+    let d_giveups = counter("client.retry.giveups") - giveups0;
+    let d_bad_frames = counter("serve.fault.bad_frames") - bad_frames0;
+    let d_read_errors = counter("serve.fault.read_errors") - read_errors0;
+    let d_evictions = counter("serve.fault.forced_evictions") - evictions0;
+    let d_batch_requests = counter("serve.batch.requests") - batch_requests0;
+    let d_batch_entries = counter("serve.batch.entries") - batch_entries0;
+    let d_partial_failures = counter("serve.batch.partial_failures") - partial_failures0;
+
+    // Liveness: every frame was eventually answered, nothing abandoned.
+    assert_eq!(report.gave_up, 0, "seed {seed}: batch frames abandoned");
+    assert_eq!(d_giveups, 0, "seed {seed}: client send() gave up");
+    assert_eq!(report.load.errors, 0, "seed {seed}");
+    assert_eq!(report.load.rejected, 0, "seed {seed}");
+    assert_eq!(stats.rejected, 0, "seed {seed}");
+    for s in 0..config.load.n_sessions as u64 {
+        let id = config.load.session_id_base + s;
+        let preds = report.load.predictions.get(&id).map_or(0, Vec::len);
+        assert_eq!(
+            preds, config.load.epochs_per_session,
+            "seed {seed}: session {id} lost predictions in batched chaos"
+        );
+    }
+    // Entry conservation: every logical entry produced exactly one
+    // success, whether in-frame or via a per-entry-404 singleton replay.
+    let total_entries = (config.load.n_sessions * config.load.epochs_per_session) as u64;
+    assert_eq!(
+        report.load.ok, total_entries,
+        "seed {seed}: entry ledger out of balance"
+    );
+    // Replays only ever *add* sends on top of the framed entries.
+    assert!(
+        report.load.sent >= report.load.ok + report.load.reinit,
+        "seed {seed}: sent {} < ok {} + reinit {}",
+        report.load.sent,
+        report.load.ok,
+        report.load.reinit
+    );
+    // The server really was driven through the batch path, and its
+    // entry meter matches frame arithmetic: applied frames account all
+    // entries that ever got a 200 (duplicates from reset-mid-response
+    // resends can only add).
+    assert!(
+        d_batch_requests > 0,
+        "seed {seed}: batched soak never hit /predict_batch"
+    );
+    assert!(
+        d_batch_entries >= total_entries,
+        "seed {seed}: server batch entries {d_batch_entries} < {total_entries}"
+    );
+
+    // Fault accounting identity, unchanged by framing: every transport
+    // fault is exactly one retry, every corruption exactly one 400
+    // (whole-frame, never applied), every forced eviction exactly one
+    // re-registration — a mid-frame eviction answers a per-entry 404
+    // and the harness re-registers once no matter how many of that
+    // session's entries shared the frame.
+    assert_eq!(
+        d_attempts,
+        fired.transport_failures(),
+        "seed {seed}: retries vs injected transport faults"
+    );
+    assert_eq!(
+        d_bad_frames, fired.corruptions,
+        "seed {seed}: bad frames vs injected corruptions"
+    );
+    assert_eq!(
+        report.error_statuses, fired.corruptions,
+        "seed {seed}: client-visible error statuses vs corruptions"
+    );
+    assert!(
+        d_read_errors >= fired.resets_write + fired.truncations
+            && d_read_errors <= fired.transport_failures(),
+        "seed {seed}: read errors {d_read_errors} outside [{}, {}]",
+        fired.resets_write + fired.truncations,
+        fired.transport_failures()
+    );
+    assert_eq!(d_evictions, report.forced_evictions, "seed {seed}");
+    assert_eq!(
+        report.load.reinit, report.forced_evictions,
+        "seed {seed}: every forced eviction re-registers exactly once"
+    );
+    assert_eq!(
+        stats.sessions_evicted, report.forced_evictions,
+        "seed {seed}: only forced evictions may evict (no TTL, huge cap)"
+    );
+    // Every mid-frame eviction shows up as a partially-failed frame
+    // (a 404 entry inside a 200 frame). Corrupted frames are refused
+    // whole, so they never count here.
+    assert!(
+        d_partial_failures >= report.forced_evictions,
+        "seed {seed}: partial failures {d_partial_failures} < evictions {}",
+        report.forced_evictions
+    );
+
+    // Blast-radius isolation across the framing change: fault-free
+    // clients' batched sessions are bit-identical to the *singleton*
+    // golden run.
+    for &id in &report.clean_sessions {
+        assert_eq!(
+            report.load.predictions.get(&id),
+            golden.predictions.get(&id),
+            "seed {seed}: clean batched session {id} diverged from singleton golden"
+        );
+    }
+
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "seed {seed}: port still accepting after shutdown"
+    );
+
+    (
+        fired.error_class_total() + fired.survivable_total(),
+        report.forced_evictions,
     )
 }
 
@@ -394,6 +572,22 @@ fn seeded_chaos_schedules_are_survived_with_exact_accounting() {
         "no fault ever fired across the seed matrix"
     );
     assert!(total_clean > 0, "no clean session was ever compared");
+
+    // Batched-framing pass (a subset of the matrix): the same fault
+    // schedules fire mid-batch, and clean sessions must still be
+    // bit-identical to the singleton fault-free golden run.
+    let mut batched_fired = 0;
+    let mut batched_evictions = 0;
+    for seed in seeds().into_iter().take(2) {
+        let (fired, evictions) = batched_soak_one_seed(seed);
+        batched_fired += fired;
+        batched_evictions += evictions;
+    }
+    assert!(batched_fired > 0, "no fault ever fired mid-batch");
+    assert!(
+        batched_evictions > 0,
+        "no forced eviction ever hit a batch frame"
+    );
 
     // Refresh-under-chaos pass (a subset of the matrix — each pass costs
     // a full chaos run): hot-swaps racing the same fault schedules.

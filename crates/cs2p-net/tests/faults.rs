@@ -298,6 +298,95 @@ fn forced_eviction_replays_registration_with_pending_measurement() {
     server.shutdown();
 }
 
+/// Forced eviction mid-batch: a `/predict_batch` frame carrying the
+/// evicted session's measurement between two healthy neighbours answers
+/// 200 at the frame level with a per-entry 404 for the victim only —
+/// the blast radius of an eviction is one entry, not the frame. The 404
+/// carries the re-register hint, `serve.batch.partial_failures` counts
+/// exactly the victim, and a re-registration replay (same measurement,
+/// features attached) restores the session through the batch path.
+fn forced_eviction_mid_batch_answers_a_per_entry_404() {
+    use cs2p_net::protocol::{BatchPredictRequest, BatchPredictResponse};
+
+    let server = server(ServeConfig::default());
+    let evictions0 = counter("serve.fault.forced_evictions");
+    let partial0 = counter("serve.batch.partial_failures");
+
+    let mut client = HttpClient::new(server.addr());
+    for id in [21u64, 22, 23] {
+        assert_predictions(&client.send(&register_request(id)).unwrap());
+    }
+    assert!(server.force_evict(22), "live session must evict");
+    assert_eq!(counter("serve.fault.forced_evictions") - evictions0, 1);
+
+    let measure = |id: u64| PredictRequest {
+        session_id: id,
+        features: None,
+        measured_mbps: Some(4.0),
+        horizon: 2,
+    };
+    let breq = BatchPredictRequest {
+        entries: vec![measure(21), measure(22), measure(23)],
+    };
+    let resp = client
+        .send(&cs2p_net::http::Request::new(
+            "POST",
+            "/predict_batch",
+            breq.to_json_bytes(),
+        ))
+        .unwrap();
+    assert_eq!(resp.status, 200, "the frame itself must succeed");
+    let bresp: BatchPredictResponse = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(bresp.results.len(), 3);
+    for healthy in [0, 2] {
+        assert_eq!(
+            bresp.results[healthy].status, 200,
+            "neighbour entries must be unaffected by the eviction"
+        );
+        assert!(bresp.results[healthy].response.is_some());
+    }
+    assert_eq!(bresp.results[1].status, 404, "evicted entry answers 404");
+    assert!(bresp.results[1].response.is_none());
+    assert!(
+        bresp.results[1]
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("re)register"),
+        "the per-entry 404 must carry the re-register hint: {:?}",
+        bresp.results[1].error
+    );
+    assert_eq!(
+        counter("serve.batch.partial_failures") - partial0,
+        1,
+        "exactly the victim counts as a partial failure"
+    );
+
+    // The replay: re-registration with features, still carrying the
+    // measurement that hit the 404 — through the batch path itself.
+    let breq = BatchPredictRequest {
+        entries: vec![PredictRequest {
+            features: Some(vec![1]),
+            ..measure(22)
+        }],
+    };
+    let resp = client
+        .send(&cs2p_net::http::Request::new(
+            "POST",
+            "/predict_batch",
+            breq.to_json_bytes(),
+        ))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let bresp: BatchPredictResponse = serde_json::from_slice(&resp.body).unwrap();
+    assert_eq!(
+        bresp.results[0].status, 200,
+        "re-registration replay must work mid-batch"
+    );
+    assert_eq!(server.stats().sessions_live, 3, "session re-registered");
+    server.shutdown();
+}
+
 /// Server-side reset mid-response write: the server's own write fails
 /// (`serve.fault.write_errors`), and the client's retry on a fresh
 /// connection succeeds.
@@ -358,6 +447,7 @@ fn every_fault_class_has_a_forcing_scenario() {
     delay_past_budget_forces_a_slow_peer_abort();
     idle_keepalive_survives_clock_advance_past_budget();
     forced_eviction_replays_registration_with_pending_measurement();
+    forced_eviction_mid_batch_answers_a_per_entry_404();
     server_side_write_reset_is_counted_and_retried();
     unrecoverable_faults_exhaust_retries_and_give_up();
     cs2p_obs::set_enabled(false);

@@ -5,7 +5,8 @@
 
 use cs2p_net::http::{read_response, Response, MAX_BODY_BYTES};
 use cs2p_net::protocol::{
-    Health, LogStats, PredictRequest, PredictResponse, SessionLog, StrategyStats,
+    BatchEntryResult, BatchPredictRequest, BatchPredictResponse, Health, LogStats, PredictRequest,
+    PredictResponse, SessionLog, StrategyStats, MAX_BATCH_ENTRIES,
 };
 use cs2p_net::{serve, ServerHandle};
 use cs2p_testkit::scenarios::tiny_engine;
@@ -48,6 +49,43 @@ fn arb_session_log() -> impl Strategy<Value = SessionLog> {
                     startup_delay_seconds: startup,
                     throughput_pairs: pairs,
                     bitrates_kbps: bitrates,
+                }
+            },
+        )
+}
+
+fn arb_predict_request() -> impl Strategy<Value = PredictRequest> {
+    (any::<u64>(), arb_features(), arb_opt_f64(), 1usize..16).prop_map(
+        |(session_id, features, measured_mbps, horizon)| PredictRequest {
+            session_id,
+            features,
+            measured_mbps,
+            horizon,
+        },
+    )
+}
+
+fn arb_batch_entry_result() -> impl Strategy<Value = BatchEntryResult> {
+    (
+        0usize..3,
+        any::<bool>(),
+        (any::<bool>(), "[ -~]{0,32}"),
+        prop::collection::vec(0.0f64..1e9, 0..5),
+    )
+        .prop_map(
+            |(status_pick, with_response, (with_error, error), predictions)| {
+                BatchEntryResult {
+                    status: [200u16, 400, 404][status_pick],
+                    // Deliberately decoupled from `status`: the wire format
+                    // must round-trip whatever combination it is handed.
+                    response: with_response.then_some(PredictResponse {
+                        predictions_mbps: predictions,
+                        initial: false,
+                        cluster_sessions: 1,
+                        cluster_hit: true,
+                        model_version: 1,
+                    }),
+                    error: with_error.then_some(error),
                 }
             },
         )
@@ -120,6 +158,27 @@ proptest! {
         let stats = LogStats::from_logs(&logs);
         let back: LogStats = roundtrip(&stats);
         prop_assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn batch_request_roundtrips_and_fast_writer_matches(
+        entries in prop::collection::vec(arb_predict_request(), 0..24)
+    ) {
+        let breq = BatchPredictRequest { entries };
+        prop_assert_eq!(roundtrip(&breq), breq.clone());
+        // The direct writer must emit byte-for-byte what the generic
+        // serializer emits — same escaping, same float formatting, same
+        // None-field omission.
+        prop_assert_eq!(breq.to_json_bytes(), serde_json::to_vec(&breq).unwrap());
+    }
+
+    #[test]
+    fn batch_response_roundtrips_and_fast_writer_matches(
+        results in prop::collection::vec(arb_batch_entry_result(), 0..24)
+    ) {
+        let bresp = BatchPredictResponse { results };
+        prop_assert_eq!(roundtrip(&bresp), bresp.clone());
+        prop_assert_eq!(bresp.to_json_bytes(), serde_json::to_vec(&bresp).unwrap());
     }
 
     #[test]
@@ -229,6 +288,102 @@ proptest! {
         let keep = bytes.len().saturating_sub(cut.min(bytes.len() - 1));
         assert_error_or_clean_close(&bytes[..keep], true);
     }
+}
+
+/// Builds a complete `/predict_batch` HTTP frame around `body`.
+fn batch_frame(body: &[u8]) -> Vec<u8> {
+    let mut bytes = format!(
+        "POST /predict_batch HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+proptest! {
+    #[test]
+    fn garbage_batch_bodies_get_an_error_or_clean_close(
+        garbage in prop::collection::vec(any::<u8>(), 0..512)
+    ) {
+        assert_error_or_clean_close(&batch_frame(&garbage), true);
+    }
+
+    #[test]
+    fn truncated_batch_frames_never_hang(
+        cut in 1usize..80,
+        entries in prop::collection::vec(arb_predict_request(), 1..8),
+    ) {
+        let body = BatchPredictRequest { entries }.to_json_bytes();
+        let bytes = batch_frame(&body);
+        let keep = bytes.len().saturating_sub(cut.min(bytes.len() - 1));
+        assert_error_or_clean_close(&bytes[..keep], true);
+    }
+
+    /// Frames whose entries repeat the same session keys — including
+    /// re-registrations and measurement-before-registration orders the
+    /// generator is free to produce — must always get one well-formed
+    /// 200 with per-entry statuses, never a panic, hang, or 5xx.
+    #[test]
+    fn duplicate_session_key_frames_answer_per_entry_statuses(
+        sids in prop::collection::vec(7770u64..7773, 1..12),
+        with_features in prop::collection::vec(any::<bool>(), 12),
+    ) {
+        let entries: Vec<PredictRequest> = sids
+            .iter()
+            .zip(&with_features)
+            .map(|(&sid, &reg)| PredictRequest {
+                session_id: sid,
+                features: reg.then(|| vec![(sid % 2) as u32]),
+                measured_mbps: (!reg).then_some(2.0),
+                horizon: 1,
+            })
+            .collect();
+        let n = entries.len();
+        let body = BatchPredictRequest { entries }.to_json_bytes();
+        let resp = raw_exchange(&batch_frame(&body), false)
+            .expect("exchange must not hang")
+            .expect("a valid batch frame must get a response");
+        prop_assert_eq!(resp.status, 200);
+        let bresp: BatchPredictResponse = serde_json::from_slice(&resp.body).unwrap();
+        prop_assert_eq!(bresp.results.len(), n);
+        for r in &bresp.results {
+            prop_assert!(
+                r.status == 200 || r.status == 404,
+                "unexpected per-entry status {}", r.status
+            );
+            prop_assert_eq!(r.response.is_some(), r.status == 200);
+        }
+    }
+}
+
+/// An empty batch is a client error, not a server blowup: 400, not 5xx.
+#[test]
+fn empty_batch_is_a_400_not_a_500() {
+    let resp = raw_exchange(&batch_frame(br#"{"entries":[]}"#), false)
+        .expect("must not hang")
+        .expect("server must answer");
+    assert_eq!(resp.status, 400, "reason: {}", resp.reason);
+}
+
+/// A frame over [`MAX_BATCH_ENTRIES`] is rejected whole with a 400 —
+/// and the server goes on serving.
+#[test]
+fn over_cap_batch_is_rejected_whole() {
+    let entries: Vec<PredictRequest> = (0..=MAX_BATCH_ENTRIES as u64)
+        .map(|i| PredictRequest {
+            session_id: i,
+            features: None,
+            measured_mbps: Some(1.0),
+            horizon: 1,
+        })
+        .collect();
+    assert!(entries.len() > MAX_BATCH_ENTRIES);
+    let body = BatchPredictRequest { entries }.to_json_bytes();
+    let resp = raw_exchange(&batch_frame(&body), false)
+        .expect("must not hang")
+        .expect("server must answer");
+    assert_eq!(resp.status, 400, "reason: {}", resp.reason);
 }
 
 #[test]

@@ -173,6 +173,7 @@ fn hot_swaps_under_load_cause_no_downtime() {
         max_gap_us: 200, // open-loop pacing so swaps land mid-workload
         session_id_base: 1_000,
         trace_seed: None,
+        batch: None,
     };
 
     let done = AtomicBool::new(false);

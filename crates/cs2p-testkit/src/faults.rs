@@ -37,7 +37,9 @@
 
 use crate::loadgen::{LoadConfig, LoadReport};
 use cs2p_net::http::Request;
-use cs2p_net::protocol::{PredictRequest, PredictResponse};
+use cs2p_net::protocol::{
+    BatchPredictRequest, BatchPredictResponse, PredictRequest, PredictResponse,
+};
 use cs2p_net::{BoxTransport, HttpClient, RetryPolicy, ServerHandle, TransportWrapper};
 use cs2p_obs::ManualClock;
 use rand::{Rng, SeedableRng};
@@ -568,6 +570,20 @@ fn run_chaos_client(
         .map(|&id| (id, config.load.observations_of(id)))
         .collect();
 
+    if config.load.batch.is_some() {
+        run_chaos_client_batched(
+            server,
+            config,
+            client_idx,
+            is_chaotic,
+            &mut client,
+            &sessions,
+            &observations,
+            &mut report,
+        );
+        return report;
+    }
+
     for epoch in 0..config.load.epochs_per_session {
         for &id in &sessions {
             if is_chaotic && epoch > 0 && config.evict_before_epoch == Some(epoch) {
@@ -587,6 +603,161 @@ fn run_chaos_client(
         }
     }
     report
+}
+
+/// The batched chaos client: the same logical entries as the singleton
+/// path, chunked into `/predict_batch` frames by the loadgen's seeded
+/// size distribution (same seed derivation, so frame boundaries match a
+/// fault-free batched run). Faults fire *mid-frame*: a killed frame is
+/// resent whole — safe, because an error-class fault prevents the server
+/// from applying any entry (a reset mid-response can double-apply, which
+/// only chaotic sessions see, exactly like the singleton path). Forced
+/// evictions land right before the frame carrying the victim's
+/// `evict_before_epoch` entry, so the eviction surfaces as a per-entry
+/// 404 inside a 200 frame; the entry is then replayed as a singleton
+/// re-registration carrying the same measurement.
+#[allow(clippy::too_many_arguments)]
+fn run_chaos_client_batched(
+    server: &ServerHandle,
+    config: &ChaosConfig,
+    client_idx: usize,
+    is_chaotic: bool,
+    client: &mut HttpClient,
+    sessions: &[u64],
+    observations: &BTreeMap<u64, Vec<f64>>,
+    report: &mut ChaosReport,
+) {
+    let spec = config.load.batch.as_ref().expect("batched driver");
+    let lo = spec.min_entries.max(1);
+    let hi = spec.max_entries.max(lo);
+    // Same derivation as loadgen's batched mode: frame boundaries are a
+    // pure function of (seed, client index).
+    let mut sizes =
+        ChaCha8Rng::seed_from_u64(config.load.seed ^ ((client_idx as u64) << 24) ^ 0xBA7C_F3A3);
+
+    // The client's whole entry stream, epoch-major, tagged with the
+    // epoch so eviction scheduling can find the victims per frame.
+    let stream: Vec<(usize, PredictRequest)> = (0..config.load.epochs_per_session)
+        .flat_map(|epoch| {
+            sessions.iter().map(move |&id| {
+                (
+                    epoch,
+                    PredictRequest {
+                        session_id: id,
+                        features: (epoch == 0).then(|| LoadConfig::features_of(id)),
+                        measured_mbps: (epoch > 0).then(|| observations[&id][epoch - 1]),
+                        horizon: config.load.horizon,
+                    },
+                )
+            })
+        })
+        .collect();
+
+    let mut i = 0;
+    while i < stream.len() {
+        let n = sizes.gen_range(lo..=hi).min(stream.len() - i);
+        let frame = &stream[i..i + n];
+        i += n;
+
+        if is_chaotic {
+            if let Some(evict_epoch) = config.evict_before_epoch {
+                for (k, (epoch, entry)) in frame.iter().enumerate() {
+                    // Only evict when the victim has no earlier-epoch
+                    // entry in this same frame: evicting under such an
+                    // entry would 404 a request the schedule never meant
+                    // to hit, breaking the one-reinit-per-eviction
+                    // identity.
+                    let earlier_in_frame = frame[..k]
+                        .iter()
+                        .any(|(_, e)| e.session_id == entry.session_id);
+                    if *epoch == evict_epoch
+                        && !earlier_in_frame
+                        && server.force_evict(entry.session_id)
+                    {
+                        report.forced_evictions += 1;
+                    }
+                }
+            }
+        }
+        drive_batch_frame(client, frame, report);
+    }
+}
+
+/// Sends one batch frame until the server answers it 200, then books
+/// every entry: a 200 entry records its prediction; a 404 entry (the
+/// session was force-evicted) books a re-registration and replays as a
+/// singleton request carrying the same measurement plus features.
+fn drive_batch_frame(
+    client: &mut HttpClient,
+    frame: &[(usize, PredictRequest)],
+    report: &mut ChaosReport,
+) {
+    let breq = BatchPredictRequest {
+        entries: frame.iter().map(|(_, e)| e.clone()).collect(),
+    };
+    let body = breq.to_json_bytes();
+    for _ in 0..MAX_HARNESS_ATTEMPTS {
+        match client.send(&Request::new("POST", "/predict_batch", body.clone())) {
+            Ok(resp) if resp.status == 200 => {
+                let Ok(bresp) = serde_json::from_slice::<BatchPredictResponse>(&resp.body) else {
+                    report.load.errors += breq.entries.len() as u64;
+                    return;
+                };
+                if bresp.results.len() != breq.entries.len() {
+                    report.load.errors += breq.entries.len() as u64;
+                    return;
+                }
+                report.load.sent += breq.entries.len() as u64;
+                // Sessions already re-registered while booking *this*
+                // frame: their later in-frame entries were answered 404
+                // by the same response, but replaying them is a plain
+                // resend, not another re-registration.
+                let mut reregistered = std::collections::BTreeSet::new();
+                for (entry, result) in breq.entries.iter().zip(&bresp.results) {
+                    match (result.status, &result.response) {
+                        (200, Some(presp)) => {
+                            report.load.ok += 1;
+                            report
+                                .load
+                                .predictions
+                                .entry(entry.session_id)
+                                .or_default()
+                                .push(presp.predictions_mbps.clone());
+                        }
+                        (404, _) if entry.measured_mbps.is_some() => {
+                            let replay = if reregistered.insert(entry.session_id) {
+                                report.load.reinit += 1;
+                                PredictRequest {
+                                    features: Some(LoadConfig::features_of(entry.session_id)),
+                                    ..entry.clone()
+                                }
+                            } else {
+                                entry.clone()
+                            };
+                            drive_request(client, &replay, entry.session_id, report);
+                        }
+                        _ => report.load.errors += 1,
+                    }
+                }
+                return;
+            }
+            Ok(resp) if resp.status == 503 => {
+                report.load.rejected += 1;
+                client.note_backpressure();
+                client.reset_connection();
+            }
+            Ok(_) => {
+                // A corrupted frame's 400/405: the whole frame was
+                // refused unapplied — resend it on a fresh connection.
+                report.error_statuses += 1;
+                client.reset_connection();
+            }
+            Err(_) => {
+                client.reset_connection();
+            }
+        }
+    }
+    report.gave_up += 1;
 }
 
 /// Sends one logical request until it yields a 200, absorbing 404

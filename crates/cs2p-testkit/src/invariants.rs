@@ -90,13 +90,17 @@ pub fn assert_bundle_roundtrip(
 /// *bit-identical* per-session prediction sequences to a single-client
 /// run against a single-worker server.
 ///
-/// Starts one baseline server (1 worker, 1 client) and then, for every
-/// worker count in `worker_counts`, a fresh server driven with
-/// `config.n_clients` concurrent clients; all runs replay the same seeded
-/// workload (see [`crate::loadgen`]). The server under test is
-/// `scenarios::tiny_engine` with generous queue/session bounds so no
-/// request is ever rejected — a 503'd measurement would legitimately
-/// change a session's filter sequence.
+/// Starts one baseline server (1 worker, 1 client, **singleton**
+/// `/predict` POSTs — `batch` is stripped from the baseline config) and
+/// then, for every worker count in `worker_counts`, a fresh server
+/// driven with `config.n_clients` concurrent clients; all runs replay
+/// the same seeded workload (see [`crate::loadgen`]). When `config.batch`
+/// is set, the runs under test ship `/predict_batch` frames, so this
+/// additionally proves the batched path bit-equivalent to sequential
+/// singleton serving. The server under test is `scenarios::tiny_engine`
+/// with generous queue/session bounds so no request is ever rejected —
+/// a 503'd measurement would legitimately change a session's filter
+/// sequence.
 pub fn assert_serving_concurrency_independence(
     worker_counts: &[usize],
     config: &crate::loadgen::LoadConfig,
@@ -118,6 +122,7 @@ pub fn assert_serving_concurrency_independence(
         serve_with(crate::scenarios::tiny_engine(), "127.0.0.1:0", roomy(1)).expect("baseline");
     let baseline_config = LoadConfig {
         n_clients: 1,
+        batch: None,
         ..config.clone()
     };
     let baseline = run_load(baseline_server.addr(), &baseline_config);

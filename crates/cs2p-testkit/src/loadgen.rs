@@ -26,7 +26,9 @@
 //! (`isp`) schema of [`crate::scenarios::tiny_engine`].
 
 use cs2p_net::http::{Request, Response};
-use cs2p_net::protocol::{PredictRequest, PredictResponse};
+use cs2p_net::protocol::{
+    BatchPredictRequest, BatchPredictResponse, PredictRequest, PredictResponse,
+};
 use cs2p_net::HttpClient;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -58,6 +60,35 @@ pub struct LoadConfig {
     /// from this one — each request carries an `x-trace-id` the server
     /// scopes over its `serve.request` span and events.
     pub trace_seed: Option<u64>,
+    /// When set, each client ships its entries as `POST /predict_batch`
+    /// frames instead of singleton `/predict` POSTs. Frame sizes are
+    /// drawn from the spec's seeded distribution; per-session entry
+    /// order is unchanged, so [`LoadReport::predictions`] must stay
+    /// bit-identical to the singleton run.
+    pub batch: Option<BatchSpec>,
+}
+
+/// Frame-size distribution for batch mode: each frame's entry count is
+/// drawn uniformly from `min_entries..=max_entries` by a ChaCha RNG
+/// seeded from the workload's master seed and the client index — the
+/// frame boundaries are as reproducible as the payloads they carry.
+#[derive(Debug, Clone)]
+pub struct BatchSpec {
+    /// Smallest frame the generator emits (clamped to at least 1).
+    pub min_entries: usize,
+    /// Largest frame the generator emits (the final frame of a client's
+    /// stream may be smaller — it takes whatever entries remain).
+    pub max_entries: usize,
+}
+
+impl BatchSpec {
+    /// Every frame carries exactly `n` entries (final remainder aside).
+    pub fn fixed(n: usize) -> Self {
+        BatchSpec {
+            min_entries: n,
+            max_entries: n,
+        }
+    }
 }
 
 impl Default for LoadConfig {
@@ -71,6 +102,7 @@ impl Default for LoadConfig {
             max_gap_us: 0,
             session_id_base: 1_000,
             trace_seed: None,
+            batch: None,
         }
     }
 }
@@ -167,6 +199,20 @@ fn run_client(addr: SocketAddr, config: &LoadConfig, client_idx: usize) -> LoadR
         .map(|&id| (id, config.observations_of(id)))
         .collect();
 
+    if let Some(spec) = &config.batch {
+        run_client_batched(
+            &mut client,
+            config,
+            client_idx,
+            &sessions,
+            &observations,
+            spec,
+            &mut pacing,
+            &mut report,
+        );
+        return report;
+    }
+
     for epoch in 0..config.epochs_per_session {
         for &id in &sessions {
             if config.max_gap_us > 0 {
@@ -202,28 +248,7 @@ fn run_client(addr: SocketAddr, config: &LoadConfig, client_idx: usize) -> LoadR
                 Ok(resp) if resp.status == 404 && epoch > 0 => {
                     // Evicted under churn: exercise the clean re-init
                     // path by re-registering with features.
-                    report.reinit += 1;
-                    let re = PredictRequest {
-                        features: Some(LoadConfig::features_of(id)),
-                        ..preq.clone()
-                    };
-                    report.sent += 1;
-                    match post_predict(&mut client, &re) {
-                        Ok(r2) if r2.status == 200 => {
-                            match serde_json::from_slice::<PredictResponse>(&r2.body) {
-                                Ok(presp) => {
-                                    report.ok += 1;
-                                    report
-                                        .predictions
-                                        .entry(id)
-                                        .or_default()
-                                        .push(presp.predictions_mbps);
-                                }
-                                Err(_) => report.errors += 1,
-                            }
-                        }
-                        _ => report.errors += 1,
-                    }
+                    reregister(&mut client, &mut report, &preq);
                 }
                 Ok(_) => report.errors += 1,
                 Err(_) => report.errors += 1,
@@ -231,6 +256,118 @@ fn run_client(addr: SocketAddr, config: &LoadConfig, client_idx: usize) -> LoadR
         }
     }
     report
+}
+
+/// The batched twin of the singleton loop in `run_client`: the client's
+/// whole epoch-major entry stream is chunked into `/predict_batch`
+/// frames whose sizes come from the spec's seeded ChaCha distribution.
+/// A frame may span epochs (and then carries two entries for one
+/// session, processed server-side in frame order), so per-session entry
+/// order — and therefore the prediction sequences — is exactly the
+/// singleton run's.
+#[allow(clippy::too_many_arguments)]
+fn run_client_batched(
+    client: &mut HttpClient,
+    config: &LoadConfig,
+    client_idx: usize,
+    sessions: &[u64],
+    observations: &BTreeMap<u64, Vec<f64>>,
+    spec: &BatchSpec,
+    pacing: &mut ChaCha8Rng,
+    report: &mut LoadReport,
+) {
+    let mut sizes =
+        ChaCha8Rng::seed_from_u64(config.seed ^ ((client_idx as u64) << 24) ^ 0xBA7C_F3A3);
+    let lo = spec.min_entries.max(1);
+    let hi = spec.max_entries.max(lo);
+    let stream: Vec<(u64, usize)> = (0..config.epochs_per_session)
+        .flat_map(|epoch| sessions.iter().map(move |&id| (id, epoch)))
+        .collect();
+
+    let mut i = 0;
+    while i < stream.len() {
+        let n = sizes.gen_range(lo..=hi).min(stream.len() - i);
+        let entries: Vec<PredictRequest> = stream[i..i + n]
+            .iter()
+            .map(|&(id, epoch)| PredictRequest {
+                session_id: id,
+                features: (epoch == 0).then(|| LoadConfig::features_of(id)),
+                measured_mbps: (epoch > 0).then(|| observations[&id][epoch - 1]),
+                horizon: config.horizon,
+            })
+            .collect();
+        i += n;
+        if config.max_gap_us > 0 {
+            let gap = pacing.gen_range(0..config.max_gap_us);
+            std::thread::sleep(Duration::from_micros(gap));
+        }
+        report.sent += n as u64;
+        let breq = BatchPredictRequest { entries };
+        // Direct writer: one preallocated buffer, no serde Value tree.
+        let body = breq.to_json_bytes();
+        let entries = breq.entries;
+        match client.send(&Request::new("POST", "/predict_batch", body)) {
+            Ok(resp) if resp.status == 200 => {
+                match serde_json::from_slice::<BatchPredictResponse>(&resp.body) {
+                    Ok(bresp) if bresp.results.len() == entries.len() => {
+                        for (preq, r) in entries.iter().zip(&bresp.results) {
+                            match (r.status, &r.response) {
+                                (200, Some(presp)) => {
+                                    report.ok += 1;
+                                    report
+                                        .predictions
+                                        .entry(preq.session_id)
+                                        .or_default()
+                                        .push(presp.predictions_mbps.clone());
+                                }
+                                // 404 on a non-registration entry:
+                                // evicted under churn; replay it with
+                                // features, like the singleton path.
+                                (404, _) if preq.features.is_none() => {
+                                    reregister(client, report, preq);
+                                }
+                                _ => report.errors += 1,
+                            }
+                        }
+                    }
+                    _ => report.errors += n as u64,
+                }
+            }
+            Ok(resp) if resp.status == 503 => {
+                // Whole-frame backpressure: the server rejected it
+                // before touching any entry, and closed the connection.
+                report.rejected += n as u64;
+                client.reset_connection();
+            }
+            _ => report.errors += n as u64,
+        }
+    }
+}
+
+/// Replays one evicted entry as a singleton `/predict` carrying
+/// features, counting the 404 as a `reinit` and the replay as a fresh
+/// `sent` request.
+fn reregister(client: &mut HttpClient, report: &mut LoadReport, preq: &PredictRequest) {
+    report.reinit += 1;
+    let re = PredictRequest {
+        features: Some(LoadConfig::features_of(preq.session_id)),
+        ..preq.clone()
+    };
+    report.sent += 1;
+    match post_predict(client, &re) {
+        Ok(r2) if r2.status == 200 => match serde_json::from_slice::<PredictResponse>(&r2.body) {
+            Ok(presp) => {
+                report.ok += 1;
+                report
+                    .predictions
+                    .entry(preq.session_id)
+                    .or_default()
+                    .push(presp.predictions_mbps);
+            }
+            Err(_) => report.errors += 1,
+        },
+        _ => report.errors += 1,
+    }
 }
 
 fn post_predict(client: &mut HttpClient, preq: &PredictRequest) -> std::io::Result<Response> {
@@ -275,6 +412,62 @@ mod tests {
         }
         assert_eq!(server.predictions_served(), report.ok);
         server.shutdown();
+    }
+
+    #[test]
+    fn batched_run_matches_singleton_predictions() {
+        // The core differential property at loadgen level: chunking the
+        // entry stream into seeded variable-size frames must not change
+        // a single per-session prediction.
+        let singleton = LoadConfig {
+            n_clients: 2,
+            n_sessions: 6,
+            epochs_per_session: 4,
+            ..LoadConfig::default()
+        };
+        let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let a = run_load(server.addr(), &singleton);
+        server.shutdown();
+        for (min_e, max_e) in [(1, 1), (3, 3), (2, 7)] {
+            let batched = LoadConfig {
+                batch: Some(BatchSpec {
+                    min_entries: min_e,
+                    max_entries: max_e,
+                }),
+                ..singleton.clone()
+            };
+            let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+            let b = run_load(server.addr(), &batched);
+            server.shutdown();
+            assert_eq!(b.ok, b.sent, "batched run shed load: {b:?}");
+            assert_eq!(
+                a.predictions, b.predictions,
+                "batch frames {min_e}..={max_e} changed predictions"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_frame_sizes_are_seed_deterministic() {
+        // Same seed, same frame boundaries: two batched runs against
+        // fresh servers must produce identical reports end to end.
+        let config = LoadConfig {
+            n_clients: 2,
+            n_sessions: 5,
+            epochs_per_session: 3,
+            batch: Some(BatchSpec {
+                min_entries: 1,
+                max_entries: 4,
+            }),
+            ..LoadConfig::default()
+        };
+        let server1 = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let a = run_load(server1.addr(), &config);
+        server1.shutdown();
+        let server2 = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+        let b = run_load(server2.addr(), &config);
+        server2.shutdown();
+        assert_eq!(a, b);
     }
 
     #[test]
