@@ -1,0 +1,179 @@
+//! Durability overhead: the WAL-enabled server vs the in-memory server
+//! over the identical batched workload, plus recovery latency.
+//!
+//! The durable server group-commits framed binary records (no fsync —
+//! the bench isolates the encode/frame/append cost, not the disk), with
+//! load-triggered compaction off so every iteration does the same work.
+//! The headline table mirrors `cs2p-eval persist-bench`, which owns the
+//! strict ≥0.8× CI gate; here the assertion is a looser smoke floor so
+//! criterion runs on noisy boxes don't flake.
+//!
+//! The recovery benchmark replays a directory populated by a real
+//! durable run (snapshot + WAL segments) through `persist::recover` —
+//! the cold-start path `ServerHandle::open_or_recover` takes before it
+//! can serve its first request.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs2p_net::{serve_with, PersistConfig, ServeConfig, ServerHandle};
+use cs2p_testkit::crash::TempDir;
+use cs2p_testkit::loadgen::{run_load, BatchSpec, LoadConfig};
+use cs2p_testkit::scenarios::tiny_engine;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// Each client walks 64 sessions through 4 epochs in batch-64 frames —
+/// the amortized regime the 0.8× serving gate is defined over.
+fn workload(n_clients: usize) -> LoadConfig {
+    LoadConfig {
+        n_clients,
+        n_sessions: n_clients * 64,
+        epochs_per_session: 4,
+        horizon: 2,
+        seed: 433,
+        max_gap_us: 0,
+        session_id_base: 80_000,
+        trace_seed: None,
+        batch: Some(BatchSpec::fixed(64)),
+    }
+}
+
+fn sharded_config() -> ServeConfig {
+    ServeConfig {
+        n_workers: 8,
+        n_shards: 8,
+        queue_depth: 1024,
+        max_connections: 4096,
+        max_sessions: 1 << 20,
+        session_ttl_requests: None,
+        ..ServeConfig::default()
+    }
+}
+
+/// Group commit every 64 records, no fsync, no load-triggered
+/// compaction: the same cadence `cs2p-eval persist-bench` gates on.
+fn durable_config() -> PersistConfig {
+    PersistConfig {
+        commit_every_records: 64,
+        snapshot_every_records: 0,
+        fsync_data: false,
+        ..PersistConfig::default()
+    }
+}
+
+fn run_and_check(addr: SocketAddr, config: &LoadConfig) {
+    let report = run_load(addr, config);
+    assert_eq!(
+        report.ok, report.sent,
+        "bench workload must not shed load (rejected {}, errors {})",
+        report.rejected, report.errors
+    );
+}
+
+fn measure_eps(addr: SocketAddr, config: &LoadConfig) -> f64 {
+    run_and_check(addr, config); // warm connections and session state
+    let start = Instant::now();
+    run_and_check(addr, config);
+    config.total_requests() as f64 / start.elapsed().as_secs_f64()
+}
+
+fn persist_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persist-overhead");
+    group.sample_size(10);
+
+    let config = workload(2);
+    let inmem = serve_with(tiny_engine(), "127.0.0.1:0", sharded_config()).unwrap();
+    group.bench_function("in-memory/batch-64", |b| {
+        b.iter(|| run_and_check(inmem.addr(), &config))
+    });
+    inmem.shutdown();
+
+    let dir = TempDir::new("persist-overhead");
+    let durable = ServerHandle::open_or_recover(
+        dir.path(),
+        tiny_engine(),
+        "127.0.0.1:0",
+        sharded_config(),
+        durable_config(),
+    )
+    .unwrap();
+    group.bench_function("durable/batch-64", |b| {
+        b.iter(|| run_and_check(durable.addr(), &config))
+    });
+    let wal = durable.persist_stats().expect("durable server has a WAL");
+    durable.shutdown();
+    assert!(!wal.dead, "bench WAL died: {wal:?}");
+    group.finish();
+
+    headline_table();
+    recovery_latency();
+}
+
+/// One-shot entries/second, in-memory vs durable, printed for DESIGN.md
+/// cross-checks. The smoke floor is deliberately looser than the 0.8×
+/// CI gate in `cs2p-eval persist-bench` (criterion boxes are noisy).
+fn headline_table() {
+    println!("[persist-overhead] closed-loop batch-64 entries/second (one-shot):");
+    println!("  clients      in-mem     durable       ratio");
+    for &n_clients in &[1usize, 4] {
+        let config = workload(n_clients);
+        let inmem = serve_with(tiny_engine(), "127.0.0.1:0", sharded_config()).unwrap();
+        let inmem_eps = measure_eps(inmem.addr(), &config);
+        inmem.shutdown();
+
+        let dir = TempDir::new("persist-overhead");
+        let durable = ServerHandle::open_or_recover(
+            dir.path(),
+            tiny_engine(),
+            "127.0.0.1:0",
+            sharded_config(),
+            durable_config(),
+        )
+        .unwrap();
+        let durable_eps = measure_eps(durable.addr(), &config);
+        durable.shutdown();
+
+        let ratio = durable_eps / inmem_eps;
+        println!(
+            "  {:>7} {:>11.0} {:>11.0} {:>10.2}x",
+            n_clients, inmem_eps, durable_eps, ratio
+        );
+        assert!(
+            ratio >= 0.5,
+            "durable serving collapsed to {ratio:.2}x in-memory at {n_clients} clients \
+             ({durable_eps:.0} vs {inmem_eps:.0} eps)"
+        );
+    }
+}
+
+/// Recovery latency: populate a directory with a real durable run, then
+/// time `persist::recover` — snapshot read + WAL replay — over it.
+fn recovery_latency() {
+    let dir = TempDir::new("persist-recover");
+    let server = ServerHandle::open_or_recover(
+        dir.path(),
+        tiny_engine(),
+        "127.0.0.1:0",
+        sharded_config(),
+        durable_config(),
+    )
+    .unwrap();
+    let config = workload(4);
+    run_and_check(server.addr(), &config);
+    server.shutdown();
+
+    let rounds = 20;
+    let start = Instant::now();
+    let mut sessions = 0;
+    for _ in 0..rounds {
+        let state = cs2p_net::persist::recover(dir.path(), 32).expect("recover populated dir");
+        sessions = state.sessions.len();
+    }
+    let mean_ms = start.elapsed().as_secs_f64() * 1000.0 / rounds as f64;
+    println!(
+        "[persist-overhead] recover() of {sessions} sessions: {mean_ms:.2} ms mean over {rounds} rounds"
+    );
+    assert!(sessions > 0, "recovery found no sessions");
+}
+
+criterion_group!(persist_overhead_group, persist_overhead);
+criterion_main!(persist_overhead_group);

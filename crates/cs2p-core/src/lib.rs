@@ -48,6 +48,6 @@ pub use features::{FeatureSchema, FeatureSet, FeatureVector};
 pub use metrics::{abs_normalized_error, ErrorSummary};
 pub use model_io::{ClientModel, ModelBundle};
 pub use predictor::{Cs2pPredictor, NoisyOracle, ThroughputPredictor};
-pub use registry::{ModelRegistry, ModelVersion};
+pub use registry::{ModelRegistry, ModelVersion, RegistryPersistence};
 pub use session::Session;
 pub use timewin::TimeWindow;

@@ -49,6 +49,31 @@ impl ModelBundle {
     pub fn from_json(json: &str) -> serde_json::Result<Self> {
         serde_json::from_str(json)
     }
+
+    /// Writes the bundle to `path` crash-safely: serialize to
+    /// `<path>.tmp`, fsync, then rename over `path`. A reader (or a
+    /// recovery after a crash anywhere in this sequence) sees either the
+    /// old complete file or the new complete file, never a torn one.
+    pub fn write_atomic(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let json = self
+            .to_json()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut file, json.as_bytes())?;
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads a bundle previously written by
+    /// [`write_atomic`](Self::write_atomic). Corrupt JSON is an
+    /// `InvalidData` error, never a panic.
+    pub fn read_atomic(path: &std::path::Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
 }
 
 /// The single-cluster payload a client downloads for one session: its

@@ -52,12 +52,30 @@ struct Inner {
     pins: BTreeMap<ModelVersion, usize>,
 }
 
+/// Durability seam for the registry: a sink notified of every lifecycle
+/// transition that must survive a crash. Implementations write each
+/// published version's bundle (and the current-version pointer) to disk
+/// and unlink versions GC has dropped — see `cs2p-net`'s persist module.
+///
+/// Callbacks run while the registry's write lock is held, so the swap a
+/// reader observes is never ahead of what is durable. Publishes are rare
+/// (a daily-scale retrain), so the held-lock I/O is deliberate: readers
+/// block for one bundle write at swap time, never on the request path.
+pub trait RegistryPersistence: Send + Sync {
+    /// `version` was just published (and made current): persist its
+    /// engine and the current-version pointer.
+    fn publish_version(&self, version: ModelVersion, engine: &PredictionEngine);
+    /// `version` fell out of retention: its persisted bundle can go.
+    fn collect_version(&self, version: ModelVersion);
+}
+
 /// Versioned, atomically swappable store of [`PredictionEngine`]
 /// snapshots. See the module docs for semantics.
 pub struct ModelRegistry {
     config: EngineConfig,
     retain: usize,
     inner: RwLock<Inner>,
+    persistence: Option<Arc<dyn RegistryPersistence>>,
 }
 
 impl std::fmt::Debug for ModelRegistry {
@@ -89,7 +107,45 @@ impl ModelRegistry {
                 retained,
                 pins: BTreeMap::new(),
             }),
+            persistence: None,
         }
+    }
+
+    /// Rebuilds a registry from recovered parts: the surviving
+    /// `(version, engine)` pairs and the current-version pointer. `None`
+    /// when `engines` is empty or does not contain `current`. The next
+    /// publish continues after the greatest recovered version, so version
+    /// numbers are never reused across a restart.
+    pub fn restore(
+        engines: Vec<(ModelVersion, PredictionEngine)>,
+        current: ModelVersion,
+        config: EngineConfig,
+        retain: usize,
+    ) -> Option<Self> {
+        let retained: BTreeMap<ModelVersion, Arc<PredictionEngine>> =
+            engines.into_iter().map(|(v, e)| (v, Arc::new(e))).collect();
+        if !retained.contains_key(&current) {
+            return None;
+        }
+        let next = retained.keys().next_back()?.0 + 1;
+        Some(ModelRegistry {
+            config,
+            retain: retain.max(1),
+            inner: RwLock::new(Inner {
+                next,
+                current,
+                retained,
+                pins: BTreeMap::new(),
+            }),
+            persistence: None,
+        })
+    }
+
+    /// Installs the durability sink (see [`RegistryPersistence`]). Call
+    /// before sharing the registry across threads; versions already in
+    /// the registry are not re-notified.
+    pub fn set_persistence(&mut self, sink: Arc<dyn RegistryPersistence>) {
+        self.persistence = Some(sink);
     }
 
     /// The live snapshot: `(version, engine)`. The `Arc` keeps the engine
@@ -150,9 +206,16 @@ impl ModelRegistry {
         let mut inner = self.inner.write();
         let version = ModelVersion(inner.next);
         inner.next += 1;
-        inner.retained.insert(version, Arc::new(engine));
+        let engine = Arc::new(engine);
+        inner.retained.insert(version, Arc::clone(&engine));
         inner.current = version;
-        Self::gc_locked(&mut inner, self.retain);
+        let dropped = Self::gc_locked(&mut inner, self.retain);
+        if let Some(sink) = &self.persistence {
+            sink.publish_version(version, &engine);
+            for v in dropped {
+                sink.collect_version(v);
+            }
+        }
         version
     }
 
@@ -174,10 +237,17 @@ impl ModelRegistry {
     /// Drops versions outside the retention window. Kept: the greatest
     /// `retain` versions, the current version, and every pinned version.
     pub fn gc(&self) {
-        Self::gc_locked(&mut self.inner.write(), self.retain);
+        let dropped = Self::gc_locked(&mut self.inner.write(), self.retain);
+        if let Some(sink) = &self.persistence {
+            for v in dropped {
+                sink.collect_version(v);
+            }
+        }
     }
 
-    fn gc_locked(inner: &mut Inner, retain: usize) {
+    /// Collects retained-out versions and returns what was dropped, so
+    /// callers holding the lock can notify the persistence sink.
+    fn gc_locked(inner: &mut Inner, retain: usize) -> Vec<ModelVersion> {
         let keep_from = {
             let mut versions: Vec<ModelVersion> = inner.retained.keys().copied().collect();
             versions.sort_unstable_by(|a, b| b.cmp(a));
@@ -185,10 +255,17 @@ impl ModelRegistry {
         };
         let current = inner.current;
         let pins = std::mem::take(&mut inner.pins);
-        inner
+        let dropped: Vec<ModelVersion> = inner
             .retained
-            .retain(|v, _| *v >= keep_from || *v == current || pins.contains_key(v));
+            .keys()
+            .copied()
+            .filter(|v| *v < keep_from && *v != current && !pins.contains_key(v))
+            .collect();
+        for v in &dropped {
+            inner.retained.remove(v);
+        }
         inner.pins = pins;
+        dropped
     }
 }
 

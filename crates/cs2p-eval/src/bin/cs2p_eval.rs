@@ -8,6 +8,7 @@
 //! cs2p-eval serve-bench  [--batch] [--metrics out.jsonl]  # serving throughput table
 //! cs2p-eval chaos-bench  [--metrics out.jsonl]   # fault recovery table
 //! cs2p-eval refresh-bench [--metrics out.jsonl]  # stale vs refreshed model table
+//! cs2p-eval persist-bench [--metrics out.jsonl]  # in-memory vs durable table
 //! cs2p-eval validate-metrics a.jsonl [b.jsonl] [--require stage,stage]
 //! cs2p-eval trace-report <metrics.jsonl>  # per-trace waterfalls
 //! ```
@@ -21,7 +22,9 @@
 //! preparation and reports recovery latency/success per injected fault
 //! class (see TESTING.md). `refresh-bench` generates its own drifting
 //! world and compares a stale launch model against the daily warm-start
-//! refresh pipeline (see DESIGN.md §3c). `validate-metrics` checks a metrics
+//! refresh pipeline (see DESIGN.md §3c). `persist-bench` compares the
+//! in-memory server against the durable one (WAL commit per record) and
+//! enforces the WAL-overhead gate (see DESIGN.md §3f). `validate-metrics` checks a metrics
 //! file against the schema — `--require` overrides the stage-coverage
 //! gate (default `train,predict,stream`); given two files it also diffs
 //! their determinism-normalized forms (the CI reproducibility gate).
@@ -30,8 +33,8 @@
 //! spans plus per-trace waterfalls (see OBSERVABILITY.md).
 
 use cs2p_eval::experiments::{
-    chaos_bench, dataset_figs, pilot, prediction, qoe, refresh_bench, sens, serve_bench,
-    trace_report,
+    chaos_bench, dataset_figs, persist_bench, pilot, prediction, qoe, refresh_bench, sens,
+    serve_bench, trace_report,
 };
 use cs2p_eval::{EvalConfig, Materials};
 use cs2p_obs::{schema, JsonlSink, Registry};
@@ -56,6 +59,7 @@ fn usage() -> ExitCode {
     eprintln!("       cs2p-eval serve-bench [--batch] [--metrics out.jsonl]");
     eprintln!("       cs2p-eval chaos-bench [--metrics out.jsonl]");
     eprintln!("       cs2p-eval refresh-bench [--metrics out.jsonl]");
+    eprintln!("       cs2p-eval persist-bench [--metrics out.jsonl]");
     eprintln!("       cs2p-eval validate-metrics <a.jsonl> [b.jsonl] [--require stage,stage]");
     eprintln!("       cs2p-eval trace-report <metrics.jsonl>");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
@@ -114,6 +118,7 @@ fn main() -> ExitCode {
             "--serve-bench" => positional.push("serve-bench".into()),
             "--chaos-bench" => positional.push("chaos-bench".into()),
             "--refresh-bench" => positional.push("refresh-bench".into()),
+            "--persist-bench" => positional.push("persist-bench".into()),
             flag if flag.starts_with("--") => return usage(),
             _ => positional.push(arg.clone()),
         }
@@ -129,8 +134,11 @@ fn main() -> ExitCode {
     }
     let chaos_bench_only = positional.as_slice() == ["chaos-bench"];
     let refresh_bench_only = positional.as_slice() == ["refresh-bench"];
+    let persist_bench_only = positional.as_slice() == ["persist-bench"];
     let ids: Vec<&str> = match positional.as_slice() {
-        _ if serve_bench_only || chaos_bench_only || refresh_bench_only => Vec::new(),
+        _ if serve_bench_only || chaos_bench_only || refresh_bench_only || persist_bench_only => {
+            Vec::new()
+        }
         [] if metrics_path.is_some() || profile => DEFAULT_SET.to_vec(),
         [] => return usage(),
         [one] if one == "all" => EXPERIMENTS.to_vec(),
@@ -152,9 +160,9 @@ fn main() -> ExitCode {
         }
     }
 
-    // `serve-bench`/`chaos-bench`/`refresh-bench` need no paper
-    // materials: bench and exit.
-    if serve_bench_only || chaos_bench_only || refresh_bench_only {
+    // `serve-bench`/`chaos-bench`/`refresh-bench`/`persist-bench` need
+    // no paper materials: bench and exit.
+    if serve_bench_only || chaos_bench_only || refresh_bench_only || persist_bench_only {
         let start = std::time::Instant::now();
         let (name, table) = if serve_bench_only && batch {
             ("serve-bench --batch", serve_bench::serve_bench_batch())
@@ -162,6 +170,8 @@ fn main() -> ExitCode {
             ("serve-bench", serve_bench::serve_bench())
         } else if chaos_bench_only {
             ("chaos-bench", chaos_bench::chaos_bench())
+        } else if persist_bench_only {
+            ("persist-bench", persist_bench::persist_bench())
         } else {
             ("refresh-bench", refresh_bench::refresh_bench())
         };

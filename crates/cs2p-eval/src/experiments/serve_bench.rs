@@ -22,7 +22,9 @@ const EPOCHS_PER_SESSION: usize = 4;
 
 /// A two-ISP engine (1 Mbps / 5 Mbps, constant traces) that trains in
 /// milliseconds — serving throughput, not model quality, is under test.
-fn bench_engine() -> PredictionEngine {
+/// Shared with `persist-bench`, which measures the same workload with
+/// and without the durability layer underneath.
+pub(crate) fn bench_engine() -> PredictionEngine {
     let schema = FeatureSchema::new(vec!["isp"]);
     let sessions: Vec<Session> = (0..40)
         .map(|k| {
@@ -223,7 +225,7 @@ fn drive_batch(
 
 /// Warmed entries/second for one (clients, batch size) cell; panics if
 /// any entry failed — the measured configurations absorb the full load.
-fn measure_eps(
+pub(crate) fn measure_eps(
     addr: SocketAddr,
     n_clients: usize,
     sessions_per_client: usize,
@@ -243,7 +245,7 @@ fn measure_eps(
     unreachable!("second round returns")
 }
 
-fn sharded_config() -> ServeConfig {
+pub(crate) fn sharded_config() -> ServeConfig {
     ServeConfig {
         n_workers: 8,
         n_shards: 8,

@@ -26,6 +26,10 @@
 //!   can trigger an online model refresh;
 //! - [`ops`]: the read-only operations surface behind `GET /ops`
 //!   (JSON) and `GET /ops/metrics` (Prometheus text);
+//! - [`persist`]: crash-safe durability — a CRC-framed write-ahead log
+//!   of store mutations with group commit and snapshot compaction,
+//!   persisted model-registry bundles, and the recovery path behind
+//!   `ServerHandle::open_or_recover`;
 //! - [`transport`]: the byte-stream abstraction with an injectable
 //!   per-connection wrapper hook (fault injection, future middleboxes)
 //!   and the server's slow-peer deadline reader;
@@ -53,6 +57,7 @@ pub mod dash;
 pub mod http;
 pub mod legacy;
 pub mod ops;
+pub mod persist;
 pub mod pool;
 pub mod protocol;
 pub mod quality;
@@ -67,6 +72,7 @@ pub use dash::{
 };
 pub use legacy::{serve_legacy, LegacyServerHandle};
 pub use ops::{FaultRow, OpsQuality, OpsSnapshot, QualityRow};
+pub use persist::{CommitOutcome, PersistConfig, RecoveredState, WalFaultHook, WalStats};
 pub use protocol::{
     BatchEntryResult, BatchPredictRequest, BatchPredictResponse, Health, LogStats, PredictRequest,
     PredictResponse, SessionLog, StrategyStats, MAX_BATCH_ENTRIES,

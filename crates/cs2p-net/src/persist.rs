@@ -1,0 +1,1542 @@
+//! Crash-safe durability for the prediction server: a write-ahead log of
+//! session-store mutations plus periodic atomic snapshots, and persisted
+//! model bundles for every retained [`ModelVersion`].
+//!
+//! The paper's deployability story (§5.3: compact `<5KB` models pushed to
+//! players and video servers) assumes the serving tier survives restarts.
+//! Cross-session state is the whole point of CS2P — a crash that discards
+//! every live HMM filter posterior and every retrained model version
+//! forces all viewers through cold re-registration on a stale launch
+//! model. This module makes that state durable:
+//!
+//! - **WAL** ([`Wal`]): length-prefixed, CRC32-framed records appended to
+//!   generation-numbered segment files, group-committed (buffer + one
+//!   write + `fdatasync`) every [`PersistConfig::commit_every_records`]
+//!   records or [`PersistConfig::commit_interval`] on the server's
+//!   injectable clock. Each record is one store mutation
+//!   ([`WalRecord`]): session registration (full state), a measurement
+//!   update (the post-request filter posterior and pending prediction),
+//!   or a removal (eviction / `/log` retirement). Payloads use a
+//!   hand-rolled little-endian binary layout — encoding happens on the
+//!   request path under the shard lock, where JSON through the Value
+//!   tree costs real serving throughput (see `persist-bench`).
+//! - **Snapshot compaction**: every
+//!   [`PersistConfig::snapshot_every_records`] records the WAL rotates to
+//!   a new generation, the sharded store is captured into a
+//!   [`StoreSnapshot`] written atomically (write-temp + fsync + rename),
+//!   and fully-covered generations are unlinked. A snapshot taken while
+//!   serving may already reflect some records of the new generation;
+//!   replay is idempotent over that window (absolute filter/pending
+//!   values, `observed_len`-guarded measurement appends).
+//! - **Model registry**: [`RegistryDir`] implements
+//!   [`cs2p_core::RegistryPersistence`] — every published version's
+//!   [`ModelBundle`] is written at retrain time, the current-version
+//!   pointer is swapped atomically, and GC unlinks retained-out bundles.
+//! - **Recovery** ([`recover`]): loads the snapshot, replays every
+//!   uncovered WAL generation in order, and stops at the first torn or
+//!   corrupt record — the longest valid prefix wins, and recovery never
+//!   panics on arbitrary bytes. `ServerHandle::open_or_recover` turns the
+//!   result back into a live server whose sessions, filter posteriors,
+//!   pinned model versions, and store tick state are bit-identical to
+//!   the committed prefix of the crashed run.
+//!
+//! What is deliberately **not** durable: quality-monitor sketches, the
+//! completed-session recorder window, uploaded logs, fault counters, and
+//! logical ticks consumed by requests that mutated nothing (a failed
+//! lookup ages TTL clocks but writes no record). See DESIGN.md §3f.
+//!
+//! Telemetry: `serve.persist.{wal_records,wal_bytes,snapshots,
+//! compactions,recoveries,truncated_records,recovery_us}`.
+
+use cs2p_core::registry::RegistryPersistence;
+use cs2p_core::{ModelBundle, ModelVersion, PredictionEngine};
+use cs2p_ml::hmm::FilterState;
+use cs2p_obs::Clock;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper bound on one framed record's payload. A corrupt length prefix
+/// must not make recovery allocate gigabytes; anything larger is treated
+/// as a torn record.
+const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+/// Bytes of framing per record: a `u32` length plus a `u32` CRC32.
+const FRAME_HEADER: usize = 8;
+
+/// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes` — the checksum guarding every WAL frame.
+/// Hand-rolled (table-driven) because the workspace vendors no CRC crate.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Frames `payload` as `[len: u32 LE][crc32: u32 LE][payload]` into `out`.
+fn frame_into(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// The decoded contents of one WAL file (or byte slice): every record of
+/// the longest valid frame prefix, plus whether the log ended cleanly.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Record payloads, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// `false` when decoding stopped at a torn or corrupt frame (short
+    /// header, short payload, oversized length, or CRC mismatch).
+    pub clean: bool,
+    /// Bytes consumed by the valid prefix.
+    pub valid_bytes: u64,
+}
+
+/// Decodes length-prefixed CRC-framed records from `bytes`, stopping at
+/// the first torn or corrupt frame. Never panics on arbitrary input.
+pub fn decode_frames(bytes: &[u8]) -> WalReplay {
+    let mut out = WalReplay {
+        records: Vec::new(),
+        clean: true,
+        valid_bytes: 0,
+    };
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < FRAME_HEADER {
+            out.clean = false;
+            return out;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN || bytes.len() - pos - FRAME_HEADER < len as usize {
+            out.clean = false;
+            return out;
+        }
+        let payload = &bytes[pos + FRAME_HEADER..pos + FRAME_HEADER + len as usize];
+        if crc32(payload) != crc {
+            out.clean = false;
+            return out;
+        }
+        out.records.push(payload.to_vec());
+        pos += FRAME_HEADER + len as usize;
+        out.valid_bytes = pos as u64;
+    }
+    out
+}
+
+/// Reads and decodes one WAL segment file. A missing file is an empty,
+/// clean log (the segment was never created or already compacted away).
+pub fn read_wal(path: &Path) -> io::Result<WalReplay> {
+    match fs::read(path) {
+        Ok(bytes) => Ok(decode_frames(&bytes)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(WalReplay {
+            records: Vec::new(),
+            clean: true,
+            valid_bytes: 0,
+        }),
+        Err(e) => Err(e),
+    }
+}
+
+/// Writes `bytes` to `path` crash-safely: `<path>.tmp` + fsync + rename.
+/// Readers (and post-crash recovery) see either the old complete file or
+/// the new complete file, never a torn one.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_data()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// What the filesystem "does" with one group commit — the seam the
+/// testkit's crash harness injects process kills and torn writes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// Write and fsync the whole batch (the no-fault path).
+    Write,
+    /// Write only the first `n` bytes of the batch, then die: the classic
+    /// torn write a power loss leaves behind. The WAL goes dead.
+    ShortWrite(usize),
+    /// Die before anything reaches the disk: the batch is lost whole and
+    /// the WAL goes dead.
+    Kill,
+}
+
+/// Per-commit fault hook (see [`CommitOutcome`]). `commit_index` counts
+/// successful commits so far, so a seeded plan can kill the process model
+/// at an exact commit point. Called with the framed batch bytes.
+pub trait WalFaultHook: Send + Sync {
+    /// Decides the fate of commit number `commit_index`.
+    fn on_commit(&self, commit_index: u64, batch: &[u8]) -> CommitOutcome;
+}
+
+/// Counters describing a WAL's life so far (see [`Wal::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (framed into the commit buffer).
+    pub records: u64,
+    /// Framed bytes appended.
+    pub bytes: u64,
+    /// Group commits that reached the disk.
+    pub commits: u64,
+    /// Whether the WAL is dead (simulated crash or I/O error): appends
+    /// are accepted and silently dropped, mirroring a killed process.
+    pub dead: bool,
+}
+
+struct WalInner {
+    file: File,
+    /// Framed records awaiting the next group commit.
+    buf: Vec<u8>,
+    buffered_records: usize,
+    last_commit_us: u64,
+    stats: WalStats,
+}
+
+/// A group-committed, CRC-framed append-only log over one segment file.
+///
+/// Appends frame the payload into an in-memory batch; the batch reaches
+/// the disk (one `write` + `fdatasync`) when `commit_every_records`
+/// records have accumulated, when `commit_interval` has elapsed on the
+/// injectable clock, or on an explicit [`flush`](Wal::flush). Everything
+/// in an uncommitted batch is lost by a crash — that is the commit-point
+/// contract the recovery tests are written against.
+pub struct Wal {
+    inner: Mutex<WalInner>,
+    clock: Arc<dyn Clock>,
+    commit_every_records: usize,
+    commit_interval_us: Option<u64>,
+    fsync_data: bool,
+    hook: Option<Arc<dyn WalFaultHook>>,
+}
+
+impl Wal {
+    /// Opens (creating or appending to) the segment at `path`.
+    pub fn open(
+        path: &Path,
+        clock: Arc<dyn Clock>,
+        commit_every_records: usize,
+        commit_interval: Option<Duration>,
+        fsync_data: bool,
+        hook: Option<Arc<dyn WalFaultHook>>,
+    ) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let now = clock.now_micros();
+        Ok(Wal {
+            inner: Mutex::new(WalInner {
+                file,
+                buf: Vec::new(),
+                buffered_records: 0,
+                last_commit_us: now,
+                stats: WalStats::default(),
+            }),
+            clock,
+            commit_every_records: commit_every_records.max(1),
+            commit_interval_us: commit_interval.map(|d| d.as_micros().min(u64::MAX as u128) as u64),
+            fsync_data,
+            hook,
+        })
+    }
+
+    /// Appends one record, group-committing when the batch is due. On a
+    /// dead WAL (simulated crash, prior I/O error) the record is accepted
+    /// and dropped — the process model keeps serving while its disk is
+    /// gone, exactly what the crash battery recovers from.
+    pub fn append(&self, payload: &[u8]) -> io::Result<()> {
+        // Framing (length + CRC32) happens outside the mutex; the
+        // critical section is one memcpy plus the commit check.
+        let mut framed = Vec::with_capacity(payload.len() + FRAME_HEADER);
+        frame_into(&mut framed, payload);
+        self.append_framed(&framed, 1)
+    }
+
+    /// Appends pre-framed records in one lock acquisition — the batched
+    /// endpoint stages a whole shard group and lands it here, paying the
+    /// WAL mutex once per group instead of once per record. A commit
+    /// boundary falling inside the group commits once, at its end.
+    pub(crate) fn append_framed(&self, framed: &[u8], n_records: u64) -> io::Result<()> {
+        if n_records == 0 {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        if inner.stats.dead {
+            return Ok(());
+        }
+        inner.buf.extend_from_slice(framed);
+        inner.buffered_records += n_records as usize;
+        inner.stats.records += n_records;
+        inner.stats.bytes += framed.len() as u64;
+        if cs2p_obs::enabled() {
+            cs2p_obs::counter_add("serve.persist.wal_records", n_records);
+            cs2p_obs::counter_add("serve.persist.wal_bytes", framed.len() as u64);
+        }
+        let due = inner.buffered_records >= self.commit_every_records
+            || self.commit_interval_us.is_some_and(|interval| {
+                self.clock.now_micros().saturating_sub(inner.last_commit_us) >= interval
+            });
+        if due {
+            self.commit_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Commits any buffered records now (graceful shutdown, compaction).
+    pub fn flush(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.buffered_records > 0 {
+            self.commit_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes, then redirects subsequent appends to a fresh segment at
+    /// `path` (WAL rotation at a compaction point). Returns `false` —
+    /// and rotates nothing — when the WAL is dead.
+    pub fn rotate(&self, path: &Path) -> io::Result<bool> {
+        let mut inner = self.inner.lock();
+        if inner.buffered_records > 0 {
+            self.commit_locked(&mut inner)?;
+        }
+        if inner.stats.dead {
+            return Ok(false);
+        }
+        inner.file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(true)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> WalStats {
+        self.inner.lock().stats
+    }
+
+    fn commit_locked(&self, inner: &mut WalInner) -> io::Result<()> {
+        if inner.stats.dead {
+            inner.buf.clear();
+            inner.buffered_records = 0;
+            return Ok(());
+        }
+        let outcome = match &self.hook {
+            Some(hook) => hook.on_commit(inner.stats.commits, &inner.buf),
+            None => CommitOutcome::Write,
+        };
+        let result = match outcome {
+            CommitOutcome::Write => {
+                let r = inner.file.write_all(&inner.buf).and_then(|()| {
+                    if self.fsync_data {
+                        inner.file.sync_data()
+                    } else {
+                        Ok(())
+                    }
+                });
+                if r.is_ok() {
+                    inner.stats.commits += 1;
+                }
+                r
+            }
+            CommitOutcome::ShortWrite(n) => {
+                let n = n.min(inner.buf.len());
+                let torn = inner.buf[..n].to_vec();
+                let _ = inner
+                    .file
+                    .write_all(&torn)
+                    .and_then(|()| inner.file.sync_data());
+                inner.stats.dead = true;
+                Ok(())
+            }
+            CommitOutcome::Kill => {
+                inner.stats.dead = true;
+                Ok(())
+            }
+        };
+        inner.buf.clear();
+        inner.buffered_records = 0;
+        inner.last_commit_us = self.clock.now_micros();
+        if let Err(e) = result {
+            // Fail-open serving, fail-safe durability: an I/O error kills
+            // the WAL (nothing after it is claimed durable) but the
+            // server keeps answering requests.
+            inner.stats.dead = true;
+            cs2p_obs::event(
+                cs2p_obs::Level::Warn,
+                "serve.persist.wal_dead",
+                vec![("error", e.to_string().into())],
+            );
+        }
+        Ok(())
+    }
+}
+
+/// The atomic on-disk image of a [`crate::store::SessionStore`]: the
+/// logical tick counter plus every `(id, last_touch, value)` triple, and
+/// the greatest WAL generation the snapshot fully covers (replay skips
+/// those segments). Generic so the store round-trip proptests can
+/// persist a plain-value store against the reference model. (The serde
+/// impls are by hand — the vendored derive does not support generics.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreSnapshot<V> {
+    /// Greatest WAL generation whose records are all reflected here.
+    pub covered_gen: u64,
+    /// The store's logical tick counter at capture time.
+    pub tick: u64,
+    /// `(id, last_touch, value)` for every live entry, sorted by id.
+    pub entries: Vec<(u64, u64, V)>,
+}
+
+impl<V: Serialize> Serialize for StoreSnapshot<V> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("covered_gen".into(), self.covered_gen.to_value()),
+            ("tick".into(), self.tick.to_value()),
+            ("entries".into(), self.entries.to_value()),
+        ])
+    }
+}
+
+impl<V: Deserialize> Deserialize for StoreSnapshot<V> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::DeError(format!("missing field {name}")))
+        };
+        Ok(StoreSnapshot {
+            covered_gen: u64::from_value(field("covered_gen")?)?,
+            tick: u64::from_value(field("tick")?)?,
+            entries: Vec::from_value(field("entries")?)?,
+        })
+    }
+}
+
+/// Writes a snapshot atomically (see [`atomic_write`]).
+pub fn write_snapshot<V: Serialize>(path: &Path, snapshot: &StoreSnapshot<V>) -> io::Result<()> {
+    let json =
+        serde_json::to_vec(snapshot).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    atomic_write(path, &json)
+}
+
+/// Reads a snapshot; a missing or unparseable file is `None` (recovery
+/// treats a corrupt snapshot as absent rather than panicking — the WAL
+/// generations it would have covered are still on disk and replayable).
+pub fn read_snapshot<V: Deserialize>(path: &Path) -> Option<StoreSnapshot<V>> {
+    let bytes = fs::read(path).ok()?;
+    match serde_json::from_slice(&bytes) {
+        Ok(snap) => Some(snap),
+        Err(_) => {
+            cs2p_obs::event(
+                cs2p_obs::Level::Warn,
+                "serve.persist.snapshot_corrupt",
+                vec![("path", path.display().to_string().into())],
+            );
+            None
+        }
+    }
+}
+
+/// A served 1-step prediction awaiting its measurement, as persisted.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct PersistedPending {
+    /// Predicted next-epoch throughput, Mbps.
+    pub value: f64,
+    /// Whether it was the session's initial (cluster-median) prediction.
+    pub initial: bool,
+}
+
+/// One session's durable state: everything the server needs to rebuild
+/// its in-memory session entry except the engine `Arc`, which recovery
+/// re-resolves from the persisted bundle for `version`.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct PersistedSession {
+    /// The model version the session is pinned to.
+    pub version: u64,
+    /// Index into the pinned engine's model list (`None` = global).
+    pub model: Option<usize>,
+    /// Whether registration found a cluster model.
+    pub cluster_hit: bool,
+    /// The HMM filter posterior after the session's last measurement.
+    pub filter: FilterState,
+    /// Registration features.
+    pub features: Vec<u32>,
+    /// Measured throughputs reported so far.
+    pub observed: Vec<f64>,
+    /// The last served 1-step prediction, if still unscored.
+    pub pending: Option<PersistedPending>,
+}
+
+/// One logged session-store mutation. Updates carry absolute state (the
+/// posterior and pending prediction *after* the request) plus the
+/// absolute `observed_len`, so replaying a record whose effect a fuzzy
+/// snapshot already includes is a no-op — the idempotence the
+/// compaction-while-serving window relies on.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum WalRecord {
+    /// A session (re-)registered: full state at the end of the request.
+    Register {
+        /// Session id.
+        id: u64,
+        /// Logical tick of the mutating store access (the LRU stamp).
+        tick: u64,
+        /// Full session state.
+        session: PersistedSession,
+    },
+    /// An existing session served a request: post-request deltas.
+    Update {
+        /// Session id.
+        id: u64,
+        /// Logical tick of the mutating store access (the LRU stamp).
+        tick: u64,
+        /// The measurement the request carried, if any.
+        measured: Option<f64>,
+        /// `observed.len()` after the request (guards replay idempotence).
+        observed_len: u64,
+        /// Filter posterior after the request.
+        filter: FilterState,
+        /// Pending 1-step prediction after the request.
+        pending: Option<PersistedPending>,
+    },
+    /// The session left the store (TTL/LRU/forced eviction, or `/log`).
+    Remove {
+        /// Session id.
+        id: u64,
+    },
+}
+
+// WAL payload codec. Records are encoded on the serving hot path — one
+// per store mutation, under the owning shard's lock — so the payload is
+// a hand-rolled little-endian layout (one-byte tag, fixed-width fields,
+// u32 length-prefixed vectors) rather than JSON through the Value tree.
+// Integrity is the frame's job (CRC32 over the payload); the codec only
+// needs to be fast and unambiguous. `f64`s round-trip via `to_le_bytes`,
+// so recovered posteriors are bit-identical. Decoding is total: any
+// malformed payload yields `None`, which recovery treats exactly like a
+// corrupt frame (truncate at the record). The snapshot stays JSON — it
+// is written off the request path, once per compaction.
+
+const TAG_REGISTER: u8 = 1;
+const TAG_UPDATE: u8 = 2;
+const TAG_REMOVE: u8 = 3;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            put_f64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_filter(out: &mut Vec<u8>, filter: &FilterState) {
+    put_u32(out, filter.posterior.len() as u32);
+    for &p in &filter.posterior {
+        put_f64(out, p);
+    }
+    put_u64(out, filter.epoch as u64);
+}
+
+fn put_pending(out: &mut Vec<u8>, pending: &Option<PersistedPending>) {
+    match pending {
+        Some(p) => {
+            out.push(1);
+            put_f64(out, p.value);
+            out.push(p.initial as u8);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_session(out: &mut Vec<u8>, session: &PersistedSession) {
+    put_u64(out, session.version);
+    match session.model {
+        Some(m) => {
+            out.push(1);
+            put_u64(out, m as u64);
+        }
+        None => out.push(0),
+    }
+    out.push(session.cluster_hit as u8);
+    put_filter(out, &session.filter);
+    put_u32(out, session.features.len() as u32);
+    for &f in &session.features {
+        put_u32(out, f);
+    }
+    put_u32(out, session.observed.len() as u32);
+    for &w in &session.observed {
+        put_f64(out, w);
+    }
+    put_pending(out, &session.pending);
+}
+
+/// A bounds-checked little-endian reader over one payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn opt_f64(&mut self) -> Option<Option<f64>> {
+        Some(if self.bool()? {
+            Some(self.f64()?)
+        } else {
+            None
+        })
+    }
+
+    fn f64_vec(&mut self) -> Option<Vec<f64>> {
+        let len = self.u32()? as usize;
+        // The length is attacker-controlled on a corrupt payload; `take`
+        // bounds the allocation by what is actually present.
+        let raw = self.take(len.checked_mul(8)?)?;
+        Some(
+            raw.chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                .collect(),
+        )
+    }
+
+    fn u32_vec(&mut self) -> Option<Vec<u32>> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len.checked_mul(4)?)?;
+        Some(
+            raw.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                .collect(),
+        )
+    }
+
+    fn filter(&mut self) -> Option<FilterState> {
+        let posterior = self.f64_vec()?;
+        let epoch = usize::try_from(self.u64()?).ok()?;
+        Some(FilterState { posterior, epoch })
+    }
+
+    fn pending(&mut self) -> Option<Option<PersistedPending>> {
+        Some(if self.bool()? {
+            let value = self.f64()?;
+            let initial = self.bool()?;
+            Some(PersistedPending { value, initial })
+        } else {
+            None
+        })
+    }
+
+    fn session(&mut self) -> Option<PersistedSession> {
+        let version = self.u64()?;
+        let model = if self.bool()? {
+            Some(usize::try_from(self.u64()?).ok()?)
+        } else {
+            None
+        };
+        let cluster_hit = self.bool()?;
+        let filter = self.filter()?;
+        let features = self.u32_vec()?;
+        let observed = self.f64_vec()?;
+        let pending = self.pending()?;
+        Some(PersistedSession {
+            version,
+            model,
+            cluster_hit,
+            filter,
+            features,
+            observed,
+            pending,
+        })
+    }
+}
+
+impl WalRecord {
+    /// Encodes this record into its binary WAL payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            WalRecord::Register { id, tick, session } => {
+                out.push(TAG_REGISTER);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *tick);
+                put_session(&mut out, session);
+            }
+            WalRecord::Update {
+                id,
+                tick,
+                measured,
+                observed_len,
+                filter,
+                pending,
+            } => {
+                out.push(TAG_UPDATE);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *tick);
+                put_opt_f64(&mut out, *measured);
+                put_u64(&mut out, *observed_len);
+                put_filter(&mut out, filter);
+                put_pending(&mut out, pending);
+            }
+            WalRecord::Remove { id } => {
+                out.push(TAG_REMOVE);
+                put_u64(&mut out, *id);
+            }
+        }
+        out
+    }
+
+    /// Decodes a binary WAL payload. `None` on any malformation —
+    /// unknown tag, short read, or trailing bytes — never a panic.
+    pub fn decode(bytes: &[u8]) -> Option<WalRecord> {
+        let mut c = Cursor { bytes, pos: 0 };
+        let record = match c.u8()? {
+            TAG_REGISTER => WalRecord::Register {
+                id: c.u64()?,
+                tick: c.u64()?,
+                session: c.session()?,
+            },
+            TAG_UPDATE => WalRecord::Update {
+                id: c.u64()?,
+                tick: c.u64()?,
+                measured: c.opt_f64()?,
+                observed_len: c.u64()?,
+                filter: c.filter()?,
+                pending: c.pending()?,
+            },
+            TAG_REMOVE => WalRecord::Remove { id: c.u64()? },
+            _ => return None,
+        };
+        (c.pos == bytes.len()).then_some(record)
+    }
+}
+
+/// Durability knobs for [`crate::ServerHandle::open_or_recover`].
+#[derive(Clone)]
+pub struct PersistConfig {
+    /// Group-commit after this many buffered records (min 1; 1 = commit
+    /// every record, the strictest durability).
+    pub commit_every_records: usize,
+    /// Also commit once this much time has elapsed on the server's
+    /// injectable clock since the last commit (checked at append).
+    pub commit_interval: Option<Duration>,
+    /// Rotate the WAL and write a store snapshot every this many records
+    /// (0 disables periodic compaction; a snapshot is still written at
+    /// recovery).
+    pub snapshot_every_records: u64,
+    /// `fdatasync` each commit. Disabling trades power-loss durability
+    /// for throughput (process-crash durability is kept — the bytes are
+    /// in the page cache).
+    pub fsync_data: bool,
+    /// Commit-point fault hook (the crash harness's kill switch).
+    pub fault_hook: Option<Arc<dyn WalFaultHook>>,
+}
+
+impl Default for PersistConfig {
+    fn default() -> Self {
+        PersistConfig {
+            commit_every_records: 1,
+            commit_interval: None,
+            snapshot_every_records: 4096,
+            fsync_data: true,
+            fault_hook: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for PersistConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistConfig")
+            .field("commit_every_records", &self.commit_every_records)
+            .field("commit_interval", &self.commit_interval)
+            .field("snapshot_every_records", &self.snapshot_every_records)
+            .field("fsync_data", &self.fsync_data)
+            .field("fault_hook", &self.fault_hook.is_some())
+            .finish()
+    }
+}
+
+/// Name of the store snapshot file inside a persistence directory.
+const SNAPSHOT_FILE: &str = "store.snap";
+/// Subdirectory holding model bundles and the current-version pointer.
+const MODELS_DIR: &str = "models";
+/// Name of the current-version pointer file inside [`MODELS_DIR`].
+const CURRENT_FILE: &str = "CURRENT";
+
+fn segment_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("wal-{gen:06}.log"))
+}
+
+/// Parses a `wal-NNNNNN.log` file name into its generation number.
+fn segment_gen(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// Sorted generation numbers of the WAL segments present in `dir`.
+fn list_segments(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut gens = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(gens),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if let Some(gen) = entry.file_name().to_str().and_then(segment_gen) {
+            gens.push(gen);
+        }
+    }
+    gens.sort_unstable();
+    Ok(gens)
+}
+
+/// The registry's durability sink: one `v<N>.json` bundle per published
+/// version plus an atomically-swapped `CURRENT` pointer, with GC
+/// unlinking retained-out bundles. The bundle is written *before* the
+/// pointer, so a crash between the two leaves `CURRENT` at the previous
+/// (still present) version and the new bundle as a harmless orphan.
+pub struct RegistryDir {
+    dir: PathBuf,
+}
+
+impl RegistryDir {
+    /// A sink writing under `dir` (created if missing).
+    pub fn create(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(RegistryDir {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn bundle_path(&self, version: ModelVersion) -> PathBuf {
+        self.dir.join(format!("v{}.json", version.0))
+    }
+
+    /// Reads every recoverable `(version, engine)` pair plus the current
+    /// pointer. Unparseable bundles are skipped (never a panic); a
+    /// missing or dangling pointer yields `None`.
+    #[allow(clippy::type_complexity)]
+    pub fn load(dir: &Path) -> io::Result<(Vec<(u64, PredictionEngine)>, Option<u64>)> {
+        let mut engines = Vec::new();
+        let entries = match fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((engines, None)),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(version) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix('v'))
+                .and_then(|n| n.strip_suffix(".json"))
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            match ModelBundle::read_atomic(&entry.path()) {
+                Ok(bundle) => engines.push((version, bundle.into_engine())),
+                Err(_) => cs2p_obs::event(
+                    cs2p_obs::Level::Warn,
+                    "serve.persist.bundle_corrupt",
+                    vec![("version", version.into())],
+                ),
+            }
+        }
+        engines.sort_unstable_by_key(|(v, _)| *v);
+        let current = fs::read_to_string(dir.join(CURRENT_FILE))
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .filter(|v| engines.iter().any(|(ev, _)| ev == v));
+        Ok((engines, current))
+    }
+}
+
+impl RegistryPersistence for RegistryDir {
+    fn publish_version(&self, version: ModelVersion, engine: &PredictionEngine) {
+        let bundle = ModelBundle::from_engine(engine);
+        let write = bundle
+            .write_atomic(&self.bundle_path(version))
+            .and_then(|()| {
+                atomic_write(
+                    &self.dir.join(CURRENT_FILE),
+                    version.0.to_string().as_bytes(),
+                )
+            });
+        if let Err(e) = write {
+            cs2p_obs::event(
+                cs2p_obs::Level::Warn,
+                "serve.persist.publish_failed",
+                vec![
+                    ("version", version.0.into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
+        }
+    }
+
+    fn collect_version(&self, version: ModelVersion) {
+        let _ = fs::remove_file(self.bundle_path(version));
+    }
+}
+
+/// A reusable staging buffer of framed WAL records. Fill it with
+/// [`SessionPersist::stage`] while a shard lock is held, land it with
+/// [`SessionPersist::log_staged`] — one WAL-mutex acquisition per shard
+/// group instead of one per record.
+#[derive(Debug, Default)]
+pub struct WalBatch {
+    framed: Vec<u8>,
+    records: u64,
+}
+
+/// The server-facing durability orchestrator: owns the WAL (segment
+/// rotation, generation numbering), the compaction cadence, and the
+/// registry sink, all under one persistence directory.
+pub struct SessionPersist {
+    dir: PathBuf,
+    wal: Wal,
+    /// Generation of the segment currently appended to.
+    gen: AtomicU64,
+    /// Records appended since the last snapshot (compaction trigger).
+    since_snapshot: AtomicU64,
+    snapshot_every: u64,
+    /// Serializes compactions; `try_lock` keeps the trigger non-blocking.
+    compact_lock: Mutex<()>,
+    registry_sink: Arc<RegistryDir>,
+    /// Set while a compaction owns the snapshot file.
+    compacting: AtomicBool,
+}
+
+impl SessionPersist {
+    /// Opens the persistence directory (created if missing) and starts a
+    /// fresh WAL generation after the greatest one present — a torn tail
+    /// in an old segment is never appended to.
+    pub fn create(dir: &Path, clock: Arc<dyn Clock>, config: &PersistConfig) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let registry_sink = Arc::new(RegistryDir::create(&dir.join(MODELS_DIR))?);
+        let gen = list_segments(dir)?.last().copied().unwrap_or(0) + 1;
+        let wal = Wal::open(
+            &segment_path(dir, gen),
+            clock,
+            config.commit_every_records,
+            config.commit_interval,
+            config.fsync_data,
+            config.fault_hook.clone(),
+        )?;
+        Ok(SessionPersist {
+            dir: dir.to_path_buf(),
+            wal,
+            gen: AtomicU64::new(gen),
+            since_snapshot: AtomicU64::new(0),
+            snapshot_every: config.snapshot_every_records,
+            compact_lock: Mutex::new(()),
+            registry_sink,
+            compacting: AtomicBool::new(false),
+        })
+    }
+
+    /// The registry sink writing under this directory's `models/`.
+    pub fn registry_sink(&self) -> Arc<RegistryDir> {
+        Arc::clone(&self.registry_sink)
+    }
+
+    /// Appends one mutation record (called under the owning shard's lock,
+    /// so WAL order agrees with each shard's mutation order).
+    pub fn log(&self, record: &WalRecord) {
+        let _ = self.wal.append(&record.encode());
+        self.since_snapshot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Encodes and frames `record` into `batch` without touching the
+    /// WAL. The batched endpoint stages every record of a shard group
+    /// this way (under the shard lock, so WAL order still agrees with
+    /// the shard's mutation order) and lands the group with one
+    /// [`log_staged`](Self::log_staged) call.
+    pub fn stage(&self, record: &WalRecord, batch: &mut WalBatch) {
+        frame_into(&mut batch.framed, &record.encode());
+        batch.records += 1;
+    }
+
+    /// Appends everything staged in `batch` with one WAL-mutex
+    /// acquisition, then resets `batch` for reuse (its buffer keeps its
+    /// capacity — the next shard group stages allocation-free).
+    pub fn log_staged(&self, batch: &mut WalBatch) {
+        if batch.records == 0 {
+            return;
+        }
+        let _ = self.wal.append_framed(&batch.framed, batch.records);
+        self.since_snapshot
+            .fetch_add(batch.records, Ordering::Relaxed);
+        batch.framed.clear();
+        batch.records = 0;
+    }
+
+    /// Whether the compaction cadence is due. Cheap; called per request.
+    pub fn should_compact(&self) -> bool {
+        self.snapshot_every > 0
+            && self.since_snapshot.load(Ordering::Relaxed) >= self.snapshot_every
+            && !self.wal.stats().dead
+    }
+
+    /// Commits buffered records now (graceful shutdown).
+    pub fn flush(&self) -> io::Result<()> {
+        self.wal.flush()
+    }
+
+    /// Current WAL counters.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.stats()
+    }
+
+    /// Rotates the WAL, captures the store via `collect`, writes the
+    /// snapshot atomically, and unlinks fully-covered segments. `collect`
+    /// runs outside every shard lock held by the caller (it takes each
+    /// shard's lock itself) and may already observe a few new-generation
+    /// mutations — replay is idempotent over that window. A compaction
+    /// already in flight makes this a no-op.
+    pub fn compact_with(
+        &self,
+        collect: impl FnOnce() -> (u64, Vec<(u64, u64, PersistedSession)>),
+    ) -> io::Result<()> {
+        let Some(_guard) = self.compact_lock.try_lock() else {
+            return Ok(());
+        };
+        self.compacting.store(true, Ordering::SeqCst);
+        let result = self.compact_locked(collect);
+        self.compacting.store(false, Ordering::SeqCst);
+        result
+    }
+
+    fn compact_locked(
+        &self,
+        collect: impl FnOnce() -> (u64, Vec<(u64, u64, PersistedSession)>),
+    ) -> io::Result<()> {
+        let covered_gen = self.gen.load(Ordering::SeqCst);
+        if !self.wal.rotate(&segment_path(&self.dir, covered_gen + 1))? {
+            return Ok(()); // dead WAL: the process model has crashed
+        }
+        self.gen.store(covered_gen + 1, Ordering::SeqCst);
+        self.since_snapshot.store(0, Ordering::SeqCst);
+        let (tick, entries) = collect();
+        write_snapshot(
+            &self.dir.join(SNAPSHOT_FILE),
+            &StoreSnapshot {
+                covered_gen,
+                tick,
+                entries,
+            },
+        )?;
+        for gen in list_segments(&self.dir)? {
+            if gen <= covered_gen {
+                let _ = fs::remove_file(segment_path(&self.dir, gen));
+            }
+        }
+        if cs2p_obs::enabled() {
+            cs2p_obs::counter_add("serve.persist.snapshots", 1);
+            cs2p_obs::counter_add("serve.persist.compactions", 1);
+        }
+        Ok(())
+    }
+}
+
+/// Everything [`recover`] pulled back from a persistence directory. The
+/// server layer resolves each session's `version` against `engines`
+/// (dropping sessions whose bundle was GC'd or corrupt) and rebuilds the
+/// store with `tick` and the recovered LRU stamps.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// The store's logical tick counter to resume from.
+    pub tick: u64,
+    /// `(id, last_touch, state)` for every recovered session, by id.
+    pub sessions: Vec<(u64, u64, PersistedSession)>,
+    /// Recovered `(version, engine)` pairs, ascending.
+    pub engines: Vec<(u64, PredictionEngine)>,
+    /// The persisted current-version pointer, when present and valid.
+    pub current_version: Option<u64>,
+    /// `false` when replay stopped at a torn or corrupt record.
+    pub clean: bool,
+    /// WAL records replayed (after snapshot-coverage skipping).
+    pub wal_records: u64,
+}
+
+/// Replays snapshot + WAL from `dir` into the state the committed prefix
+/// of the crashed run had. Truncates at the first corrupt or torn record
+/// and never panics on arbitrary bytes; a missing directory is an empty
+/// (fresh) state. `max_observed` caps per-session measurement history
+/// (the server's recorded-epochs bound).
+pub fn recover(dir: &Path, max_observed: usize) -> io::Result<RecoveredState> {
+    let (engines, current_version) = RegistryDir::load(&dir.join(MODELS_DIR))?;
+    let snapshot: Option<StoreSnapshot<PersistedSession>> = read_snapshot(&dir.join(SNAPSHOT_FILE));
+    let covered_gen = snapshot.as_ref().map(|s| s.covered_gen).unwrap_or(0);
+    let mut tick = snapshot.as_ref().map(|s| s.tick).unwrap_or(0);
+    let mut sessions: std::collections::BTreeMap<u64, (u64, PersistedSession)> = snapshot
+        .map(|s| {
+            s.entries
+                .into_iter()
+                .map(|(id, last_touch, state)| (id, (last_touch, state)))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let mut clean = true;
+    let mut wal_records = 0u64;
+    'segments: for gen in list_segments(dir)? {
+        if gen <= covered_gen {
+            continue;
+        }
+        let replay = read_wal(&segment_path(dir, gen))?;
+        for payload in &replay.records {
+            let record: WalRecord = match WalRecord::decode(payload) {
+                Some(record) => record,
+                None => {
+                    // A frame with a valid CRC but an unparseable body is
+                    // corruption past the framing layer: same contract,
+                    // truncate here.
+                    clean = false;
+                    break 'segments;
+                }
+            };
+            wal_records += 1;
+            match record {
+                WalRecord::Register {
+                    id,
+                    tick: t,
+                    session,
+                } => {
+                    tick = tick.max(t + 1);
+                    sessions.insert(id, (t, session));
+                }
+                WalRecord::Update {
+                    id,
+                    tick: t,
+                    measured,
+                    observed_len,
+                    filter,
+                    pending,
+                } => {
+                    tick = tick.max(t + 1);
+                    if let Some((last_touch, state)) = sessions.get_mut(&id) {
+                        *last_touch = t;
+                        if let Some(w) = measured {
+                            if (state.observed.len() as u64) < observed_len
+                                && state.observed.len() < max_observed
+                            {
+                                state.observed.push(w);
+                            }
+                        }
+                        state.filter = filter;
+                        state.pending = pending;
+                    }
+                }
+                WalRecord::Remove { id } => {
+                    sessions.remove(&id);
+                }
+            }
+        }
+        if !replay.clean {
+            clean = false;
+            break;
+        }
+    }
+
+    if cs2p_obs::enabled() {
+        cs2p_obs::counter_add("serve.persist.recoveries", 1);
+        if !clean {
+            cs2p_obs::counter_add("serve.persist.truncated_records", 1);
+        }
+    }
+    Ok(RecoveredState {
+        tick,
+        sessions: sessions
+            .into_iter()
+            .map(|(id, (last_touch, state))| (id, last_touch, state))
+            .collect(),
+        engines,
+        current_version,
+        clean,
+        wal_records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs2p_obs::ManualClock;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cs2p-persist-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_roundtrip_and_truncation_yields_longest_valid_prefix() {
+        let mut buf = Vec::new();
+        let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 3 + i as usize]).collect();
+        for p in &payloads {
+            frame_into(&mut buf, p);
+        }
+        let full = decode_frames(&buf);
+        assert!(full.clean);
+        assert_eq!(full.records, payloads);
+        // Every truncation offset recovers exactly the frames that fit.
+        let mut boundaries = vec![0usize];
+        for p in &payloads {
+            boundaries.push(boundaries.last().unwrap() + FRAME_HEADER + p.len());
+        }
+        for cut in 0..=buf.len() {
+            let out = decode_frames(&buf[..cut]);
+            let expect = boundaries.iter().filter(|b| **b <= cut).count() - 1;
+            assert_eq!(out.records.len(), expect, "cut at {cut}");
+            assert_eq!(out.clean, boundaries.contains(&cut), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_stops_decoding_without_panic() {
+        let mut buf = Vec::new();
+        frame_into(&mut buf, b"hello");
+        frame_into(&mut buf, b"world");
+        for i in 0..buf.len() {
+            let mut torn = buf.clone();
+            torn[i] ^= 0x40;
+            let out = decode_frames(&torn);
+            assert!(out.records.len() <= 2);
+            // A flipped byte in the second frame must not lose the first.
+            if i >= FRAME_HEADER + 5 {
+                assert_eq!(out.records[0], b"hello");
+            }
+        }
+    }
+
+    #[test]
+    fn wal_group_commit_batches_and_flush_drains() {
+        let dir = temp_dir("wal");
+        let path = dir.join("wal-000001.log");
+        let clock = Arc::new(ManualClock::new());
+        let wal = Wal::open(&path, clock, 3, None, true, None).unwrap();
+        wal.append(b"a").unwrap();
+        wal.append(b"b").unwrap();
+        assert_eq!(wal.stats().commits, 0, "below the batch threshold");
+        assert!(read_wal(&path).unwrap().records.is_empty());
+        wal.append(b"c").unwrap();
+        assert_eq!(wal.stats().commits, 1);
+        assert_eq!(read_wal(&path).unwrap().records.len(), 3);
+        wal.append(b"d").unwrap();
+        wal.flush().unwrap();
+        assert_eq!(read_wal(&path).unwrap().records.len(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_interval_commit_uses_injectable_clock() {
+        let dir = temp_dir("wal-clock");
+        let path = dir.join("wal-000001.log");
+        let clock = Arc::new(ManualClock::new());
+        let wal = Wal::open(
+            &path,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            usize::MAX,
+            Some(Duration::from_millis(5)),
+            true,
+            None,
+        )
+        .unwrap();
+        wal.append(b"a").unwrap();
+        assert_eq!(wal.stats().commits, 0);
+        clock.advance(5_000);
+        wal.append(b"b").unwrap();
+        assert_eq!(wal.stats().commits, 1, "interval elapsed on the clock");
+        assert_eq!(read_wal(&path).unwrap().records.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    struct KillAt(u64);
+    impl WalFaultHook for KillAt {
+        fn on_commit(&self, commit_index: u64, _batch: &[u8]) -> CommitOutcome {
+            if commit_index == self.0 {
+                CommitOutcome::Kill
+            } else {
+                CommitOutcome::Write
+            }
+        }
+    }
+
+    #[test]
+    fn killed_wal_loses_the_uncommitted_batch_and_goes_silent() {
+        let dir = temp_dir("wal-kill");
+        let path = dir.join("wal-000001.log");
+        let clock = Arc::new(ManualClock::new());
+        let wal = Wal::open(&path, clock, 1, None, true, Some(Arc::new(KillAt(1)))).unwrap();
+        wal.append(b"durable").unwrap(); // commit 0: written
+        wal.append(b"lost").unwrap(); // commit 1: killed
+        wal.append(b"also-lost").unwrap(); // dead: dropped silently
+        wal.flush().unwrap();
+        assert!(wal.stats().dead);
+        let replay = read_wal(&path).unwrap();
+        assert!(replay.clean);
+        assert_eq!(replay.records, vec![b"durable".to_vec()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_write_leaves_a_torn_record_recovery_truncates() {
+        let dir = temp_dir("wal-torn");
+        let path = dir.join("wal-000001.log");
+        let clock = Arc::new(ManualClock::new());
+        struct TearAt(u64);
+        impl WalFaultHook for TearAt {
+            fn on_commit(&self, commit_index: u64, batch: &[u8]) -> CommitOutcome {
+                if commit_index == self.0 {
+                    CommitOutcome::ShortWrite(batch.len() / 2)
+                } else {
+                    CommitOutcome::Write
+                }
+            }
+        }
+        let wal = Wal::open(&path, clock, 1, None, true, Some(Arc::new(TearAt(1)))).unwrap();
+        wal.append(b"first-record-payload").unwrap();
+        wal.append(b"second-record-payload").unwrap(); // torn in half
+        assert!(wal.stats().dead);
+        let replay = read_wal(&path).unwrap();
+        assert!(!replay.clean, "the torn tail must be detected");
+        assert_eq!(replay.records, vec![b"first-record-payload".to_vec()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_files() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("file.json");
+        atomic_write(&path, b"one").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"one");
+        atomic_write(&path, b"two").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"two");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_corrupt_snapshot_reads_as_absent() {
+        let dir = temp_dir("snap");
+        let path = dir.join(SNAPSHOT_FILE);
+        let snap = StoreSnapshot {
+            covered_gen: 3,
+            tick: 17,
+            entries: vec![(1, 5, 10u64), (2, 6, 20)],
+        };
+        write_snapshot(&path, &snap).unwrap();
+        assert_eq!(read_snapshot::<u64>(&path), Some(snap));
+        fs::write(&path, b"{torn").unwrap();
+        assert_eq!(read_snapshot::<u64>(&path), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_on_an_empty_dir_is_a_fresh_state() {
+        let dir = temp_dir("fresh");
+        let state = recover(&dir, 1024).unwrap();
+        assert!(state.sessions.is_empty());
+        assert!(state.engines.is_empty());
+        assert_eq!(state.current_version, None);
+        assert!(state.clean);
+        assert_eq!(state.tick, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_names_roundtrip() {
+        assert_eq!(segment_gen("wal-000007.log"), Some(7));
+        assert_eq!(segment_gen("wal-junk.log"), None);
+        assert_eq!(segment_gen("store.snap"), None);
+        let p = segment_path(Path::new("/d"), 42);
+        assert_eq!(
+            segment_gen(p.file_name().unwrap().to_str().unwrap()),
+            Some(42)
+        );
+    }
+
+    fn codec_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Register {
+                id: 7,
+                tick: 19,
+                session: PersistedSession {
+                    version: 3,
+                    model: Some(2),
+                    cluster_hit: true,
+                    filter: FilterState {
+                        posterior: vec![0.25, 0.75],
+                        epoch: 4,
+                    },
+                    features: vec![1, 0, 9],
+                    observed: vec![1.5, f64::NAN, -0.0],
+                    pending: Some(PersistedPending {
+                        value: 2.5,
+                        initial: false,
+                    }),
+                },
+            },
+            WalRecord::Register {
+                id: 0,
+                tick: 0,
+                session: PersistedSession {
+                    version: 1,
+                    model: None,
+                    cluster_hit: false,
+                    filter: FilterState {
+                        posterior: vec![],
+                        epoch: 0,
+                    },
+                    features: vec![],
+                    observed: vec![],
+                    pending: None,
+                },
+            },
+            WalRecord::Update {
+                id: u64::MAX,
+                tick: 88,
+                measured: Some(f64::INFINITY),
+                observed_len: 12,
+                filter: FilterState {
+                    posterior: vec![1.0],
+                    epoch: 1,
+                },
+                pending: Some(PersistedPending {
+                    value: -1.0,
+                    initial: true,
+                }),
+            },
+            WalRecord::Update {
+                id: 5,
+                tick: 6,
+                measured: None,
+                observed_len: 0,
+                filter: FilterState {
+                    posterior: vec![0.5, 0.5],
+                    epoch: 2,
+                },
+                pending: None,
+            },
+            WalRecord::Remove { id: 99 },
+        ]
+    }
+
+    #[test]
+    fn wal_record_codec_roundtrips_bit_exactly() {
+        for record in codec_records() {
+            let bytes = record.encode();
+            let back = WalRecord::decode(&bytes).expect("decode own encoding");
+            // PartialEq treats NaN != NaN; compare the re-encoding
+            // instead, which is bit-exact by construction.
+            assert_eq!(back.encode(), bytes, "re-encode of {record:?}");
+        }
+    }
+
+    #[test]
+    fn wal_record_codec_rejects_malformed_payloads_without_panic() {
+        assert!(WalRecord::decode(&[]).is_none(), "empty payload");
+        assert!(WalRecord::decode(&[0xFF, 1, 2, 3]).is_none(), "unknown tag");
+        for record in codec_records() {
+            let bytes = record.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    WalRecord::decode(&bytes[..cut]).is_none(),
+                    "truncation at {cut} of {record:?}"
+                );
+            }
+            let mut extended = bytes.clone();
+            extended.push(0);
+            assert!(
+                WalRecord::decode(&extended).is_none(),
+                "trailing byte after {record:?}"
+            );
+        }
+        // A length prefix claiming more elements than the payload holds
+        // must fail the bounds check, not allocate.
+        let mut huge = vec![TAG_REMOVE];
+        huge.extend_from_slice(&u64::MAX.to_le_bytes());
+        huge[0] = TAG_UPDATE;
+        assert!(WalRecord::decode(&huge).is_none(), "short update");
+    }
+}

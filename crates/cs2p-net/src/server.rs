@@ -31,6 +31,10 @@ use crate::http::{
     read_request_buffered, write_response, write_response_buffered, IoScratch, Request, Response,
 };
 use crate::ops::{FaultRow, OpsQuality, OpsSnapshot, QualityRow};
+use crate::persist::{
+    self, PersistConfig, PersistedPending, PersistedSession, SessionPersist, WalBatch, WalRecord,
+    WalStats,
+};
 use crate::pool::BoundedQueue;
 use crate::protocol::{
     parse_features_query, BatchEntryResult, BatchPredictRequest, BatchPredictResponse, Health,
@@ -49,6 +53,7 @@ use cs2p_obs::{Clock, MonotonicClock, TraceScope};
 use parking_lot::Mutex;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock, Weak};
 use std::thread::{self, JoinHandle};
@@ -272,6 +277,9 @@ pub(crate) struct AppState {
     /// gauges. `Weak` breaks the `Shared → AppState` cycle; unset under
     /// the legacy server (its gauges read as zero).
     server: OnceLock<Weak<Shared>>,
+    /// Durability layer (WAL + snapshots + registry bundles); `None` for
+    /// an in-memory server (the default, and always for [`crate::legacy`]).
+    persist: Option<Arc<SessionPersist>>,
 }
 
 impl AppState {
@@ -284,6 +292,23 @@ impl AppState {
         max_sessions: usize,
         ttl: Option<u64>,
     ) -> Self {
+        let registry = ModelRegistry::new(engine, refresh.train_config.clone(), refresh.retain);
+        let sessions = SessionStore::new(n_shards, max_sessions, ttl);
+        Self::assemble(registry, sessions, refresh, quality, clock, None)
+    }
+
+    /// Builds the app state around an already-constructed registry and
+    /// session store — the seam [`ServerHandle::open_or_recover`] uses to
+    /// start from recovered state instead of empty state.
+    fn assemble(
+        mut registry: ModelRegistry,
+        mut sessions: SessionStore<SessionState>,
+        refresh: &RefreshConfig,
+        quality: QualityConfig,
+        clock: Arc<dyn Clock>,
+        persist: Option<Arc<SessionPersist>>,
+    ) -> Self {
+        let (_, engine) = registry.current();
         let recorder = Arc::new(SessionRecorder::new(
             engine.schema().clone(),
             RECORD_EPOCH_SECONDS,
@@ -291,20 +316,28 @@ impl AppState {
             refresh.recorder_min_epochs,
         ));
         let monitor = Arc::new(QualityMonitor::new(quality, clock));
-        let mut sessions = SessionStore::new(n_shards, max_sessions, ttl);
+        if let Some(p) = &persist {
+            registry.set_persistence(p.registry_sink());
+        }
         let sink = Arc::clone(&recorder);
         let sink_monitor = Arc::clone(&monitor);
+        let sink_persist = persist.clone();
         // An evicted viewer is a completed session: drain its record. A
         // prediction still awaiting its measurement will never be
         // scored — count it so coverage stays honest.
-        sessions.set_eviction_sink(Box::new(move |_, state: SessionState| {
+        sessions.set_eviction_sink(Box::new(move |id, state: SessionState| {
             if state.pending.is_some() {
                 sink_monitor.note_unmatched();
+            }
+            // The sink runs under the owning shard's lock, so this Remove
+            // lands in the WAL ordered with the mutation that evicted it.
+            if let Some(p) = &sink_persist {
+                p.log(&WalRecord::Remove { id });
             }
             sink.record(state.features, state.observed);
         }));
         AppState {
-            registry: ModelRegistry::new(engine, refresh.train_config.clone(), refresh.retain),
+            registry,
             sessions,
             recorder,
             logs: Mutex::new(Vec::new()),
@@ -312,6 +345,62 @@ impl AppState {
             monitor,
             refresh_min_sessions: refresh.min_sessions,
             server: OnceLock::new(),
+            persist,
+        }
+    }
+
+    /// The session's durable image (see [`PersistedSession`]).
+    fn persisted_of(state: &SessionState) -> PersistedSession {
+        PersistedSession {
+            version: state.version.0,
+            model: state.model,
+            cluster_hit: state.cluster_hit,
+            filter: state.filter.clone(),
+            features: state.features.0.clone(),
+            observed: state.observed.clone(),
+            pending: state.pending.map(|p| PersistedPending {
+                value: p.value,
+                initial: p.initial,
+            }),
+        }
+    }
+
+    pub(crate) fn persist(&self) -> Option<&Arc<SessionPersist>> {
+        self.persist.as_ref()
+    }
+
+    /// Runs the snapshot compaction if the cadence is due. Must be called
+    /// outside every shard lock — the snapshot takes each (non-reentrant)
+    /// shard lock itself.
+    fn maybe_compact(&self) {
+        if let Some(p) = &self.persist {
+            if p.should_compact() {
+                self.compact_now();
+            }
+        }
+    }
+
+    /// Rotates the WAL and writes a store snapshot now (recovery epilogue
+    /// and ops hook). No-op on an in-memory server or when another
+    /// compaction is in flight. Must run outside every shard lock.
+    pub(crate) fn compact_now(&self) {
+        let Some(p) = &self.persist else {
+            return;
+        };
+        let result = p.compact_with(|| {
+            let (tick, entries) = self.sessions.snapshot();
+            let entries = entries
+                .into_iter()
+                .map(|(id, last_touch, state)| (id, last_touch, Self::persisted_of(&state)))
+                .collect();
+            (tick, entries)
+        });
+        if let Err(e) = result {
+            cs2p_obs::event(
+                cs2p_obs::Level::Warn,
+                "serve.persist.compact_failed",
+                vec![("error", e.to_string().into())],
+            );
         }
     }
 
@@ -580,7 +669,9 @@ impl AppState {
         &self,
         shard: &mut ShardGuard<'_, SessionState>,
         preq: &PredictRequest,
+        wal: &mut WalBatch,
     ) -> Result<(PredictResponse, DeferredScore), (u16, &'static str)> {
+        let mut registered = false;
         if shard.get_mut(preq.session_id).is_none() {
             // Never seen (or TTL/LRU-evicted): (re-)initialize from the
             // request's features, or tell the client to re-register. New
@@ -611,7 +702,9 @@ impl AppState {
                     pending: None,
                 },
             );
+            registered = true;
         }
+        let tick = shard.now();
         let state = shard
             .get_mut(preq.session_id)
             .expect("session just ensured");
@@ -661,6 +754,36 @@ impl AppState {
             cluster_hit: state.cluster_hit,
             model_version: state.version.0,
         };
+        // Stage the mutation while the shard lock is still held, so the
+        // WAL order agrees with this shard's mutation order; the caller
+        // lands the whole staged group (one record here for `/predict`,
+        // a shard group for `/predict_batch`) in a single WAL append
+        // before the shard lock drops. Registrations carry the full
+        // post-request state (one record covers register + first
+        // measurement); updates carry absolute values so replaying a
+        // record a fuzzy snapshot already includes is a no-op.
+        if let Some(p) = &self.persist {
+            let record = if registered {
+                WalRecord::Register {
+                    id: preq.session_id,
+                    tick,
+                    session: Self::persisted_of(state),
+                }
+            } else {
+                WalRecord::Update {
+                    id: preq.session_id,
+                    tick,
+                    measured: preq.measured_mbps,
+                    observed_len: state.observed.len() as u64,
+                    filter: state.filter.clone(),
+                    pending: state.pending.map(|pp| PersistedPending {
+                        value: pp.value,
+                        initial: pp.initial,
+                    }),
+                }
+            };
+            p.stage(&record, wal);
+        }
         Ok((resp, DeferredScore { scored, unscorable }))
     }
 
@@ -692,7 +815,11 @@ impl AppState {
         }
 
         let mut shard = self.sessions.lock(preq.session_id);
-        let out = self.predict_locked(&mut shard, &preq);
+        let mut wal = WalBatch::default();
+        let out = self.predict_locked(&mut shard, &preq, &mut wal);
+        if let Some(p) = &self.persist {
+            p.log_staged(&mut wal);
+        }
         drop(shard);
         let (resp, deferred) = match out {
             Ok(out) => out,
@@ -705,6 +832,7 @@ impl AppState {
             cs2p_obs::counter_add("predict.server.served", 1);
             cs2p_obs::gauge_set("serve.sessions", self.sessions.len() as f64);
         }
+        self.maybe_compact();
         Response::json(serde_json::to_vec(&resp).unwrap())
     }
 
@@ -753,13 +881,18 @@ impl AppState {
         results.resize_with(n, || None);
         let mut deferred: Vec<DeferredScore> = vec![DeferredScore::default(); n];
         let mut ok_entries = 0u64;
+        // One staging buffer reused across shard groups: each group's
+        // records land in a single WAL append (one mutex acquisition per
+        // group, not per entry), flushed before that group's shard lock
+        // drops so WAL order matches the shard's mutation order.
+        let mut wal = WalBatch::default();
         for (shard_idx, indices) in &groups {
             let mut shard = self.sessions.lock_shard(*shard_idx);
             for &i in indices {
                 let preq = &breq.entries[i];
                 let result = match Self::validate_predict(preq) {
                     Err((status, msg)) => BatchEntryResult::failed(status, msg),
-                    Ok(()) => match self.predict_locked(&mut shard, preq) {
+                    Ok(()) => match self.predict_locked(&mut shard, preq, &mut wal) {
                         Ok((resp, score)) => {
                             deferred[i] = score;
                             ok_entries += 1;
@@ -769,6 +902,9 @@ impl AppState {
                     },
                 };
                 results[i] = Some(result);
+            }
+            if let Some(p) = &self.persist {
+                p.log_staged(&mut wal);
             }
         }
         let results: Vec<BatchEntryResult> = results
@@ -797,6 +933,7 @@ impl AppState {
             }
             cs2p_obs::gauge_set("serve.sessions", self.sessions.len() as f64);
         }
+        self.maybe_compact();
         let bresp = BatchPredictResponse { results };
         // Direct writer: skips the serde Value tree, which at 64 entries
         // per frame costs thousands of small allocations.
@@ -825,7 +962,19 @@ impl AppState {
         // A log upload marks the session complete: retire it from the
         // store and drain its observations into the training recorder.
         let mut alarm = false;
-        if let Some(state) = self.sessions.lock(log.session_id).remove(log.session_id) {
+        let removed = {
+            let mut guard = self.sessions.lock(log.session_id);
+            let removed = guard.remove(log.session_id);
+            // Explicit removes bypass the eviction sink, so the retirement
+            // is WAL'd here, still under the owning shard's lock.
+            if removed.is_some() {
+                if let Some(p) = &self.persist {
+                    p.log(&WalRecord::Remove { id: log.session_id });
+                }
+            }
+            removed
+        };
+        if let Some(state) = removed {
             // The session's in-band loop already scored every prediction
             // it could; the one still pending has no later measurement
             // and never will.
@@ -850,6 +999,7 @@ impl AppState {
         if alarm && self.monitor.config().trigger_refresh {
             self.refresh_on_drift();
         }
+        self.maybe_compact();
         Response::new(204, bytes::Bytes::new())
     }
 }
@@ -1037,9 +1187,132 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
+    /// Opens a durably-persisted server from `dir`, recovering whatever
+    /// state a previous incarnation committed there.
+    ///
+    /// Recovery replays the store snapshot plus every uncovered WAL
+    /// generation: the recovered server holds the same sessions — same
+    /// HMM filter posteriors, same pinned model versions, same LRU/TTL
+    /// stamps, same store tick — as the committed prefix of the crashed
+    /// run, so its predictions are bit-identical to a server that never
+    /// crashed. Replay truncates at the first torn or corrupt record and
+    /// never panics on arbitrary bytes. A fresh (or empty) directory
+    /// bootstraps from `engine`, persisting it as model version 1; after
+    /// a successful recovery `engine` is unused — the persisted registry
+    /// wins. Sessions pinned to a version whose bundle is gone (GC'd or
+    /// corrupt) are dropped to the re-register path, never served from a
+    /// mismatched model.
+    ///
+    /// The recovered server starts a fresh WAL generation and compacts
+    /// immediately, so replay history stays bounded and any torn tail is
+    /// orphaned. Durability counters land under `serve.persist.*`.
+    pub fn open_or_recover(
+        dir: &Path,
+        engine: PredictionEngine,
+        addr: &str,
+        config: ServeConfig,
+        persist_config: PersistConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let start = Instant::now();
+        let recovered = persist::recover(dir, MAX_RECORDED_EPOCHS)?;
+        let persist = Arc::new(SessionPersist::create(
+            dir,
+            Arc::clone(&config.clock),
+            &persist_config,
+        )?);
+
+        let refresh = &config.refresh;
+        let restored = match recovered.current_version {
+            Some(current) => ModelRegistry::restore(
+                recovered
+                    .engines
+                    .into_iter()
+                    .map(|(v, e)| (ModelVersion(v), e))
+                    .collect(),
+                ModelVersion(current),
+                refresh.train_config.clone(),
+                refresh.retain,
+            ),
+            None => None,
+        };
+        let registry = match restored {
+            Some(registry) => registry,
+            None => {
+                let registry =
+                    ModelRegistry::new(engine, refresh.train_config.clone(), refresh.retain);
+                // Persist the bootstrap version right away: sessions that
+                // pin it must survive a crash that happens before the
+                // first retrain ever publishes anything.
+                let (v1, e1) = registry.current();
+                use cs2p_core::registry::RegistryPersistence;
+                persist.registry_sink().publish_version(v1, &e1);
+                registry
+            }
+        };
+
+        let mut dropped_sessions = 0u64;
+        let mut entries: Vec<(u64, u64, SessionState)> =
+            Vec::with_capacity(recovered.sessions.len());
+        for (id, last_touch, ps) in recovered.sessions {
+            match rehydrate_session(&registry, ps) {
+                Some(session) => entries.push((id, last_touch, session)),
+                None => dropped_sessions += 1,
+            }
+        }
+        let sessions = SessionStore::restore(
+            config.n_shards,
+            config.max_sessions,
+            config.session_ttl_requests,
+            recovered.tick,
+            entries,
+        );
+        let app = AppState::assemble(
+            registry,
+            sessions,
+            refresh,
+            config.quality.clone(),
+            Arc::clone(&config.clock),
+            Some(persist),
+        );
+        if cs2p_obs::enabled() {
+            cs2p_obs::observe(
+                "serve.persist.recovery_us",
+                start.elapsed().as_micros() as f64,
+            );
+            cs2p_obs::event(
+                cs2p_obs::Level::Info,
+                "serve.persist.recovered",
+                vec![
+                    ("wal_records", recovered.wal_records.into()),
+                    ("clean", recovered.clean.into()),
+                    ("sessions", app.sessions_live().into()),
+                    ("dropped_sessions", dropped_sessions.into()),
+                ],
+            );
+        }
+        // Fold the replayed history into a fresh snapshot immediately:
+        // bounds the next recovery and orphans any torn tail for good.
+        app.compact_now();
+        spawn_server(listener, local, app, config)
+    }
+
     /// The address the server is listening on.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// WAL counters of the durability layer; `None` on an in-memory
+    /// server (one not opened via [`open_or_recover`](Self::open_or_recover)).
+    pub fn persist_stats(&self) -> Option<WalStats> {
+        self.shared.app.persist().map(|p| p.wal_stats())
+    }
+
+    /// Forces a WAL rotation + store snapshot now (ops hook). No-op on an
+    /// in-memory server or when a compaction is already in flight.
+    pub fn compact(&self) {
+        self.shared.app.compact_now();
     }
 
     /// Total predictions served so far.
@@ -1159,6 +1432,11 @@ impl ServerHandle {
         for t in self.workers.drain(..) {
             let _ = t.join();
         }
+        // No worker is appending anymore: make the WAL tail durable. A
+        // graceful shutdown therefore loses nothing; only a crash can.
+        if let Some(p) = self.shared.app.persist() {
+            let _ = p.flush();
+        }
         // Anything a worker handed back after the poller left is idle by
         // definition — safe to close now that no thread will touch it.
         self.shared.intake_lock().clear();
@@ -1194,6 +1472,52 @@ pub fn serve_with(
         config.max_sessions,
         config.session_ttl_requests,
     );
+    spawn_server(listener, addr, app, config)
+}
+
+/// Turns a recovered [`PersistedSession`] back into live session state,
+/// re-resolving its engine pin from the recovered registry. `None` — the
+/// session is dropped to the re-register path — when the pinned version's
+/// bundle is gone or the persisted state is inconsistent with it (model
+/// index out of range, posterior or feature width mismatch); recovery
+/// must never panic, and `HmmFilter::from_state` would on a bad width.
+fn rehydrate_session(registry: &ModelRegistry, ps: PersistedSession) -> Option<SessionState> {
+    let version = ModelVersion(ps.version);
+    let engine = registry.get(version)?;
+    if ps.model.is_some_and(|i| i >= engine.models().len()) {
+        return None;
+    }
+    if ps.features.len() != engine.schema().len() {
+        return None;
+    }
+    let model = AppState::model_of(&engine, ps.model);
+    if ps.filter.posterior.len() != model.hmm.n_states() {
+        return None;
+    }
+    Some(SessionState {
+        version,
+        engine,
+        model: ps.model,
+        cluster_hit: ps.cluster_hit,
+        filter: ps.filter,
+        features: FeatureVector(ps.features),
+        observed: ps.observed,
+        pending: ps.pending.map(|p| PendingPrediction {
+            value: p.value,
+            initial: p.initial,
+        }),
+    })
+}
+
+/// Spawns the serving threads around an already-built [`AppState`] —
+/// shared by [`serve_with`] (fresh state) and
+/// [`ServerHandle::open_or_recover`] (recovered state).
+fn spawn_server(
+    listener: TcpListener,
+    addr: SocketAddr,
+    app: AppState,
+    config: ServeConfig,
+) -> io::Result<ServerHandle> {
     let n_workers = config.n_workers.max(1);
     let shared = Arc::new(Shared {
         app,

@@ -164,6 +164,68 @@ impl<V> SessionStore<V> {
             held_since: cs2p_obs::enabled().then(Instant::now),
         }
     }
+
+    /// A consistent-enough copy of the store for a durability snapshot:
+    /// the logical tick counter plus every `(id, last_touch, value)`
+    /// triple, sorted by id for deterministic bytes on disk. Locks each
+    /// shard in turn **without** consuming a tick or touching LRU stamps
+    /// — snapshotting must not perturb the eviction schedule it records.
+    /// Entries mutated while later shards are visited may appear in
+    /// either state; WAL replay is idempotent over that window.
+    pub fn snapshot(&self) -> (u64, Vec<(u64, u64, V)>)
+    where
+        V: Clone,
+    {
+        let tick = self.tick.load(Ordering::SeqCst);
+        let mut entries = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let guard = shard.lock();
+            for (id, entry) in guard.iter() {
+                entries.push((*id, entry.last_touch, entry.value.clone()));
+            }
+        }
+        entries.sort_unstable_by_key(|(id, _, _)| *id);
+        (tick, entries)
+    }
+
+    /// Rebuilds a store from recovered parts: the persisted tick counter
+    /// and `(id, last_touch, value)` triples. Entries are placed directly
+    /// in their shards with their original LRU stamps, so TTL/LRU
+    /// behaviour continues exactly where the snapshot left off. If the
+    /// capacity bound shrank across the restart, the least recently
+    /// touched surplus entries are dropped (counted as evictions; no
+    /// sink is installed yet at restore time).
+    pub fn restore(
+        n_shards: usize,
+        max_sessions: usize,
+        ttl: Option<u64>,
+        tick: u64,
+        entries: Vec<(u64, u64, V)>,
+    ) -> Self {
+        let mut store = Self::new(n_shards, max_sessions, ttl);
+        *store.tick.get_mut() = tick;
+        for (id, last_touch, value) in entries {
+            let idx = store.shard_of(id);
+            let per_shard_cap = store.per_shard_cap;
+            let shard = store.shards[idx].get_mut();
+            if !shard.contains_key(&id) && shard.len() >= per_shard_cap {
+                if let Some(victim) = shard
+                    .iter()
+                    .min_by_key(|(key, entry)| (entry.last_touch, **key))
+                    .map(|(key, _)| *key)
+                {
+                    shard.remove(&victim);
+                    *store.evicted.get_mut() += 1;
+                    *store.live.get_mut() -= 1;
+                }
+            }
+            let fresh = shard.insert(id, Entry { value, last_touch }).is_none();
+            if fresh {
+                *store.live.get_mut() += 1;
+            }
+        }
+        store
+    }
 }
 
 /// Exclusive access to one shard of a [`SessionStore`].
@@ -175,6 +237,13 @@ pub struct ShardGuard<'a, V> {
 }
 
 impl<V> ShardGuard<'_, V> {
+    /// The logical tick this guard was taken at — the `last_touch` stamp
+    /// every mutation through this guard gets. WAL records carry it so
+    /// replay restores LRU/TTL state exactly.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
     fn expired(&self, entry: &Entry<V>) -> bool {
         match self.store.ttl {
             Some(ttl) => self.now.saturating_sub(entry.last_touch) > ttl,

@@ -21,14 +21,27 @@
 //! (no refresh/eviction/slow-peer deadlock), and the registry must not
 //! leak versions past its retention window.
 //!
+//! A third pass crashes durable servers mid-load at seeded WAL commit
+//! points and recovers them (see `crash_restart_one_seed`): recovery
+//! must be a deterministic function of the directory bytes, post-restart
+//! sessions must be bit-identical to a never-crashed server, and the
+//! WAL's record/commit accounting must stay exact across the restart.
+//!
 //! Own test binary, single `#[test]`: the identities diff the global
 //! cs2p-obs registry, which concurrent tests would corrupt.
 
-use cs2p_net::{serve_with, RefreshConfig, ServeConfig, ServerHandle};
+use cs2p_net::http::Request;
+use cs2p_net::protocol::PredictRequest;
+use cs2p_net::{
+    serve_with, HttpClient, PersistConfig, RefreshConfig, ServeConfig, ServerHandle, WalFaultHook,
+};
+use cs2p_testkit::crash::{CrashPlan, TempDir};
 use cs2p_testkit::faults::{run_chaos, ChaosConfig};
 use cs2p_testkit::loadgen::{run_load, BatchSpec, LoadConfig};
 use cs2p_testkit::scenarios::{tiny_dataset, tiny_engine, tiny_train_config};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn counter(name: &str) -> u64 {
@@ -555,6 +568,181 @@ fn refresh_chaos_one_seed(seed: u64) -> u64 {
     swaps
 }
 
+/// Same shards/workers as [`chaos_server`], but durable: opened over a
+/// persistence directory with per-record group commit and a compaction
+/// cadence short enough that several WAL rotations race the workload.
+fn durable_chaos_server(dir: &Path, hook: Option<Arc<CrashPlan>>) -> ServerHandle {
+    let config = ServeConfig {
+        n_shards: 4,
+        n_workers: 3,
+        queue_depth: 1024,
+        max_sessions: 10_000,
+        session_ttl_requests: None,
+        read_timeout: Duration::from_millis(150),
+        ..ServeConfig::default()
+    };
+    let persist = PersistConfig {
+        commit_every_records: 1,
+        snapshot_every_records: 16,
+        fsync_data: false,
+        fault_hook: hook.map(|h| h as Arc<dyn WalFaultHook>),
+        ..PersistConfig::default()
+    };
+    ServerHandle::open_or_recover(dir, tiny_engine(), "127.0.0.1:0", config, persist).unwrap()
+}
+
+/// Recursively copies a persistence directory (WAL segments, snapshot,
+/// model bundles) — taken *after* shutdown, so the bytes are quiescent.
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+/// One identical probe request per session id, answered as raw
+/// `(status, body bytes)` — 404s included, since which sessions survived
+/// the crash is part of the recovered state being compared.
+fn probe_sessions(server: &ServerHandle, ids: impl Iterator<Item = u64>) -> Vec<(u16, Vec<u8>)> {
+    let mut client = HttpClient::new(server.addr());
+    ids.map(|id| {
+        let preq = PredictRequest {
+            session_id: id,
+            features: None,
+            measured_mbps: Some(2.5),
+            horizon: 2,
+        };
+        let resp = client
+            .send(&Request::new(
+                "POST",
+                "/predict",
+                serde_json::to_vec(&preq).unwrap(),
+            ))
+            .unwrap();
+        (resp.status, resp.body.to_vec())
+    })
+    .collect()
+}
+
+/// Crash-restart differential: the full multi-client loadgen workload
+/// runs against a durable server whose WAL is killed (or torn) at a
+/// seeded commit point mid-load — with group commits and compactions
+/// racing four client threads, the crash lands at an arbitrary,
+/// schedule-dependent place. What must still hold exactly:
+///
+/// - **liveness through the crash**: the process model keeps serving
+///   from memory after its disk dies — the workload finishes cleanly;
+/// - **recovery determinism**: two recoveries of the same directory
+///   bytes are response-byte-identical on every session (replay is a
+///   function of the log, not of timing);
+/// - **post-restart blast radius**: sessions born after the restart are
+///   bit-identical to the same workload on a never-crashed server;
+/// - **persistence accounting across the restart**: on the recovered
+///   server every successful post-restart request appends exactly one
+///   WAL record, every record is group-committed (commit-per-record
+///   config), and the WAL stays alive.
+fn crash_restart_one_seed(seed: u64) -> u64 {
+    let phase1 = LoadConfig {
+        n_clients: 4,
+        n_sessions: 8,
+        epochs_per_session: 5,
+        horizon: 2,
+        seed,
+        session_id_base: 1_000,
+        ..LoadConfig::default()
+    };
+
+    // Phase 1: crash mid-load. ~40 predict records land across the run;
+    // the plan kills (or tears) one of the first 30 commits.
+    let dir = TempDir::new("soak-crash");
+    let plan = CrashPlan::seeded(seed, 30);
+    let server = durable_chaos_server(dir.path(), Some(Arc::clone(&plan)));
+    let report = run_load(server.addr(), &phase1);
+    assert_eq!(
+        report.errors, 0,
+        "seed {seed}: crash must not drop requests"
+    );
+    assert_eq!(report.rejected, 0, "seed {seed}");
+    assert!(plan.killed(), "seed {seed}: the seeded crash never fired");
+    let crashed_stats = server.persist_stats().expect("durable server");
+    assert!(
+        crashed_stats.dead,
+        "seed {seed}: WAL must be dead post-crash"
+    );
+    shutdown_bounded(server);
+
+    // Recovery determinism: recover the directory twice (one from a
+    // byte-for-byte copy) and compare every session's probe exactly.
+    let dir_copy = TempDir::new("soak-crash-copy");
+    copy_dir(dir.path(), dir_copy.path());
+    let recovered = durable_chaos_server(dir.path(), None);
+    let twin = durable_chaos_server(dir_copy.path(), None);
+    let ids = || (0..phase1.n_sessions as u64).map(|s| phase1.session_id_base + s);
+    let got = probe_sessions(&recovered, ids());
+    let twin_got = probe_sessions(&twin, ids());
+    assert_eq!(
+        got, twin_got,
+        "seed {seed}: two recoveries of the same bytes diverged"
+    );
+    let survivors = got.iter().filter(|(status, _)| *status == 200).count() as u64;
+    shutdown_bounded(twin);
+
+    // Phase 2 on the recovered server: a fresh cohort of sessions, with
+    // a golden in-memory server as the never-crashed baseline.
+    let phase2 = LoadConfig {
+        session_id_base: 2_000,
+        seed: seed ^ 0x0051_EED2,
+        ..phase1.clone()
+    };
+    let stats_before = recovered.persist_stats().expect("durable server");
+    assert!(
+        !stats_before.dead,
+        "seed {seed}: recovered WAL must be live"
+    );
+    let golden_server = chaos_server();
+    let golden = run_load(golden_server.addr(), &phase2);
+    shutdown_bounded(golden_server);
+    let phase2_report = run_load(recovered.addr(), &phase2);
+    assert_eq!(phase2_report.errors, 0, "seed {seed}");
+    assert_eq!(phase2_report.rejected, 0, "seed {seed}");
+    assert_eq!(
+        phase2_report.reinit, 0,
+        "seed {seed}: fresh cohort must never re-register"
+    );
+    for s in 0..phase2.n_sessions as u64 {
+        let id = phase2.session_id_base + s;
+        assert_eq!(
+            phase2_report.predictions.get(&id),
+            golden.predictions.get(&id),
+            "seed {seed}: post-restart session {id} diverged from never-crashed golden"
+        );
+    }
+
+    // Persistence accounting: exactly one WAL record per successful
+    // post-restart request (no evictions: huge cap, no TTL), all of
+    // them committed record-by-record, WAL still alive.
+    let stats_after = recovered.persist_stats().expect("durable server");
+    let d_records = stats_after.records - stats_before.records;
+    let d_commits = stats_after.commits - stats_before.commits;
+    assert_eq!(
+        d_records, phase2_report.ok,
+        "seed {seed}: WAL records vs successful requests"
+    );
+    assert_eq!(
+        d_commits, d_records,
+        "seed {seed}: commit-per-record config must commit every record"
+    );
+    assert!(!stats_after.dead, "seed {seed}: WAL died without a fault");
+    shutdown_bounded(recovered);
+    survivors
+}
+
 #[test]
 fn seeded_chaos_schedules_are_survived_with_exact_accounting() {
     cs2p_obs::set_enabled(true);
@@ -596,5 +784,17 @@ fn seeded_chaos_schedules_are_survived_with_exact_accounting() {
         total_swaps += refresh_chaos_one_seed(seed);
     }
     assert!(total_swaps > 0, "no swap ever published under chaos");
+
+    // Crash-restart differential pass: durable servers killed mid-load
+    // at seeded WAL commit points, recovered, and held to determinism,
+    // blast-radius, and persistence-accounting identities.
+    let mut total_survivors = 0;
+    for seed in seeds().into_iter().take(2) {
+        total_survivors += crash_restart_one_seed(seed);
+    }
+    assert!(
+        total_survivors > 0,
+        "no session ever survived a crash across the seed matrix"
+    );
     cs2p_obs::set_enabled(false);
 }

@@ -1,6 +1,9 @@
 //! Forcing tests: one deterministic scenario per fault class, each
 //! pinned to the `serve.fault.*` / `client.retry.*` counter it must
-//! move and to the recovery behaviour it must trigger.
+//! move and to the recovery behaviour it must trigger — plus the
+//! player-facing degradation scenarios (server death/disconnect/restart,
+//! malformed responses and manifests) folded in from the former
+//! `failure_injection.rs`.
 //!
 //! This file is its own test binary with a single `#[test]` because the
 //! scenarios flip the *global* cs2p-obs registry and diff its counters;
@@ -10,8 +13,12 @@
 //! server thread noticing a reset after the client moved on) land
 //! inside the scenario that caused them.
 
+use cs2p_core::ThroughputPredictor;
+use cs2p_net::dash::{AbrKind, DashPlayer, Manifest, PlayerConfig};
 use cs2p_net::protocol::{PredictRequest, PredictResponse};
-use cs2p_net::{serve_with, HttpClient, RemotePredictor, RetryPolicy, ServeConfig, ServerHandle};
+use cs2p_net::{
+    serve, serve_with, HttpClient, RemotePredictor, RetryPolicy, ServeConfig, ServerHandle,
+};
 use cs2p_obs::ManualClock;
 use cs2p_testkit::faults::{FaultAction, FaultPlan};
 use cs2p_testkit::scenarios::tiny_engine;
@@ -281,7 +288,6 @@ fn forced_eviction_replays_registration_with_pending_measurement() {
     let reinit0 = counter("predict.client.reinit");
 
     let mut predictor = RemotePredictor::new(server.addr(), 7, vec![1]);
-    use cs2p_core::ThroughputPredictor;
     assert!(predictor.predict_initial().is_some(), "registration");
     assert!(!server.force_evict(99), "unknown session is not evicted");
     assert!(server.force_evict(7), "live session must evict");
@@ -436,19 +442,326 @@ fn unrecoverable_faults_exhaust_retries_and_give_up() {
     server.shutdown();
 }
 
+// ---------------------------------------------------------------------
+// Player-facing failure injection (folded in from the former
+// `failure_injection.rs`): the DASH player must degrade gracefully —
+// never panic, never stall the playback loop — when the prediction
+// server misbehaves or the manifest is broken. These scenarios don't
+// diff obs counters, but they kill and restart servers, so they run in
+// the same single-test binary to keep counter diffs above undisturbed.
+// ---------------------------------------------------------------------
+
+/// A predictor whose retry backoff never really sleeps: these scenarios
+/// hammer dead servers on purpose, and real exponential backoff would
+/// only stretch the wall clock without changing any outcome.
+fn sleepless_predictor(addr: std::net::SocketAddr, id: u64, features: Vec<u32>) -> RemotePredictor {
+    RemotePredictor::from_client(
+        HttpClient::new(addr).with_sleeper(Arc::new(|_| {})),
+        id,
+        features,
+    )
+}
+
+fn server_death_mid_session_degrades_but_playback_finishes() {
+    let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    let mut predictor = sleepless_predictor(addr, 1, vec![1]);
+    // Warm up: a few successful epochs.
+    assert!(predictor.predict_initial().is_some());
+    predictor.observe(5.0);
+    assert!(predictor.predict_next().is_some());
+
+    // Kill the server mid-session. The open keep-alive connection may
+    // drain one final request before closing.
+    server.shutdown();
+    predictor.observe(5.0);
+    let _ = predictor.predict_next();
+
+    // Subsequent predictions fail soft (None), observe never panics.
+    predictor.observe(5.0);
+    assert_eq!(predictor.predict_next(), None);
+    predictor.observe(4.8);
+    assert_eq!(predictor.predict_ahead(3), None);
+
+    // The player plays the entire video anyway: MPC falls back to the
+    // conservative no-prediction path.
+    let player = DashPlayer::new(
+        Manifest::envivio(),
+        PlayerConfig {
+            prediction_seeded_start: false,
+            ..Default::default()
+        },
+    );
+    let trace = vec![5.0; 120];
+    let mut dead = sleepless_predictor(addr, 2, vec![1]);
+    let log = player.play(&trace, 6.0, &mut dead, 2, "CS2P+MPC");
+    assert_eq!(log.bitrates_kbps.len(), 43);
+    assert!(log.qoe.is_finite());
+    // Every chunk got the lowest rung — the documented no-information
+    // behaviour — rather than crashing or hanging.
+    assert!(log.bitrates_kbps.iter().all(|&b| b == 350.0));
+}
+
+/// Remote predictor whose server dies *during* playback: after
+/// `kill_after` observed epochs it shuts the server down, deterministically
+/// injecting the disconnect mid-session from inside the playback loop.
+struct DisconnectingPredictor {
+    inner: RemotePredictor,
+    server: Option<ServerHandle>,
+    kill_after: usize,
+    observed: usize,
+}
+
+impl ThroughputPredictor for DisconnectingPredictor {
+    fn name(&self) -> &str {
+        "CS2P-disconnecting"
+    }
+
+    fn predict_initial(&mut self) -> Option<f64> {
+        self.inner.predict_initial()
+    }
+
+    fn predict_ahead(&mut self, k: usize) -> Option<f64> {
+        self.inner.predict_ahead(k)
+    }
+
+    fn observe(&mut self, throughput: f64) {
+        self.observed += 1;
+        if self.observed == self.kill_after {
+            if let Some(server) = self.server.take() {
+                server.shutdown();
+            }
+        }
+        self.inner.observe(throughput);
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+fn server_disconnect_during_playback_finishes_the_video() {
+    let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    let player = DashPlayer::new(
+        Manifest::envivio(),
+        PlayerConfig {
+            prediction_seeded_start: false,
+            ..Default::default()
+        },
+    );
+    let trace = vec![5.0; 120];
+    let mut predictor = DisconnectingPredictor {
+        inner: sleepless_predictor(addr, 4, vec![1]),
+        server: Some(server),
+        kill_after: 10,
+        observed: 0,
+    };
+    let log = player.play(&trace, 6.0, &mut predictor, 4, "CS2P+MPC");
+
+    // The server died after 10 chunks but the whole video still played.
+    assert!(predictor.server.is_none(), "kill switch must have fired");
+    assert_eq!(log.bitrates_kbps.len(), 43);
+    assert!(log.qoe.is_finite());
+    assert!(log.rebuffer_seconds.is_finite());
+    // Early chunks had predictions and climbed the ladder; after the
+    // disconnect MPC degrades to its conservative no-prediction path
+    // rather than panicking or freezing playback.
+    let had_pred = log
+        .throughput_pairs
+        .iter()
+        .filter(|(pred, _)| pred.is_some())
+        .count();
+    assert!(had_pred > 0, "no predictions served before the kill");
+    assert!(
+        had_pred < log.throughput_pairs.len(),
+        "every chunk kept a prediction — the disconnect never bit"
+    );
+}
+
+fn server_restart_is_picked_up_by_reconnecting_client() {
+    // First server instance.
+    let server = serve(tiny_engine(), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+    let mut predictor = sleepless_predictor(addr, 9, vec![0]);
+    assert!(predictor.predict_initial().is_some());
+    let port = addr.port();
+    server.shutdown();
+
+    // Dead in between. The previous keep-alive connection may drain one
+    // final request before closing; the one after that must fail soft.
+    predictor.observe(1.0);
+    let _ = predictor.predict_next();
+    predictor.observe(1.0);
+    assert_eq!(predictor.predict_next(), None);
+
+    // Restart on the same port (may occasionally be taken; skip if so).
+    let Ok(server2) = serve(tiny_engine(), &format!("127.0.0.1:{port}")) else {
+        return;
+    };
+    // The keep-alive client reconnects transparently; the session state
+    // was lost server-side, so the predictor re-registers via features.
+    predictor.reset();
+    assert!(predictor.predict_initial().is_some());
+    server2.shutdown();
+}
+
+fn malformed_server_responses_do_not_panic_client() {
+    // A fake "server" that answers garbage to whatever arrives.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        for stream in listener.incoming().take(2) {
+            let Ok(mut s) = stream else {
+                break;
+            };
+            use std::io::Read;
+            let mut buf = [0u8; 1024];
+            let _ = s.read(&mut buf);
+            let _ = s.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\n\r\n{not}");
+        }
+    });
+
+    let mut predictor = RemotePredictor::new(addr, 3, vec![0]);
+    // Invalid JSON body -> soft failure, no panic.
+    assert_eq!(predictor.predict_initial(), None);
+    let _ = handle;
+}
+
+fn syntactically_malformed_manifests_are_rejected_not_panicked_on() {
+    for garbage in [
+        "",
+        "{not json",
+        "[1,2,3]",
+        r#"{"title":"x"}"#,
+        r#"{"title":"x","video":{"chunk_seconds":"six"}}"#,
+    ] {
+        let err = Manifest::from_json(garbage);
+        assert!(err.is_err(), "garbage manifest {garbage:?} was accepted");
+    }
+}
+
+fn semantically_broken_manifests_are_rejected_up_front() {
+    let good = Manifest::envivio();
+    assert!(good.validate().is_ok());
+
+    let mut empty_ladder = good.clone();
+    empty_ladder.video.bitrates_kbps.clear();
+    assert!(empty_ladder.validate().is_err());
+    assert!(DashPlayer::try_new(empty_ladder, PlayerConfig::default()).is_err());
+
+    let mut zero_chunks = good.clone();
+    zero_chunks.video.n_chunks = 0;
+    assert!(zero_chunks.validate().is_err());
+
+    let mut descending = good.clone();
+    descending.video.bitrates_kbps.reverse();
+    assert!(descending.validate().is_err());
+
+    let mut nan_rate = good.clone();
+    nan_rate.video.bitrates_kbps[0] = f64::NAN;
+    assert!(nan_rate.validate().is_err());
+
+    let mut zero_epoch = good.clone();
+    zero_epoch.video.chunk_seconds = 0.0;
+    assert!(zero_epoch.validate().is_err());
+
+    let mut no_buffer = good.clone();
+    no_buffer.video.buffer_capacity_seconds = -1.0;
+    assert!(no_buffer.validate().is_err());
+
+    // A round trip through JSON of a valid manifest still validates.
+    let json = serde_json::to_string(&good).unwrap();
+    let reparsed = Manifest::from_json(&json).unwrap();
+    assert_eq!(reparsed, good);
+    assert!(DashPlayer::try_new(
+        reparsed,
+        PlayerConfig {
+            abr: AbrKind::Bb,
+            ..Default::default()
+        }
+    )
+    .is_ok());
+}
+
+/// Runs one scenario, echoing its wall time (visible with
+/// `--nocapture`) so a slow CI run points at the guilty scenario.
+fn timed(name: &str, scenario: fn()) {
+    let start = Instant::now();
+    scenario();
+    println!("fault scenario {name}: {:?}", start.elapsed());
+}
+
 #[test]
 fn every_fault_class_has_a_forcing_scenario() {
     cs2p_obs::set_enabled(true);
-    reset_mid_response_recovers_via_client_retry();
-    reset_mid_request_counts_a_server_read_error();
-    truncation_is_reaped_by_read_timeout_and_retried();
-    corruption_gets_a_400_bad_frame_then_clean_resend();
-    dribbled_request_within_budget_is_served_normally();
-    delay_past_budget_forces_a_slow_peer_abort();
-    idle_keepalive_survives_clock_advance_past_budget();
-    forced_eviction_replays_registration_with_pending_measurement();
-    forced_eviction_mid_batch_answers_a_per_entry_404();
-    server_side_write_reset_is_counted_and_retried();
-    unrecoverable_faults_exhaust_retries_and_give_up();
+    timed(
+        "reset_mid_response",
+        reset_mid_response_recovers_via_client_retry,
+    );
+    timed(
+        "reset_mid_request",
+        reset_mid_request_counts_a_server_read_error,
+    );
+    timed(
+        "truncation",
+        truncation_is_reaped_by_read_timeout_and_retried,
+    );
+    timed(
+        "corruption",
+        corruption_gets_a_400_bad_frame_then_clean_resend,
+    );
+    timed("dribble", dribbled_request_within_budget_is_served_normally);
+    timed(
+        "delay_past_budget",
+        delay_past_budget_forces_a_slow_peer_abort,
+    );
+    timed(
+        "idle_keepalive",
+        idle_keepalive_survives_clock_advance_past_budget,
+    );
+    timed(
+        "forced_eviction",
+        forced_eviction_replays_registration_with_pending_measurement,
+    );
+    timed(
+        "forced_eviction_batch",
+        forced_eviction_mid_batch_answers_a_per_entry_404,
+    );
+    timed(
+        "server_write_reset",
+        server_side_write_reset_is_counted_and_retried,
+    );
+    timed(
+        "retry_exhaustion",
+        unrecoverable_faults_exhaust_retries_and_give_up,
+    );
+    // Player-facing degradation scenarios (former failure_injection.rs).
+    timed(
+        "server_death",
+        server_death_mid_session_degrades_but_playback_finishes,
+    );
+    timed(
+        "disconnect_mid_playback",
+        server_disconnect_during_playback_finishes_the_video,
+    );
+    timed(
+        "server_restart",
+        server_restart_is_picked_up_by_reconnecting_client,
+    );
+    timed(
+        "malformed_responses",
+        malformed_server_responses_do_not_panic_client,
+    );
+    timed(
+        "malformed_manifests",
+        syntactically_malformed_manifests_are_rejected_not_panicked_on,
+    );
+    timed(
+        "broken_manifests",
+        semantically_broken_manifests_are_rejected_up_front,
+    );
     cs2p_obs::set_enabled(false);
 }

@@ -1,0 +1,438 @@
+//! Torn-write recovery battery for the durability layer (see DESIGN.md
+//! §3f and TESTING.md "Crash recovery").
+//!
+//! Three layers of attack, bottom-up:
+//!
+//! - **framing**: a WAL written through the real `Wal` is truncated at
+//!   *every* byte offset and bit-flipped at seeded positions — decoding
+//!   must never panic, must recover exactly the longest valid frame
+//!   prefix, and must report `clean` only at true frame boundaries;
+//! - **registry**: random publish/GC programs against the on-disk model
+//!   directory — the files present must always equal the retained set,
+//!   the `CURRENT` pointer must follow the latest publish, and a corrupt
+//!   bundle is skipped, never fatal;
+//! - **end-to-end**: a server opened with `ServerHandle::open_or_recover`
+//!   is killed (cleanly or with a torn final commit) at every commit
+//!   point of a deterministic request stream, reopened, and compared —
+//!   response-byte-identical — against a control server that was only
+//!   ever fed the committed prefix. The same battery checks the graceful
+//!   path: flush-on-shutdown makes the whole stream durable.
+//!
+//! Commit-point arithmetic: with `commit_every_records = 1` and a
+//! single-threaded driver, every step of the stream appends exactly one
+//! WAL record and therefore owns exactly one commit index, so
+//! "crash at commit k" and "control fed the first k steps" describe the
+//! same durable state. The stream is built to keep that invariant (no
+//! TTL, capacity far above the session count, `/log` only for live
+//! sessions — nothing ever evicts or no-ops).
+
+use cs2p_net::http::{Request, Response};
+use cs2p_net::persist::{decode_frames, RegistryDir, Wal};
+use cs2p_net::protocol::{PredictRequest, SessionLog};
+use cs2p_net::{HttpClient, PersistConfig, ServeConfig, ServerHandle};
+use cs2p_obs::ManualClock;
+use cs2p_testkit::crash::{CrashPlan, TempDir};
+use cs2p_testkit::scenarios::tiny_engine;
+use proptest::prelude::*;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+/// `tiny_engine()` trains from scratch; this battery spins ~100 servers,
+/// so train once and clone.
+fn cached_engine() -> cs2p_core::PredictionEngine {
+    static ENGINE: OnceLock<cs2p_core::PredictionEngine> = OnceLock::new();
+    ENGINE.get_or_init(tiny_engine).clone()
+}
+
+// ---------------------------------------------------------------------
+// Framing layer
+// ---------------------------------------------------------------------
+
+const FRAME_HEADER: usize = 8;
+
+/// Frames written through the real `Wal`, then truncated at every byte
+/// offset: the decoder must return exactly the frames that fit whole,
+/// flag every mid-frame cut as unclean, and never panic.
+#[test]
+fn truncation_at_every_byte_offset_yields_longest_valid_prefix() {
+    let dir = TempDir::new("trunc");
+    let path = dir.path().join("wal-000001.log");
+    // Varied sizes, including empty, so cuts land in headers, payloads,
+    // and exactly on boundaries.
+    let payloads: Vec<Vec<u8>> = (0..6u8).map(|i| vec![0xA0 ^ i; (i as usize) * 3]).collect();
+    {
+        let wal = Wal::open(&path, Arc::new(ManualClock::new()), 1, None, false, None).unwrap();
+        for p in &payloads {
+            wal.append(p).unwrap();
+        }
+        wal.flush().unwrap();
+    }
+    let bytes = std::fs::read(&path).unwrap();
+    let boundaries: Vec<usize> = payloads
+        .iter()
+        .scan(0usize, |pos, p| {
+            *pos += FRAME_HEADER + p.len();
+            Some(*pos)
+        })
+        .collect();
+    assert_eq!(*boundaries.last().unwrap(), bytes.len(), "Wal framing size");
+
+    for cut in 0..=bytes.len() {
+        let replay = decode_frames(&bytes[..cut]);
+        let whole = boundaries.iter().filter(|&&b| b <= cut).count();
+        assert_eq!(
+            replay.records,
+            &payloads[..whole],
+            "cut at {cut}: wrong record prefix"
+        );
+        let on_boundary = cut == 0 || boundaries.contains(&cut);
+        assert_eq!(replay.clean, on_boundary, "cut at {cut}: clean flag");
+        let expected_valid = boundaries
+            .iter()
+            .rev()
+            .find(|&&b| b <= cut)
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(
+            replay.valid_bytes, expected_valid as u64,
+            "cut at {cut}: valid_bytes"
+        );
+    }
+}
+
+proptest! {
+    /// A single flipped bit anywhere in a framed stream: every frame
+    /// that ends before the flipped byte decodes intact, decoding stops
+    /// at the corrupted frame (CRC32 catches any single-bit error), the
+    /// log is flagged unclean, and nothing panics.
+    #[test]
+    fn single_bit_flip_never_panics_and_preserves_the_prefix(
+        sizes in prop::collection::vec(0usize..48, 1..8),
+        flip_pos in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let payloads: Vec<Vec<u8>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (0..n).map(|j| (i * 31 + j) as u8).collect())
+            .collect();
+        let mut bytes = Vec::new();
+        let mut boundaries = Vec::new();
+        for p in &payloads {
+            bytes.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&cs2p_net::persist::crc32(p).to_le_bytes());
+            bytes.extend_from_slice(p);
+            boundaries.push(bytes.len());
+        }
+        let pos = flip_pos % bytes.len();
+        bytes[pos] ^= 1 << flip_bit;
+
+        let replay = decode_frames(&bytes);
+        // Frames that end at or before the flipped byte are untouched;
+        // the flip lands inside the next frame, which must fail its CRC
+        // (or bounds check, if the flip grew the length field).
+        let intact = boundaries.iter().filter(|&&b| b <= pos).count();
+        prop_assert_eq!(&replay.records, &payloads[..intact]);
+        prop_assert!(!replay.clean, "a flipped bit must mark the log unclean");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry layer
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Random publish/GC programs against the model directory: after
+    /// every program the files on disk are exactly the retained set,
+    /// `CURRENT` names the latest publish, and reloading recovers every
+    /// retained version (density: versions are the publish sequence).
+    #[test]
+    fn registry_dir_files_always_match_the_retained_set(
+        n_published in 1u64..8,
+        retain in 1u64..4,
+        corrupt_one in any::<bool>(),
+    ) {
+        let tmp = TempDir::new("registry");
+        let dir = tmp.path();
+        let sink = RegistryDir::create(dir).unwrap();
+        let engine = cached_engine();
+
+        use cs2p_core::registry::RegistryPersistence;
+        use cs2p_core::ModelVersion;
+        let mut retained: Vec<u64> = Vec::new();
+        for v in 1..=n_published {
+            sink.publish_version(ModelVersion(v), &engine);
+            retained.push(v);
+            while retained.len() as u64 > retain {
+                sink.collect_version(ModelVersion(retained.remove(0)));
+            }
+            // The invariant holds after *every* step, not just at the end.
+            let (engines, current) = RegistryDir::load(dir).unwrap();
+            let versions: Vec<u64> = engines.iter().map(|(ev, _)| *ev).collect();
+            prop_assert_eq!(&versions, &retained, "publish {} files", v);
+            prop_assert_eq!(current, Some(v), "publish {} pointer", v);
+        }
+
+        if corrupt_one {
+            // Scribble over the *current* bundle: the loader must skip it
+            // without panicking, and the dangling pointer must filter to
+            // `None` rather than name a version that cannot be served.
+            let current = *retained.last().unwrap();
+            std::fs::write(dir.join(format!("v{current}.json")), b"{not json").unwrap();
+            let (engines, loaded_current) = RegistryDir::load(dir).unwrap();
+            let versions: Vec<u64> = engines.iter().map(|(ev, _)| *ev).collect();
+            let survivors: Vec<u64> =
+                retained.iter().copied().filter(|&v| v != current).collect();
+            prop_assert_eq!(versions, survivors, "corrupt bundle must be skipped");
+            prop_assert_eq!(loaded_current, None, "dangling pointer must filter out");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end crash/recovery layer
+// ---------------------------------------------------------------------
+
+/// One step of the deterministic request stream. Every step appends
+/// exactly one WAL record (see the module docs), so step index == commit
+/// index at `commit_every_records = 1`.
+#[derive(Clone)]
+enum Step {
+    Predict(PredictRequest),
+    Log(u64),
+}
+
+const SESSIONS: [u64; 3] = [7, 8, 9];
+
+/// The full stream: 3 sessions × 4 interleaved epochs, then a `/log`
+/// departure (a `Remove` record), a re-registration of the departed
+/// session (a second `Register` for the same id), and one more update.
+fn request_stream() -> Vec<Step> {
+    let mut steps = Vec::new();
+    for epoch in 0..4u64 {
+        for (i, &sid) in SESSIONS.iter().enumerate() {
+            steps.push(Step::Predict(PredictRequest {
+                session_id: sid,
+                features: (epoch == 0).then(|| vec![i as u32 % 2]),
+                measured_mbps: (epoch > 0).then_some(1.5 + 0.25 * epoch as f64 + 0.1 * i as f64),
+                horizon: 2,
+            }));
+        }
+    }
+    steps.push(Step::Log(8));
+    steps.push(Step::Predict(PredictRequest {
+        session_id: 8,
+        features: Some(vec![1]),
+        measured_mbps: None,
+        horizon: 2,
+    }));
+    steps.push(Step::Predict(PredictRequest {
+        session_id: 7,
+        features: None,
+        measured_mbps: Some(3.25),
+        horizon: 2,
+    }));
+    steps
+}
+
+fn drive(client: &mut HttpClient, step: &Step) -> Response {
+    let resp = match step {
+        Step::Predict(preq) => client
+            .send(&Request::new(
+                "POST",
+                "/predict",
+                serde_json::to_vec(preq).unwrap(),
+            ))
+            .unwrap(),
+        Step::Log(id) => {
+            let log = SessionLog {
+                session_id: *id,
+                strategy: "CS2P+MPC".to_string(),
+                qoe: 1.0,
+                avg_bitrate_kbps: 1200.0,
+                good_ratio: 0.9,
+                rebuffer_seconds: 0.4,
+                startup_delay_seconds: 0.5,
+                throughput_pairs: vec![],
+                bitrates_kbps: vec![],
+            };
+            client
+                .send(&Request::new(
+                    "POST",
+                    "/log",
+                    serde_json::to_vec(&log).unwrap(),
+                ))
+                .unwrap()
+        }
+    };
+    assert!(
+        (200..300).contains(&resp.status),
+        "every step of the stream must succeed, got {}: {}",
+        resp.status,
+        String::from_utf8_lossy(&resp.body)
+    );
+    resp
+}
+
+fn persist_server(dir: &Path, persist: PersistConfig) -> ServerHandle {
+    let config = ServeConfig {
+        n_shards: 2,
+        n_workers: 1,
+        max_sessions: 64,
+        session_ttl_requests: None,
+        ..ServeConfig::default()
+    };
+    ServerHandle::open_or_recover(dir, cached_engine(), "127.0.0.1:0", config, persist).unwrap()
+}
+
+fn strict_persist(hook: Option<Arc<CrashPlan>>) -> PersistConfig {
+    PersistConfig {
+        commit_every_records: 1,
+        snapshot_every_records: 0, // no periodic compaction: commit k == step k
+        fsync_data: false,         // page-cache durability is enough for a test kill
+        fault_hook: hook.map(|h| h as Arc<dyn cs2p_net::WalFaultHook>),
+        ..PersistConfig::default()
+    }
+}
+
+/// Probes a server with a post-recovery continuation: two rounds over
+/// every session (features supplied so an unknown session re-registers
+/// identically on both sides) plus an ops-surface read. Returns the raw
+/// response bytes — the comparison is byte-exact, so prediction floats,
+/// `initial` flags, cluster sizes, and pinned model versions all have to
+/// match to the bit.
+fn probe(addr: std::net::SocketAddr) -> Vec<(u16, Vec<u8>)> {
+    let mut client = HttpClient::new(addr);
+    let mut out = Vec::new();
+    for round in 0..2u64 {
+        for (i, &sid) in SESSIONS.iter().enumerate() {
+            let preq = PredictRequest {
+                session_id: sid,
+                features: Some(vec![i as u32 % 2]),
+                measured_mbps: Some(2.0 + 0.5 * round as f64 + 0.125 * i as f64),
+                horizon: 2,
+            };
+            let resp = client
+                .send(&Request::new(
+                    "POST",
+                    "/predict",
+                    serde_json::to_vec(&preq).unwrap(),
+                ))
+                .unwrap();
+            out.push((resp.status, resp.body.to_vec()));
+        }
+    }
+    out
+}
+
+/// Runs the full stream into a durable server that crashes (via `plan`)
+/// somewhere inside it, recovers from the directory, and asserts the
+/// recovered server is response-byte-identical to a control server that
+/// was only ever fed the first `committed` steps.
+fn crash_and_compare(plan: Arc<CrashPlan>, committed: usize, label: &str) {
+    let steps = request_stream();
+
+    // Crashed run: the WAL dies mid-stream but the process keeps serving
+    // from memory — every request must still succeed.
+    let dir = TempDir::new("crash");
+    let server = persist_server(dir.path(), strict_persist(Some(Arc::clone(&plan))));
+    let mut client = HttpClient::new(server.addr());
+    for step in &steps {
+        drive(&mut client, step);
+    }
+    if committed < steps.len() {
+        assert!(plan.killed(), "{label}: the crash plan never fired");
+        assert!(
+            server.persist_stats().unwrap().dead,
+            "{label}: WAL must be dead after the crash"
+        );
+    }
+    drop(client);
+    server.shutdown();
+
+    // Control: an identical server fed only the committed prefix.
+    let control_dir = TempDir::new("control");
+    let control = persist_server(control_dir.path(), strict_persist(None));
+    let mut control_client = HttpClient::new(control.addr());
+    for step in &steps[..committed] {
+        drive(&mut control_client, step);
+    }
+    drop(control_client);
+
+    // Recovery, then the byte-exact comparison.
+    let recovered = persist_server(dir.path(), strict_persist(None));
+    let got = probe(recovered.addr());
+    let want = probe(control.addr());
+    assert_eq!(
+        got, want,
+        "{label}: recovered server diverged from the committed-prefix control"
+    );
+    recovered.shutdown();
+    control.shutdown();
+}
+
+/// Kill cleanly at *every* commit point of the stream (and one past the
+/// end — a plan that never fires), plus a torn final commit at every
+/// point: the acceptance bar for the durability layer.
+#[test]
+fn crash_at_every_commit_point_recovers_the_committed_prefix_exactly() {
+    let total = request_stream().len();
+    for k in 0..=total {
+        crash_and_compare(
+            CrashPlan::kill_at_commit(k as u64),
+            k,
+            &format!("kill at commit {k}"),
+        );
+    }
+    for k in 0..total {
+        // A torn commit k leaves a strict prefix of record k's frame on
+        // disk: recovery truncates it, so the durable state is still
+        // exactly k steps.
+        crash_and_compare(
+            CrashPlan::torn_at_commit(k as u64, 0x7EA5 + k as u64),
+            k,
+            &format!("torn at commit {k}"),
+        );
+    }
+}
+
+/// The graceful path: shutdown flushes, so reopening recovers the whole
+/// stream — and a second reopen (recovery-of-a-recovery, now snapshot-
+/// based after the startup compaction) is just as exact.
+#[test]
+fn graceful_shutdown_then_reopen_recovers_everything() {
+    let steps = request_stream();
+    let dir = TempDir::new("graceful");
+    let server = persist_server(dir.path(), strict_persist(None));
+    let mut client = HttpClient::new(server.addr());
+    for step in &steps {
+        drive(&mut client, step);
+    }
+    drop(client);
+    server.shutdown();
+
+    let control_dir = TempDir::new("graceful-control");
+    let control = persist_server(control_dir.path(), strict_persist(None));
+    let mut control_client = HttpClient::new(control.addr());
+    for step in &steps {
+        drive(&mut control_client, step);
+    }
+    drop(control_client);
+    let want = probe(control.addr());
+    control.shutdown();
+
+    for reopen in 0..2 {
+        let recovered = persist_server(dir.path(), strict_persist(None));
+        // The probe mutates sessions, so only the first reopen can be
+        // compared against the never-restarted control; the second
+        // proves recovery-of-a-recovery still serves and stays live.
+        if reopen == 0 {
+            let got = probe(recovered.addr());
+            assert_eq!(got, want, "reopen after graceful shutdown diverged");
+        } else {
+            let mut client = HttpClient::new(recovered.addr());
+            assert_eq!(client.get("/healthz").unwrap().status, 200);
+        }
+        recovered.shutdown();
+    }
+}

@@ -7,8 +7,15 @@
 //! agreement is exact for LRU victim order and TTL expiry as well, since
 //! any divergence in either shows up as a presence mismatch on a later
 //! probe.
+//!
+//! The same reference model also checks the durability layer's
+//! snapshot/restore: persisting a store mid-program and continuing on
+//! the restored copy must be indistinguishable from never restarting —
+//! same values, same tick clock, same TTL/LRU schedule.
 
+use cs2p_net::persist::{read_snapshot, write_snapshot, StoreSnapshot};
 use cs2p_net::store::SessionStore;
+use cs2p_testkit::crash::TempDir;
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -146,7 +153,24 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
 fn run_program(n_shards: usize, max_sessions: usize, ttl: Option<u64>, ops: &[Op]) {
     let store: SessionStore<u64> = SessionStore::new(n_shards, max_sessions, ttl);
     let mut model = RefStore::new(n_shards, max_sessions, ttl);
+    run_ops(&store, &mut model, ops, 0);
 
+    // Final sweep: presence (and surviving value) of every id must agree.
+    // The probes consume ticks and may TTL-evict on both sides, so this
+    // also exercises expiry one more time.
+    for id in 0..12u64 {
+        let real = store.lock(id).get_mut(id).copied();
+        let expected = model.get(id);
+        assert_eq!(real, expected, "final probe of {id}");
+    }
+    assert_eq!(store.evicted(), model.evicted, "final eviction counter");
+}
+
+/// Runs `ops` on both sides, asserting agreement after every step.
+/// `evicted_offset` is the model's eviction count at the point the store
+/// was (re)created — a restored store restarts its counter at zero while
+/// the reference model's keeps running across the restart.
+fn run_ops(store: &SessionStore<u64>, model: &mut RefStore, ops: &[Op], evicted_offset: u64) {
     for (step, &op) in ops.iter().enumerate() {
         match op {
             Op::Insert(id, value) => {
@@ -171,7 +195,7 @@ fn run_program(n_shards: usize, max_sessions: usize, ttl: Option<u64>, ops: &[Op
         }
         assert_eq!(store.len(), model.len(), "step {step}: live count");
         assert_eq!(
-            store.evicted(),
+            store.evicted() + evicted_offset,
             model.evicted,
             "step {step}: eviction counter"
         );
@@ -182,16 +206,6 @@ fn run_program(n_shards: usize, max_sessions: usize, ttl: Option<u64>, ops: &[Op
             store.capacity()
         );
     }
-
-    // Final sweep: presence (and surviving value) of every id must agree.
-    // The probes consume ticks and may TTL-evict on both sides, so this
-    // also exercises expiry one more time.
-    for id in 0..12u64 {
-        let real = store.lock(id).get_mut(id).copied();
-        let expected = model.get(id);
-        assert_eq!(real, expected, "final probe of {id}");
-    }
-    assert_eq!(store.evicted(), model.evicted, "final eviction counter");
 }
 
 proptest! {
@@ -218,5 +232,48 @@ proptest! {
     ) {
         let ttl = (ttl_raw > 0).then_some(ttl_raw + 1);
         run_program(n_shards, max_sessions, ttl, &ops);
+    }
+
+    /// Snapshot/restore round trip through the on-disk format: run half
+    /// the program, persist the store (`snapshot` → `write_snapshot` →
+    /// `read_snapshot` → `restore`), then run the other half on the
+    /// restored copy. The reference model never restarts — if the
+    /// restored store disagrees with it on any value, tick, TTL expiry,
+    /// or LRU victim, persistence lost or mangled state.
+    #[test]
+    fn snapshot_restore_is_invisible_to_the_model(
+        ops_before in arb_ops(),
+        ops_after in arb_ops(),
+        n_shards in 1usize..5,
+        max_sessions in 1usize..10,
+        ttl_raw in 0u64..8,
+    ) {
+        let ttl = (ttl_raw > 0).then_some(ttl_raw + 1);
+        let store: SessionStore<u64> = SessionStore::new(n_shards, max_sessions, ttl);
+        let mut model = RefStore::new(n_shards, max_sessions, ttl);
+        run_ops(&store, &mut model, &ops_before, 0);
+
+        let (tick, entries) = store.snapshot();
+        prop_assert_eq!(tick, model.tick, "snapshot tick");
+        let written = StoreSnapshot { covered_gen: 3, tick, entries };
+        let dir = TempDir::new("store-rt");
+        let path = dir.path().join("store.snap");
+        write_snapshot(&path, &written).expect("write snapshot");
+        let snap = read_snapshot::<u64>(&path).expect("read snapshot back");
+        prop_assert_eq!(snap.covered_gen, 3, "covered_gen survives the format");
+        prop_assert_eq!(snap.tick, written.tick);
+        prop_assert_eq!(&snap.entries, &written.entries);
+
+        let evicted_at_restart = model.evicted;
+        let restored: SessionStore<u64> =
+            SessionStore::restore(n_shards, max_sessions, ttl, snap.tick, snap.entries);
+        prop_assert_eq!(restored.len(), model.len(), "live count after restore");
+        run_ops(&restored, &mut model, &ops_after, evicted_at_restart);
+
+        for id in 0..12u64 {
+            let real = restored.lock(id).get_mut(id).copied();
+            let expected = model.get(id);
+            prop_assert_eq!(real, expected, "post-restore probe of {}", id);
+        }
     }
 }

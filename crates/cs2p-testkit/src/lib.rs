@@ -23,11 +23,16 @@
 //!   injected delay), forced store evictions, and the
 //!   [`faults::run_chaos`] harness that drives the loadgen workload
 //!   through it for the chaos soak suites.
+//! - [`crash`]: the durability crash harness — a seeded [`crash::CrashPlan`]
+//!   killing (or tearing) the WAL at exact commit points, and the
+//!   [`crash::TempDir`] scratch directory the recovery suites persist
+//!   into.
 //!
 //! This crate is a dev-dependency of the library crates; production code
 //! must never depend on it. Harness crates (`cs2p-eval`'s `chaos-bench`)
 //! may use [`faults`] directly — it is test infrastructure either way.
 
+pub mod crash;
 pub mod faults;
 pub mod golden;
 pub mod invariants;
