@@ -9,6 +9,7 @@
 //! cs2p-eval chaos-bench  [--metrics out.jsonl]   # fault recovery table
 //! cs2p-eval refresh-bench [--metrics out.jsonl]  # stale vs refreshed model table
 //! cs2p-eval persist-bench [--metrics out.jsonl]  # in-memory vs durable table
+//! cs2p-eval degradation-bench [--metrics out.jsonl]  # ladder vs pure-503 QoE table
 //! cs2p-eval validate-metrics a.jsonl [b.jsonl] [--require stage,stage]
 //! cs2p-eval trace-report <metrics.jsonl>  # per-trace waterfalls
 //! ```
@@ -24,7 +25,11 @@
 //! world and compares a stale launch model against the daily warm-start
 //! refresh pipeline (see DESIGN.md §3c). `persist-bench` compares the
 //! in-memory server against the durable one (WAL commit per record) and
-//! enforces the WAL-overhead gate (see DESIGN.md §3f). `validate-metrics` checks a metrics
+//! enforces the WAL-overhead gate (see DESIGN.md §3f). `degradation-bench`
+//! forces the admission ladder's overload levels and certifies that the
+//! Fallback brownout strictly beats pure-503 shedding on simulated QoE,
+//! and that Fallback answers equal the paper's harmonic-mean baseline
+//! bit-for-bit (see DESIGN.md §3g). `validate-metrics` checks a metrics
 //! file against the schema — `--require` overrides the stage-coverage
 //! gate (default `train,predict,stream`); given two files it also diffs
 //! their determinism-normalized forms (the CI reproducibility gate).
@@ -33,8 +38,8 @@
 //! spans plus per-trace waterfalls (see OBSERVABILITY.md).
 
 use cs2p_eval::experiments::{
-    chaos_bench, dataset_figs, persist_bench, pilot, prediction, qoe, refresh_bench, sens,
-    serve_bench, trace_report,
+    chaos_bench, dataset_figs, degradation_bench, persist_bench, pilot, prediction, qoe,
+    refresh_bench, sens, serve_bench, trace_report,
 };
 use cs2p_eval::{EvalConfig, Materials};
 use cs2p_obs::{schema, JsonlSink, Registry};
@@ -60,6 +65,7 @@ fn usage() -> ExitCode {
     eprintln!("       cs2p-eval chaos-bench [--metrics out.jsonl]");
     eprintln!("       cs2p-eval refresh-bench [--metrics out.jsonl]");
     eprintln!("       cs2p-eval persist-bench [--metrics out.jsonl]");
+    eprintln!("       cs2p-eval degradation-bench [--metrics out.jsonl]");
     eprintln!("       cs2p-eval validate-metrics <a.jsonl> [b.jsonl] [--require stage,stage]");
     eprintln!("       cs2p-eval trace-report <metrics.jsonl>");
     eprintln!("experiments: {}", EXPERIMENTS.join(", "));
@@ -119,6 +125,7 @@ fn main() -> ExitCode {
             "--chaos-bench" => positional.push("chaos-bench".into()),
             "--refresh-bench" => positional.push("refresh-bench".into()),
             "--persist-bench" => positional.push("persist-bench".into()),
+            "--degradation-bench" => positional.push("degradation-bench".into()),
             flag if flag.starts_with("--") => return usage(),
             _ => positional.push(arg.clone()),
         }
@@ -135,8 +142,14 @@ fn main() -> ExitCode {
     let chaos_bench_only = positional.as_slice() == ["chaos-bench"];
     let refresh_bench_only = positional.as_slice() == ["refresh-bench"];
     let persist_bench_only = positional.as_slice() == ["persist-bench"];
+    let degradation_bench_only = positional.as_slice() == ["degradation-bench"];
     let ids: Vec<&str> = match positional.as_slice() {
-        _ if serve_bench_only || chaos_bench_only || refresh_bench_only || persist_bench_only => {
+        _ if serve_bench_only
+            || chaos_bench_only
+            || refresh_bench_only
+            || persist_bench_only
+            || degradation_bench_only =>
+        {
             Vec::new()
         }
         [] if metrics_path.is_some() || profile => DEFAULT_SET.to_vec(),
@@ -160,9 +173,14 @@ fn main() -> ExitCode {
         }
     }
 
-    // `serve-bench`/`chaos-bench`/`refresh-bench`/`persist-bench` need
+    // The bench family (serve/chaos/refresh/persist/degradation) needs
     // no paper materials: bench and exit.
-    if serve_bench_only || chaos_bench_only || refresh_bench_only || persist_bench_only {
+    if serve_bench_only
+        || chaos_bench_only
+        || refresh_bench_only
+        || persist_bench_only
+        || degradation_bench_only
+    {
         let start = std::time::Instant::now();
         let (name, table) = if serve_bench_only && batch {
             ("serve-bench --batch", serve_bench::serve_bench_batch())
@@ -172,6 +190,8 @@ fn main() -> ExitCode {
             ("chaos-bench", chaos_bench::chaos_bench())
         } else if persist_bench_only {
             ("persist-bench", persist_bench::persist_bench())
+        } else if degradation_bench_only {
+            ("degradation-bench", degradation_bench::degradation_bench())
         } else {
             ("refresh-bench", refresh_bench::refresh_bench())
         };

@@ -3,6 +3,7 @@
 
 pub mod chaos_bench;
 pub mod dataset_figs;
+pub mod degradation_bench;
 pub mod persist_bench;
 pub mod pilot;
 pub mod prediction;

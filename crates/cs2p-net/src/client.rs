@@ -10,8 +10,8 @@
 
 use crate::http::{read_response, write_request, Request, Response};
 use crate::protocol::{
-    BatchEntryResult, BatchPredictRequest, BatchPredictResponse, PredictRequest, PredictResponse,
-    SessionLog, MAX_BATCH_ENTRIES,
+    BatchEntryResult, BatchPredictRequest, BatchPredictResponse, Degradation, PredictRequest,
+    PredictResponse, SessionLog, MAX_BATCH_ENTRIES,
 };
 use crate::transport::{IoHalf, TransportWrapper};
 use bytes::Bytes;
@@ -90,6 +90,124 @@ impl BackoffState {
 /// record delays (or drive a manual clock) instead of really sleeping.
 pub type Sleeper = Arc<dyn Fn(Duration) + Send + Sync>;
 
+/// Tuning for the client-side circuit breaker (see
+/// [`HttpClient::with_breaker`]). The breaker sits *in front of* the
+/// retry policy: retries recover one request from a transient fault,
+/// while the breaker stops a client from paying connect/retry latency
+/// at all once the server is persistently failing or shedding — the
+/// client-side half of the server's admission ladder.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failed logical requests (transport give-ups or 503
+    /// sheds) that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before allowing one half-open
+    /// probe. Doubles on every re-open while the server stays bad.
+    pub cooldown: Duration,
+    /// Ceiling on the (pre-jitter) doubled cooldown.
+    pub max_cooldown: Duration,
+    /// Seed for the cooldown jitter RNG — fixed seed, fixed schedule.
+    pub seed: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(100),
+            max_cooldown: Duration::from_secs(10),
+            seed: 0,
+        }
+    }
+}
+
+/// Externally visible circuit-breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Requests fail fast locally until the cooldown expires.
+    Open,
+    /// Cooldown expired: the next request is the recovery probe.
+    HalfOpen,
+}
+
+/// The breaker state machine. All timing reads the client's injectable
+/// clock, so tests crank a [`ManualClock`](cs2p_obs::ManualClock)
+/// through open→half-open transitions deterministically.
+struct CircuitBreaker {
+    config: BreakerConfig,
+    rng: ChaCha8Rng,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Clock reading (µs) when the open state admits a probe.
+    open_until_us: u64,
+    /// Consecutive opens without an intervening close — drives the
+    /// doubling cooldown.
+    reopens: u32,
+}
+
+impl CircuitBreaker {
+    fn new(config: BreakerConfig) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xB4EA_4E4B_0017_C52F);
+        CircuitBreaker {
+            config,
+            rng,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until_us: 0,
+            reopens: 0,
+        }
+    }
+
+    /// Gate for one logical request: `true` admits it (possibly as the
+    /// half-open probe), `false` fails fast.
+    fn admit(&mut self, now_us: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now_us >= self.open_until_us {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    cs2p_obs::counter_add("client.breaker.fast_fails", 1);
+                    false
+                }
+            }
+        }
+    }
+
+    fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        if self.state != BreakerState::Closed {
+            self.state = BreakerState::Closed;
+            self.reopens = 0;
+            cs2p_obs::counter_add("client.breaker.closes", 1);
+        }
+    }
+
+    fn on_failure(&mut self, now_us: u64) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let trip = self.state == BreakerState::HalfOpen
+            || self.consecutive_failures >= self.config.failure_threshold.max(1);
+        if !trip {
+            return;
+        }
+        let base = self.config.cooldown.as_micros().min(u64::MAX as u128) as u64;
+        let cap = self.config.max_cooldown.as_micros().min(u64::MAX as u128) as u64;
+        let exp = self.reopens.min(20);
+        let raw = base.saturating_mul(1u64 << exp).min(cap.max(base)).max(1);
+        // Jitter uniformly in [raw, 1.5·raw) so a fleet of clients that
+        // tripped together does not re-probe the server in lockstep.
+        let spread = (raw / 2).max(1);
+        let cooldown = raw.saturating_add(self.rng.gen_range(0..spread));
+        self.state = BreakerState::Open;
+        self.open_until_us = now_us.saturating_add(cooldown);
+        self.reopens = self.reopens.saturating_add(1);
+        cs2p_obs::counter_add("client.breaker.opens", 1);
+    }
+}
+
 /// The coalescing buffer behind [`HttpClient::with_batching`]: queued
 /// predict entries waiting to go out as one `/predict_batch` frame.
 struct Batching {
@@ -136,8 +254,14 @@ pub struct HttpClient {
     trace_rng: Option<ChaCha8Rng>,
     /// The coalescing buffer, when [`Self::with_batching`] enabled it.
     batching: Option<Batching>,
-    /// Time source for the coalescing max-delay check (injectable so
-    /// tests crank a [`ManualClock`](cs2p_obs::ManualClock)).
+    /// The circuit breaker, when [`Self::with_breaker`] armed it.
+    breaker: Option<CircuitBreaker>,
+    /// `Retry-After` seconds from the most recent 503; floors the next
+    /// backpressure delay and clears on the next non-503 success.
+    retry_after_hint_secs: Option<u64>,
+    /// Time source for the coalescing max-delay check and the breaker
+    /// cooldown (injectable so tests crank a
+    /// [`ManualClock`](cs2p_obs::ManualClock)).
     clock: Arc<dyn Clock>,
 }
 
@@ -152,6 +276,7 @@ impl std::fmt::Debug for HttpClient {
             .field("connects", &self.connects)
             .field("tracing", &self.trace_rng.is_some())
             .field("batching", &self.batching.is_some())
+            .field("breaker", &self.breaker.as_ref().map(|b| b.state))
             .finish()
     }
 }
@@ -171,6 +296,8 @@ impl HttpClient {
             connects: 0,
             trace_rng: None,
             batching: None,
+            breaker: None,
+            retry_after_hint_secs: None,
             clock: Arc::new(MonotonicClock::new()),
         }
     }
@@ -229,6 +356,31 @@ impl HttpClient {
     pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
         self.clock = clock;
         self
+    }
+
+    /// Arms a circuit breaker in front of the retry policy: after
+    /// [`BreakerConfig::failure_threshold`] consecutive failed logical
+    /// requests (transport give-ups or 503 sheds) the breaker opens and
+    /// [`Self::send`] fails fast locally — no connect, no retries, no
+    /// `net.client.errors` — until the (doubling, jittered) cooldown
+    /// admits one half-open probe. Off by default.
+    pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker = Some(CircuitBreaker::new(config));
+        self
+    }
+
+    /// The breaker's current state, or `None` when no breaker is armed.
+    /// An expired open state still reads `Open` until the next request
+    /// promotes it to the half-open probe.
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(|b| b.state)
+    }
+
+    /// `Retry-After` seconds carried by the most recent 503 (cleared by
+    /// the next non-503 success). Floors the next
+    /// [`Self::note_backpressure`] delay.
+    pub fn retry_after_hint_secs(&self) -> Option<u64> {
+        self.retry_after_hint_secs
     }
 
     /// Whether [`Self::with_batching`] enabled coalescing.
@@ -373,10 +525,22 @@ impl HttpClient {
     /// client's **persistent** backoff state and waits out the resulting
     /// delay. Consecutive 503s — including across separate requests on
     /// the same keep-alive client — keep doubling the delay; only a later
-    /// non-503 response resets it.
+    /// non-503 response resets it. When the 503 carried a `Retry-After`
+    /// header, its value floors the delay — the server knows how long it
+    /// wants to drain better than the client's own schedule does
+    /// (`client.retry.floored` counts how often the floor won).
     pub fn note_backpressure(&mut self) {
         cs2p_obs::counter_add("client.retry.backpressure", 1);
-        self.back_off();
+        let mut delay = self.backoff.next_delay(&self.retry);
+        if let Some(secs) = self.retry_after_hint_secs {
+            let floor = Duration::from_secs(secs);
+            if delay < floor {
+                delay = floor;
+                cs2p_obs::counter_add("client.retry.floored", 1);
+            }
+        }
+        cs2p_obs::observe("client.retry.backoff_us", delay.as_micros() as f64);
+        (self.sleeper)(delay);
     }
 
     /// Sends one request, reusing the keep-alive connection. Transport
@@ -384,8 +548,19 @@ impl HttpClient {
     /// [`RetryPolicy::max_attempts`] with seeded capped-exponential
     /// backoff; HTTP error statuses are returned to the caller, but a
     /// 503 does *not* reset the backoff state (see
-    /// [`Self::note_backpressure`]).
+    /// [`Self::note_backpressure`]). With [`Self::with_breaker`] armed,
+    /// an open breaker fails the request fast (`client.breaker.fast_fails`)
+    /// without connecting or charging `net.client.*` / `client.retry.*`
+    /// — nothing actually went over the wire.
     pub fn send(&mut self, req: &Request) -> io::Result<Response> {
+        if let Some(b) = self.breaker.as_mut() {
+            if !b.admit(self.clock.now_micros()) {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "circuit breaker open",
+                ));
+            }
+        }
         // One trace id per *logical* request: every retry attempt (and
         // the server handling whichever one lands) shares it.
         let trace_id = self.trace_rng.as_mut().map(|rng| rng.gen::<u64>());
@@ -417,6 +592,20 @@ impl HttpClient {
                 Ok(resp) => {
                     if resp.status != 503 {
                         self.backoff.on_success();
+                        self.retry_after_hint_secs = None;
+                        if let Some(b) = self.breaker.as_mut() {
+                            b.on_success();
+                        }
+                    } else {
+                        // Remember the server's drain hint for the next
+                        // backpressure wait, and charge the breaker: a
+                        // shedding server is exactly what it guards.
+                        self.retry_after_hint_secs = resp
+                            .header("retry-after")
+                            .and_then(|v| v.trim().parse::<u64>().ok());
+                        if let Some(b) = self.breaker.as_mut() {
+                            b.on_failure(self.clock.now_micros());
+                        }
                     }
                     if cs2p_obs::enabled() {
                         cs2p_obs::counter_add("net.client.bytes_out", req.body.len() as u64);
@@ -426,6 +615,9 @@ impl HttpClient {
                 }
                 Err(e) => last_err = Some(e),
             }
+        }
+        if let Some(b) = self.breaker.as_mut() {
+            b.on_failure(self.clock.now_micros());
         }
         cs2p_obs::counter_add("client.retry.giveups", 1);
         cs2p_obs::counter_add("net.client.errors", 1);
@@ -491,6 +683,10 @@ pub struct RemotePredictor {
     cache: Vec<f64>,
     /// Whether the cache reflects the initial (cluster-median) prediction.
     cache_initial: bool,
+    /// Degradation provenance of the cached predictions (`None` = the
+    /// full HMM path served them). The ABR layer reads this to know how
+    /// much to trust the window.
+    last_degradation: Option<Degradation>,
     /// Horizon to request per POST.
     fetch_horizon: usize,
 }
@@ -512,7 +708,27 @@ impl RemotePredictor {
             registered: false,
             cache: Vec::new(),
             cache_initial: false,
+            last_degradation: None,
             fetch_horizon: 8,
+        }
+    }
+
+    /// Degradation provenance of the most recent server answer: `None`
+    /// once the full HMM path served it, `Some` while the server is
+    /// running degraded (cluster prior) or fallback (harmonic mean)
+    /// under overload.
+    pub fn last_degradation(&self) -> Option<Degradation> {
+        self.last_degradation
+    }
+
+    /// Books a server answer's degradation provenance into the client's
+    /// telemetry (`predict.client.degraded` / `predict.client.fallback`).
+    fn note_degradation(&mut self, degradation: Option<Degradation>) {
+        self.last_degradation = degradation;
+        match degradation {
+            Some(Degradation::Degraded) => cs2p_obs::counter_add("predict.client.degraded", 1),
+            Some(Degradation::Fallback) => cs2p_obs::counter_add("predict.client.fallback", 1),
+            None => {}
         }
     }
 
@@ -555,6 +771,7 @@ impl RemotePredictor {
                     self.pending_measurement = None;
                     self.cache = presp.predictions_mbps;
                     self.cache_initial = presp.initial;
+                    self.note_degradation(presp.degradation);
                     return Some(());
                 }
                 404 if self.registered => {
@@ -640,6 +857,7 @@ impl RemotePredictor {
                         self.registered = true;
                         self.cache = presp.predictions_mbps.clone();
                         self.cache_initial = presp.initial;
+                        self.note_degradation(presp.degradation);
                     }
                 }
                 404 => {
@@ -1071,16 +1289,20 @@ mod tests {
         );
         assert_eq!(client.consecutive_failures(), 1);
         // Free the slot; the replayed flush lands once the server has
-        // reaped the closed connection (bounded retry covers the race).
+        // reaped the closed connection. Poll against a generous deadline
+        // rather than a fixed retry count: how long the reap takes is a
+        // scheduling question, and a loaded machine must simply wait
+        // longer instead of flaking.
         drop(holder);
         let mut results = None;
-        for _ in 0..100 {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while std::time::Instant::now() < deadline {
             match client.flush_predicts().unwrap() {
                 BatchFlush::Done(r) => {
                     results = Some(r);
                     break;
                 }
-                BatchFlush::Backpressure => std::thread::sleep(Duration::from_millis(5)),
+                BatchFlush::Backpressure => std::thread::sleep(Duration::from_millis(2)),
             }
         }
         let results = results.expect("server never freed the connection slot");
@@ -1098,6 +1320,194 @@ mod tests {
         // Second request on the same connection also works (keep-alive).
         let h2 = client.get("/healthz").unwrap();
         assert_eq!(h2.status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_fast_fails_until_cooldown() {
+        use cs2p_obs::ManualClock;
+        // Point at a port nobody listens on: every real attempt fails.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let clock = Arc::new(ManualClock::new());
+        let mut client = HttpClient::new(addr)
+            .with_retry(RetryPolicy {
+                max_attempts: 1,
+                ..RetryPolicy::default()
+            })
+            .with_sleeper(Arc::new(|_| {}))
+            .with_clock(Arc::clone(&clock) as Arc<dyn cs2p_obs::Clock>)
+            .with_breaker(BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(1),
+                max_cooldown: Duration::from_secs(1),
+                seed: 11,
+            });
+        let req = Request::new("GET", "/healthz", Bytes::new());
+        assert!(client.send(&req).is_err());
+        assert_eq!(client.breaker_state(), Some(BreakerState::Closed));
+        assert!(client.send(&req).is_err());
+        assert_eq!(
+            client.breaker_state(),
+            Some(BreakerState::Open),
+            "second consecutive give-up must trip the breaker"
+        );
+        // While open the request fails fast — locally, without charging
+        // the retry/backoff state.
+        let failures_before = client.consecutive_failures();
+        let err = client.send(&req).unwrap_err();
+        assert_eq!(err.to_string(), "circuit breaker open");
+        assert_eq!(client.consecutive_failures(), failures_before);
+        // Cooldown is 1 ms jittered up to 1.5 ms: 2 ms on the manual
+        // clock guarantees expiry, and the next request is the probe.
+        clock.advance(2_000);
+        assert!(client.send(&req).is_err(), "probe still can't connect");
+        assert_eq!(
+            client.breaker_state(),
+            Some(BreakerState::Open),
+            "failed half-open probe must re-open immediately"
+        );
+        // The re-open doubled the cooldown: 2 ms raw, under 3 ms with
+        // jitter. Still open at +1 ms, probing again at +3 ms.
+        clock.advance(1_000);
+        assert_eq!(
+            client.send(&req).unwrap_err().to_string(),
+            "circuit breaker open"
+        );
+        clock.advance(2_000);
+        assert!(client.send(&req).is_err());
+    }
+
+    #[test]
+    fn breaker_closes_on_a_successful_half_open_probe() {
+        use crate::server::{serve_with, ServeConfig};
+        use cs2p_obs::ManualClock;
+        let config = ServeConfig {
+            max_connections: 1,
+            ..ServeConfig::default()
+        };
+        let server = serve_with(tiny_engine(), "127.0.0.1:0", config).unwrap();
+        // Occupy the single slot so the breaker client's requests are
+        // shed with 503s.
+        let mut holder = HttpClient::new(server.addr());
+        assert_eq!(holder.get("/healthz").unwrap().status, 200);
+        let clock = Arc::new(ManualClock::new());
+        let mut client = HttpClient::new(server.addr())
+            .with_sleeper(Arc::new(|_| {}))
+            .with_clock(Arc::clone(&clock) as Arc<dyn cs2p_obs::Clock>)
+            .with_breaker(BreakerConfig {
+                failure_threshold: 1,
+                cooldown: Duration::from_millis(1),
+                max_cooldown: Duration::from_secs(1),
+                seed: 3,
+            });
+        let req = Request::new("GET", "/healthz", Bytes::new());
+        let resp = client.send(&req).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(
+            client.breaker_state(),
+            Some(BreakerState::Open),
+            "threshold 1: a single 503 shed trips the breaker"
+        );
+        // Free the slot; probes succeed once the server reaps the dead
+        // connection (each failed probe re-opens, so keep cranking the
+        // clock far past any doubled cooldown).
+        drop(holder);
+        let mut closed = false;
+        for _ in 0..100 {
+            clock.advance(2_000_000);
+            if matches!(client.send(&req), Ok(r) if r.status == 200) {
+                closed = true;
+                break;
+            }
+        }
+        assert!(closed, "server never freed the connection slot");
+        assert_eq!(client.breaker_state(), Some(BreakerState::Closed));
+        server.shutdown();
+    }
+
+    #[test]
+    fn retry_after_hint_floors_the_backpressure_delay() {
+        use crate::server::{serve_with, ServeConfig};
+        use parking_lot::Mutex;
+        let config = ServeConfig {
+            max_connections: 1,
+            retry_after_seconds: 2,
+            ..ServeConfig::default()
+        };
+        let server = serve_with(tiny_engine(), "127.0.0.1:0", config).unwrap();
+        let mut holder = HttpClient::new(server.addr());
+        assert_eq!(holder.get("/healthz").unwrap().status, 200);
+        let delays: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&delays);
+        let mut client =
+            HttpClient::new(server.addr()).with_sleeper(Arc::new(move |d| sink.lock().push(d)));
+        assert_eq!(client.retry_after_hint_secs(), None);
+        let resp = client
+            .send(&Request::new("GET", "/healthz", Bytes::new()))
+            .unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(
+            client.retry_after_hint_secs(),
+            Some(2),
+            "the 503's Retry-After header must be captured"
+        );
+        client.note_backpressure();
+        assert_eq!(
+            delays.lock().as_slice(),
+            &[Duration::from_secs(2)],
+            "the server's hint floors the policy's own (millisecond) delay"
+        );
+        // A later non-503 success clears the hint: the next delay is the
+        // policy's own schedule again.
+        drop(holder);
+        client.reset_connection();
+        let mut ok = false;
+        for _ in 0..100 {
+            if matches!(client.send(&Request::new("GET", "/healthz", Bytes::new())), Ok(r) if r.status == 200)
+            {
+                ok = true;
+                break;
+            }
+            std::thread::yield_now();
+            client.reset_connection();
+        }
+        assert!(ok, "server never freed the connection slot");
+        assert_eq!(client.retry_after_hint_secs(), None);
+        delays.lock().clear();
+        client.note_backpressure();
+        assert!(
+            delays.lock()[0] < Duration::from_secs(2),
+            "hint cleared: back to the policy schedule"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_predictor_surfaces_server_degradation() {
+        use crate::server::{serve_with, ServeConfig};
+        let server = serve_with(tiny_engine(), "127.0.0.1:0", ServeConfig::default()).unwrap();
+        let mut p = RemotePredictor::new(server.addr(), 1, vec![1]);
+        assert!(p.predict_initial().is_some());
+        assert_eq!(p.last_degradation(), None, "full path: no provenance");
+
+        server.force_admission_level(Some(crate::admission::AdmissionLevel::Degraded));
+        p.observe(5.0);
+        assert!(p.predict_next().is_some());
+        assert_eq!(p.last_degradation(), Some(Degradation::Degraded));
+
+        server.force_admission_level(Some(crate::admission::AdmissionLevel::Fallback));
+        p.observe(5.5);
+        assert!(p.predict_next().is_some());
+        assert_eq!(p.last_degradation(), Some(Degradation::Fallback));
+
+        server.force_admission_level(None);
+        p.observe(5.2);
+        assert!(p.predict_next().is_some());
+        assert_eq!(
+            p.last_degradation(),
+            None,
+            "recovery: the full path clears the provenance"
+        );
         server.shutdown();
     }
 }

@@ -74,6 +74,7 @@ pub fn serve_legacy(engine: PredictionEngine, addr: &str) -> io::Result<LegacySe
             engine,
             &crate::server::RefreshConfig::default(),
             crate::quality::QualityConfig::default(),
+            crate::admission::AdmissionConfig::default(),
             Arc::new(cs2p_obs::MonotonicClock::new()),
             1,
             usize::MAX / 2,

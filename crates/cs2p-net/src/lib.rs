@@ -15,6 +15,10 @@
 //!   eviction, and graceful drain (see `DESIGN.md`);
 //! - [`store`] / [`pool`]: the sharded session store and the bounded
 //!   request queue backing the server;
+//! - [`admission`]: the overload degradation ladder — watermark-driven
+//!   admission control that steps service down from the full HMM path
+//!   through cluster priors and the paper's harmonic-mean baseline
+//!   before ever shedding a request (see `DESIGN.md` §3g);
 //! - [`recorder`]: the bounded completed-session accumulator feeding the
 //!   online model refresh (`ServerHandle::refresh_models`), which
 //!   retrains through a versioned `cs2p_core::ModelRegistry` and
@@ -52,6 +56,7 @@
 #![deny(clippy::print_stdout)]
 #![deny(clippy::print_stderr)]
 
+pub mod admission;
 pub mod client;
 pub mod dash;
 pub mod http;
@@ -66,18 +71,24 @@ pub mod server;
 pub mod store;
 pub mod transport;
 
-pub use client::{BatchFlush, HttpClient, RemotePredictor, RetryPolicy, Sleeper};
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionLevel, AdmissionSnapshot, FallbackTracker,
+};
+pub use client::{
+    BatchFlush, BreakerConfig, BreakerState, HttpClient, RemotePredictor, RetryPolicy, Sleeper,
+};
 pub use dash::{
     play_remote_session, AbrKind, DashPlayer, LocalModelPredictor, Manifest, PlayerConfig,
 };
 pub use legacy::{serve_legacy, LegacyServerHandle};
-pub use ops::{FaultRow, OpsQuality, OpsSnapshot, QualityRow};
+pub use ops::{FaultRow, OpsAdmission, OpsQuality, OpsSnapshot, QualityRow};
 pub use persist::{CommitOutcome, PersistConfig, RecoveredState, WalFaultHook, WalStats};
 pub use protocol::{
-    BatchEntryResult, BatchPredictRequest, BatchPredictResponse, Health, LogStats, PredictRequest,
-    PredictResponse, SessionLog, StrategyStats, MAX_BATCH_ENTRIES,
+    BatchEntryResult, BatchPredictRequest, BatchPredictResponse, Degradation, Health, LogStats,
+    PredictRequest, PredictResponse, SessionLog, StrategyStats, MAX_BATCH_ENTRIES,
 };
 pub use quality::{QualityConfig, QualityMonitor};
 pub use recorder::SessionRecorder;
 pub use server::{serve, serve_with, RefreshConfig, ServeConfig, ServeStats, ServerHandle};
+pub use store::{SessionStore, StorePressure};
 pub use transport::{BoxTransport, Transport, TransportWrapper};

@@ -84,6 +84,34 @@ pub struct OpsQuality {
     pub ape: Vec<QualityRow>,
 }
 
+/// The overload/degradation section of [`OpsSnapshot`] — the admission
+/// ladder's level and counters (see [`crate::admission`]) plus the
+/// session store's pressure view, so an operator reads one consistent
+/// overload picture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpsAdmission {
+    /// Current ladder level (`full`/`degraded`/`fallback`/`shed`).
+    pub level: String,
+    /// Combined pressure score driving the ladder, `max(queue, latency)`.
+    pub pressure: f64,
+    /// Ladder level transitions (watermark-driven and forced).
+    pub transitions: u64,
+    /// Predictions answered at Full level.
+    pub served_full: u64,
+    /// Predictions answered from cluster priors (Degraded).
+    pub served_degraded: u64,
+    /// Predictions answered from the harmonic-mean side table (Fallback).
+    pub served_fallback: u64,
+    /// Requests shed with 503 by the admission layer.
+    pub shed: u64,
+    /// Fallback-level requests with no measurement history (shed).
+    pub fallback_misses: u64,
+    /// Session-store occupancy fraction in `[0, 1]`.
+    pub store_occupancy: f64,
+    /// Session-store evictions per access over the telemetry window.
+    pub store_eviction_rate: f64,
+}
+
 /// Point-in-time operational snapshot of a running server. Fields are
 /// read from independent atomics — the snapshot is not a transaction,
 /// which is fine for an ops surface.
@@ -118,6 +146,8 @@ pub struct OpsSnapshot {
     pub request_latency_us: QuantileSnapshot,
     /// Online prediction-quality monitor state.
     pub quality: OpsQuality,
+    /// Degradation-ladder state and counters.
+    pub admission: OpsAdmission,
     /// `serve.fault.*` counters from the global registry; empty when
     /// the registry is disabled.
     pub faults: Vec<FaultRow>,
@@ -200,6 +230,58 @@ impl OpsSnapshot {
                 );
             }
         }
+        // Admission ladder: the numeric level index (0=full … 3=shed)
+        // plus the level string as a label, so both dashboards and
+        // alerting rules have something to bite on.
+        let level_index = match self.admission.level.as_str() {
+            "full" => 0.0,
+            "degraded" => 1.0,
+            "fallback" => 2.0,
+            _ => 3.0,
+        };
+        gauge(&mut out, "cs2p_admission_level", level_index);
+        let _ = writeln!(
+            out,
+            "cs2p_admission_level_info{{level=\"{}\"}} 1",
+            self.admission.level
+        );
+        gauge(&mut out, "cs2p_admission_pressure", self.admission.pressure);
+        counter(
+            &mut out,
+            "cs2p_admission_transitions",
+            self.admission.transitions,
+        );
+        counter(
+            &mut out,
+            "cs2p_admission_served_full",
+            self.admission.served_full,
+        );
+        counter(
+            &mut out,
+            "cs2p_admission_served_degraded",
+            self.admission.served_degraded,
+        );
+        counter(
+            &mut out,
+            "cs2p_admission_served_fallback",
+            self.admission.served_fallback,
+        );
+        counter(&mut out, "cs2p_admission_shed", self.admission.shed);
+        counter(
+            &mut out,
+            "cs2p_admission_fallback_misses",
+            self.admission.fallback_misses,
+        );
+        gauge(
+            &mut out,
+            "cs2p_store_occupancy",
+            self.admission.store_occupancy,
+        );
+        gauge(
+            &mut out,
+            "cs2p_store_eviction_rate",
+            self.admission.store_eviction_rate,
+        );
         if !self.faults.is_empty() {
             let _ = writeln!(out, "# TYPE cs2p_fault counter");
             for fault in &self.faults {
@@ -266,6 +348,18 @@ mod tests {
                     p99: 0.5,
                 }],
             },
+            admission: OpsAdmission {
+                level: "degraded".into(),
+                pressure: 0.75,
+                transitions: 3,
+                served_full: 80,
+                served_degraded: 15,
+                served_fallback: 5,
+                shed: 2,
+                fallback_misses: 1,
+                store_occupancy: 0.5,
+                store_eviction_rate: 0.25,
+            },
             faults: vec![FaultRow {
                 name: "serve.fault.read_errors".into(),
                 value: 2,
@@ -294,6 +388,13 @@ mod tests {
             "cs2p_quality_ape{key=\"v2.cluster.midstream\",quantile=\"0.99\"} 0.5",
             "cs2p_quality_ape_count{key=\"v2.cluster.midstream\"} 80",
             "cs2p_quality_drift_alarms 1",
+            "cs2p_admission_level 1",
+            "cs2p_admission_level_info{level=\"degraded\"} 1",
+            "cs2p_admission_pressure 0.75",
+            "cs2p_admission_served_degraded 15",
+            "cs2p_admission_shed 2",
+            "cs2p_store_occupancy 0.5",
+            "cs2p_store_eviction_rate 0.25",
             "cs2p_fault{name=\"serve.fault.read_errors\"} 2",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");

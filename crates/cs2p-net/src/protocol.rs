@@ -94,8 +94,56 @@ impl Deserialize for PredictRequest {
     }
 }
 
+/// Degraded-service provenance of a prediction (see the server's
+/// admission ladder, `DESIGN.md` §3g). Absent from the wire at full
+/// service, so Full-level responses are byte-identical to an unloaded
+/// server's — the differential gate the overload suite holds the ladder
+/// to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degradation {
+    /// Served from the session's cluster prior (initial median); the
+    /// per-session filter was neither consulted nor updated.
+    Degraded,
+    /// Served from the harmonic mean of the session's own recent
+    /// measurements — the paper's HM baseline — with no model access.
+    Fallback,
+}
+
+impl Degradation {
+    /// Stable lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Degradation::Degraded => "degraded",
+            Degradation::Fallback => "fallback",
+        }
+    }
+}
+
+impl Serialize for Degradation {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Degradation {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match String::from_value(v)?.as_str() {
+            "degraded" => Ok(Degradation::Degraded),
+            "fallback" => Ok(Degradation::Fallback),
+            other => Err(serde::DeError(format!(
+                "unknown degradation level `{other}`"
+            ))),
+        }
+    }
+}
+
 /// A prediction response.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Like [`PredictRequest`], serde impls are hand-written: the
+/// `degradation` field must stay off the wire when absent so a
+/// Full-level response serializes to exactly the bytes it did before the
+/// admission ladder existed.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PredictResponse {
     /// Predictions for the next `horizon` epochs, Mbps.
     pub predictions_mbps: Vec<f64>,
@@ -113,6 +161,45 @@ pub struct PredictResponse {
     /// registered on, so this stays constant for the session's lifetime
     /// even while the server hot-swaps newer models underneath.
     pub model_version: u64,
+    /// Present exactly when the server answered below full service (the
+    /// admission ladder's Degraded or Fallback level). `None` — and off
+    /// the wire — at full service.
+    pub degradation: Option<Degradation>,
+}
+
+impl Serialize for PredictResponse {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = Vec::with_capacity(6);
+        fields.push((
+            "predictions_mbps".to_string(),
+            self.predictions_mbps.to_value(),
+        ));
+        fields.push(("initial".to_string(), self.initial.to_value()));
+        fields.push((
+            "cluster_sessions".to_string(),
+            self.cluster_sessions.to_value(),
+        ));
+        fields.push(("cluster_hit".to_string(), self.cluster_hit.to_value()));
+        fields.push(("model_version".to_string(), self.model_version.to_value()));
+        if self.degradation.is_some() {
+            fields.push(("degradation".to_string(), self.degradation.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for PredictResponse {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        expect_object(v, "PredictResponse")?;
+        Ok(PredictResponse {
+            predictions_mbps: required(v, "predictions_mbps", "PredictResponse")?,
+            initial: required(v, "initial", "PredictResponse")?,
+            cluster_sessions: required(v, "cluster_sessions", "PredictResponse")?,
+            cluster_hit: required(v, "cluster_hit", "PredictResponse")?,
+            model_version: required(v, "model_version", "PredictResponse")?,
+            degradation: optional(v, "degradation")?,
+        })
+    }
 }
 
 /// A batched prediction request: many independent `(session, measurement)`
@@ -301,9 +388,14 @@ impl PredictResponse {
         }
         let _ = write!(
             out,
-            "],\"initial\":{},\"cluster_sessions\":{},\"cluster_hit\":{},\"model_version\":{}}}",
+            "],\"initial\":{},\"cluster_sessions\":{},\"cluster_hit\":{},\"model_version\":{}",
             self.initial, self.cluster_sessions, self.cluster_hit, self.model_version
         );
+        if let Some(d) = self.degradation {
+            out.push_str(",\"degradation\":");
+            write_json_str(out, d.as_str());
+        }
+        out.push('}');
     }
 }
 
@@ -478,16 +570,40 @@ mod tests {
 
     #[test]
     fn predict_response_roundtrip() {
-        let resp = PredictResponse {
+        let mut resp = PredictResponse {
             predictions_mbps: vec![1.5, 1.4, 1.4],
             initial: false,
             cluster_sessions: 250,
             cluster_hit: true,
             model_version: 3,
+            degradation: None,
         };
         let json = serde_json::to_string(&resp).unwrap();
+        // Full service keeps the provenance field off the wire entirely:
+        // the bytes are what a pre-ladder server produced.
+        assert!(!json.contains("degradation"), "{json}");
         let back: PredictResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(resp, back);
+
+        for (d, name) in [
+            (Degradation::Degraded, "\"degradation\":\"degraded\""),
+            (Degradation::Fallback, "\"degradation\":\"fallback\""),
+        ] {
+            resp.degradation = Some(d);
+            let json = serde_json::to_string(&resp).unwrap();
+            assert!(json.contains(name), "{json}");
+            let back: PredictResponse = serde_json::from_str(&json).unwrap();
+            assert_eq!(resp, back);
+        }
+
+        assert!(
+            serde_json::from_str::<PredictResponse>(
+                r#"{"predictions_mbps":[1.0],"initial":false,"cluster_sessions":1,
+                    "cluster_hit":true,"model_version":1,"degradation":"bogus"}"#,
+            )
+            .is_err(),
+            "unknown degradation levels must be rejected"
+        );
     }
 
     #[test]
@@ -520,6 +636,7 @@ mod tests {
                     cluster_sessions: 20,
                     cluster_hit: true,
                     model_version: 1,
+                    degradation: None,
                 }),
                 BatchEntryResult::failed(404, "unknown session"),
             ],
@@ -557,9 +674,14 @@ mod tests {
             cluster_sessions: 3,
             cluster_hit: false,
             model_version: 1,
+            degradation: None,
         });
         let json = serde_json::to_string(&ok).unwrap();
         assert!(!json.contains("error"), "None field on the wire: {json}");
+        assert!(
+            !json.contains("degradation"),
+            "None field on the wire: {json}"
+        );
         assert_eq!(ok, serde_json::from_str::<BatchEntryResult>(&json).unwrap());
     }
 
@@ -597,6 +719,15 @@ mod tests {
                     cluster_sessions: 20,
                     cluster_hit: true,
                     model_version: 3,
+                    degradation: None,
+                }),
+                BatchEntryResult::ok(PredictResponse {
+                    predictions_mbps: vec![2.5],
+                    initial: false,
+                    cluster_sessions: 0,
+                    cluster_hit: false,
+                    model_version: 0,
+                    degradation: Some(Degradation::Fallback),
                 }),
                 BatchEntryResult::failed(404, "unknown session \"x\"\n\ttab\u{1}"),
                 BatchEntryResult {

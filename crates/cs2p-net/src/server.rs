@@ -27,9 +27,11 @@
 //! (see OBSERVABILITY.md). The pre-PR thread-per-connection server is
 //! preserved as [`crate::legacy`] for the `serve_throughput` benchmark.
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionLevel, AdmissionSnapshot};
 use crate::http::{
     read_request_buffered, write_response, write_response_buffered, IoScratch, Request, Response,
 };
+use crate::ops::OpsAdmission;
 use crate::ops::{FaultRow, OpsQuality, OpsSnapshot, QualityRow};
 use crate::persist::{
     self, PersistConfig, PersistedPending, PersistedSession, SessionPersist, WalBatch, WalRecord,
@@ -37,8 +39,8 @@ use crate::persist::{
 };
 use crate::pool::BoundedQueue;
 use crate::protocol::{
-    parse_features_query, BatchEntryResult, BatchPredictRequest, BatchPredictResponse, Health,
-    PredictRequest, PredictResponse, SessionLog, MAX_BATCH_ENTRIES,
+    parse_features_query, BatchEntryResult, BatchPredictRequest, BatchPredictResponse, Degradation,
+    Health, PredictRequest, PredictResponse, SessionLog, MAX_BATCH_ENTRIES,
 };
 use crate::quality::{ape, QualityConfig, QualityMonitor};
 use crate::recorder::SessionRecorder;
@@ -161,6 +163,11 @@ pub struct ServeConfig {
     /// Online prediction-quality monitoring (APE sketches, drift alarm;
     /// see [`crate::quality`]). The alarm runs on [`ServeConfig::clock`].
     pub quality: QualityConfig,
+    /// Overload degradation ladder (see [`crate::admission`]). The
+    /// default is disabled — the pre-ladder blanket-503 contract — so
+    /// turning the ladder on is an explicit operational decision
+    /// ([`AdmissionConfig::watermarks`] for the enabled defaults).
+    pub admission: AdmissionConfig,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -179,6 +186,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("transport_wrapper", &self.transport_wrapper.is_some())
             .field("refresh", &self.refresh)
             .field("quality", &self.quality)
+            .field("admission", &self.admission)
             .finish()
     }
 }
@@ -204,6 +212,7 @@ impl Default for ServeConfig {
             transport_wrapper: None,
             refresh: RefreshConfig::default(),
             quality: QualityConfig::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -280,13 +289,19 @@ pub(crate) struct AppState {
     /// Durability layer (WAL + snapshots + registry bundles); `None` for
     /// an in-memory server (the default, and always for [`crate::legacy`]).
     persist: Option<Arc<SessionPersist>>,
+    /// The overload degradation ladder (see [`crate::admission`]).
+    /// `Arc` so the store's eviction sink can retire the evicted
+    /// session's fallback measurement history.
+    admission: Arc<AdmissionController>,
 }
 
 impl AppState {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         engine: PredictionEngine,
         refresh: &RefreshConfig,
         quality: QualityConfig,
+        admission: AdmissionConfig,
         clock: Arc<dyn Clock>,
         n_shards: usize,
         max_sessions: usize,
@@ -294,7 +309,7 @@ impl AppState {
     ) -> Self {
         let registry = ModelRegistry::new(engine, refresh.train_config.clone(), refresh.retain);
         let sessions = SessionStore::new(n_shards, max_sessions, ttl);
-        Self::assemble(registry, sessions, refresh, quality, clock, None)
+        Self::assemble(registry, sessions, refresh, quality, admission, clock, None)
     }
 
     /// Builds the app state around an already-constructed registry and
@@ -305,6 +320,7 @@ impl AppState {
         mut sessions: SessionStore<SessionState>,
         refresh: &RefreshConfig,
         quality: QualityConfig,
+        admission: AdmissionConfig,
         clock: Arc<dyn Clock>,
         persist: Option<Arc<SessionPersist>>,
     ) -> Self {
@@ -315,13 +331,15 @@ impl AppState {
             refresh.recorder_capacity,
             refresh.recorder_min_epochs,
         ));
-        let monitor = Arc::new(QualityMonitor::new(quality, clock));
+        let monitor = Arc::new(QualityMonitor::new(quality, Arc::clone(&clock)));
+        let admission = Arc::new(AdmissionController::new(admission, clock));
         if let Some(p) = &persist {
             registry.set_persistence(p.registry_sink());
         }
         let sink = Arc::clone(&recorder);
         let sink_monitor = Arc::clone(&monitor);
         let sink_persist = persist.clone();
+        let sink_admission = Arc::clone(&admission);
         // An evicted viewer is a completed session: drain its record. A
         // prediction still awaiting its measurement will never be
         // scored — count it so coverage stays honest.
@@ -334,6 +352,9 @@ impl AppState {
             if let Some(p) = &sink_persist {
                 p.log(&WalRecord::Remove { id });
             }
+            // The session is gone; its fallback measurement history is
+            // dead weight in the side table.
+            sink_admission.fallback_tracker().remove(id);
             sink.record(state.features, state.observed);
         }));
         AppState {
@@ -346,6 +367,7 @@ impl AppState {
             refresh_min_sessions: refresh.min_sessions,
             server: OnceLock::new(),
             persist,
+            admission,
         }
     }
 
@@ -412,6 +434,21 @@ impl AppState {
 
     pub(crate) fn monitor(&self) -> &QualityMonitor {
         &self.monitor
+    }
+
+    pub(crate) fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// The `Retry-After` value for admission-layer 503s, read through
+    /// the weak serving-layer back-reference (1 s under the legacy
+    /// server, which never installs it).
+    fn retry_after_seconds(&self) -> u64 {
+        self.server
+            .get()
+            .and_then(Weak::upgrade)
+            .map(|s| s.config.retry_after_seconds)
+            .unwrap_or(1)
     }
 
     pub(crate) fn predictions_served(&self) -> u64 {
@@ -551,6 +588,8 @@ impl AppState {
             Vec::new()
         };
         let (_, engine) = self.registry.current();
+        let admission = self.admission.snapshot();
+        let store_pressure = self.sessions.pressure();
         OpsSnapshot {
             status: "ok".into(),
             model_version: self.registry.current_version().0,
@@ -577,6 +616,18 @@ impl AppState {
                     .into_iter()
                     .map(|(key, snap)| QualityRow::from_snapshot(key, snap))
                     .collect(),
+            },
+            admission: OpsAdmission {
+                level: admission.level.as_str().into(),
+                pressure: self.admission.pressure(),
+                transitions: admission.transitions,
+                served_full: admission.served_full,
+                served_degraded: admission.served_degraded,
+                served_fallback: admission.served_fallback,
+                shed: admission.shed,
+                fallback_misses: admission.fallback_misses,
+                store_occupancy: store_pressure.occupancy,
+                store_eviction_rate: store_pressure.eviction_rate,
             },
             faults,
         }
@@ -665,45 +716,57 @@ impl AppState {
     /// batch is bit-identical to its sequential expansion. Returns the
     /// response plus the deferred quality outcome — APE scoring happens
     /// *after* the shard lock drops, in both endpoints.
+    /// Ensures a live session exists for `preq`, (re-)registering it from
+    /// the request's features when needed. Returns whether a registration
+    /// happened. Shared by the Full and Degraded prediction paths — both
+    /// admit new sessions; only what they serve afterwards differs.
+    fn ensure_session(
+        &self,
+        shard: &mut ShardGuard<'_, SessionState>,
+        preq: &PredictRequest,
+    ) -> Result<bool, (u16, &'static str)> {
+        if shard.get_mut(preq.session_id).is_some() {
+            return Ok(false);
+        }
+        // Never seen (or TTL/LRU-evicted): (re-)initialize from the
+        // request's features, or tell the client to re-register. New
+        // sessions pin the registry's current snapshot; the version
+        // is fixed for the session's whole lifetime.
+        let Some(features) = &preq.features else {
+            return Err((404, "unknown session: send features to (re)register"));
+        };
+        let (version, engine) = self.registry.current();
+        if features.len() != engine.schema().len() {
+            return Err((400, "feature width mismatch"));
+        }
+        let fv = FeatureVector(features.clone());
+        let lookup = engine.lookup_detailed(&fv);
+        let model_idx = lookup.model_index;
+        let cluster_hit = lookup.provenance.is_cluster_hit();
+        let filter = lookup.model.hmm.filter().state();
+        shard.insert(
+            preq.session_id,
+            SessionState {
+                version,
+                engine,
+                model: model_idx,
+                cluster_hit,
+                filter,
+                features: fv,
+                observed: Vec::new(),
+                pending: None,
+            },
+        );
+        Ok(true)
+    }
+
     fn predict_locked(
         &self,
         shard: &mut ShardGuard<'_, SessionState>,
         preq: &PredictRequest,
         wal: &mut WalBatch,
     ) -> Result<(PredictResponse, DeferredScore), (u16, &'static str)> {
-        let mut registered = false;
-        if shard.get_mut(preq.session_id).is_none() {
-            // Never seen (or TTL/LRU-evicted): (re-)initialize from the
-            // request's features, or tell the client to re-register. New
-            // sessions pin the registry's current snapshot; the version
-            // is fixed for the session's whole lifetime.
-            let Some(features) = &preq.features else {
-                return Err((404, "unknown session: send features to (re)register"));
-            };
-            let (version, engine) = self.registry.current();
-            if features.len() != engine.schema().len() {
-                return Err((400, "feature width mismatch"));
-            }
-            let fv = FeatureVector(features.clone());
-            let lookup = engine.lookup_detailed(&fv);
-            let model_idx = lookup.model_index;
-            let cluster_hit = lookup.provenance.is_cluster_hit();
-            let filter = lookup.model.hmm.filter().state();
-            shard.insert(
-                preq.session_id,
-                SessionState {
-                    version,
-                    engine,
-                    model: model_idx,
-                    cluster_hit,
-                    filter,
-                    features: fv,
-                    observed: Vec::new(),
-                    pending: None,
-                },
-            );
-            registered = true;
-        }
+        let registered = self.ensure_session(shard, preq)?;
         let tick = shard.now();
         let state = shard
             .get_mut(preq.session_id)
@@ -753,6 +816,7 @@ impl AppState {
             cluster_sessions: model.n_sessions,
             cluster_hit: state.cluster_hit,
             model_version: state.version.0,
+            degradation: None,
         };
         // Stage the mutation while the shard lock is still held, so the
         // WAL order agrees with this shard's mutation order; the caller
@@ -787,6 +851,74 @@ impl AppState {
         Ok((resp, DeferredScore { scored, unscorable }))
     }
 
+    /// The Degraded-level prediction core: registration still works (the
+    /// cluster lookup is cheap and keeps re-registering clients alive),
+    /// but the answer is the pinned model's cluster-prior median for
+    /// every horizon step — no per-session filter read or update, no
+    /// pending prediction, no WAL `Update`, no APE scoring. The carried
+    /// measurement only feeds the fallback side table (in the caller).
+    fn predict_degraded_locked(
+        &self,
+        shard: &mut ShardGuard<'_, SessionState>,
+        preq: &PredictRequest,
+        wal: &mut WalBatch,
+    ) -> Result<(PredictResponse, DeferredScore), (u16, &'static str)> {
+        let registered = self.ensure_session(shard, preq)?;
+        let tick = shard.now();
+        let state = shard
+            .get_mut(preq.session_id)
+            .expect("session just ensured");
+        let engine = Arc::clone(&state.engine);
+        let model = Self::model_of(&engine, state.model);
+        let resp = PredictResponse {
+            predictions_mbps: vec![model.initial_median; preq.horizon],
+            initial: state.filter.epoch == 0,
+            cluster_sessions: model.n_sessions,
+            cluster_hit: state.cluster_hit,
+            model_version: state.version.0,
+            degradation: Some(Degradation::Degraded),
+        };
+        // Only a registration mutated anything worth persisting.
+        if registered {
+            if let Some(p) = &self.persist {
+                p.stage(
+                    &WalRecord::Register {
+                        id: preq.session_id,
+                        tick,
+                        session: Self::persisted_of(state),
+                    },
+                    wal,
+                );
+            }
+        }
+        Ok((resp, DeferredScore::default()))
+    }
+
+    /// The Fallback-level prediction: answered purely from the session's
+    /// own recent measurements via the admission side table — the paper's
+    /// harmonic-mean baseline — with no model, registry, or shard-store
+    /// access at all. The request's own measurement is recorded first
+    /// (the baseline's observe-then-predict order); a session with no
+    /// history yet cannot be answered and is shed.
+    fn predict_fallback(&self, preq: &PredictRequest) -> Result<PredictResponse, Response> {
+        let tracker = self.admission.fallback_tracker();
+        if let Some(w) = preq.measured_mbps {
+            tracker.record(preq.session_id, w);
+        }
+        let Some(v) = tracker.predict(preq.session_id) else {
+            self.admission.note_fallback_miss();
+            return Err(Response::service_unavailable(self.retry_after_seconds()));
+        };
+        Ok(PredictResponse {
+            predictions_mbps: vec![v; preq.horizon],
+            initial: false,
+            cluster_sessions: 0,
+            cluster_hit: false,
+            model_version: 0,
+            degradation: Some(Degradation::Fallback),
+        })
+    }
+
     /// Books one entry's deferred quality outcome: APE into the monitor's
     /// sketches (possibly tripping the drift alarm and its refresh), or
     /// an unmatched mark. Must run outside every shard lock.
@@ -814,9 +946,37 @@ impl AppState {
             return Response::error(status, msg);
         }
 
+        // The ladder level is read once per request, so one request never
+        // mixes two levels. Only the prediction endpoints are gated —
+        // /ops, /healthz, /model, and /log always answer.
+        let level = self.admission.level();
+        match level {
+            AdmissionLevel::Shed => {
+                self.admission.note_shed();
+                return Response::service_unavailable(self.retry_after_seconds());
+            }
+            AdmissionLevel::Fallback => {
+                let resp = match self.predict_fallback(&preq) {
+                    Ok(resp) => resp,
+                    Err(shed) => return shed,
+                };
+                self.admission.note_served(AdmissionLevel::Fallback);
+                self.predictions_served.fetch_add(1, Ordering::Relaxed);
+                if cs2p_obs::enabled() {
+                    cs2p_obs::counter_add("predict.server.served", 1);
+                }
+                return Response::json(serde_json::to_vec(&resp).unwrap());
+            }
+            AdmissionLevel::Full | AdmissionLevel::Degraded => {}
+        }
+
         let mut shard = self.sessions.lock(preq.session_id);
         let mut wal = WalBatch::default();
-        let out = self.predict_locked(&mut shard, &preq, &mut wal);
+        let out = if level == AdmissionLevel::Degraded {
+            self.predict_degraded_locked(&mut shard, &preq, &mut wal)
+        } else {
+            self.predict_locked(&mut shard, &preq, &mut wal)
+        };
         if let Some(p) = &self.persist {
             p.log_staged(&mut wal);
         }
@@ -826,6 +986,16 @@ impl AppState {
             Err((status, msg)) => return Response::error(status, msg),
         };
         self.score_deferred(&resp, deferred);
+        // Every measurement an admitted request carries warms the
+        // fallback side table, so a later brownout answers mid-stream
+        // sessions immediately. Off with the ladder (no side-table cost
+        // on the default path).
+        if self.admission.enabled() {
+            if let Some(w) = preq.measured_mbps {
+                self.admission.fallback_tracker().record(preq.session_id, w);
+            }
+        }
+        self.admission.note_served(level);
 
         self.predictions_served.fetch_add(1, Ordering::Relaxed);
         if cs2p_obs::enabled() {
@@ -856,6 +1026,17 @@ impl AppState {
         }
         if n > MAX_BATCH_ENTRIES {
             return Response::error(400, "batch too large");
+        }
+
+        // One level per frame (read once), like the singleton endpoint.
+        let level = self.admission.level();
+        match level {
+            AdmissionLevel::Shed => {
+                self.admission.note_shed();
+                return Response::service_unavailable(self.retry_after_seconds());
+            }
+            AdmissionLevel::Fallback => return self.handle_batch_fallback(&breq),
+            AdmissionLevel::Full | AdmissionLevel::Degraded => {}
         }
 
         // Group entry indices by owning shard, in first-appearance order
@@ -892,14 +1073,21 @@ impl AppState {
                 let preq = &breq.entries[i];
                 let result = match Self::validate_predict(preq) {
                     Err((status, msg)) => BatchEntryResult::failed(status, msg),
-                    Ok(()) => match self.predict_locked(&mut shard, preq, &mut wal) {
-                        Ok((resp, score)) => {
-                            deferred[i] = score;
-                            ok_entries += 1;
-                            BatchEntryResult::ok(resp)
+                    Ok(()) => {
+                        let out = if level == AdmissionLevel::Degraded {
+                            self.predict_degraded_locked(&mut shard, preq, &mut wal)
+                        } else {
+                            self.predict_locked(&mut shard, preq, &mut wal)
+                        };
+                        match out {
+                            Ok((resp, score)) => {
+                                deferred[i] = score;
+                                ok_entries += 1;
+                                BatchEntryResult::ok(resp)
+                            }
+                            Err((status, msg)) => BatchEntryResult::failed(status, msg),
                         }
-                        Err((status, msg)) => BatchEntryResult::failed(status, msg),
-                    },
+                    }
                 };
                 results[i] = Some(result);
             }
@@ -917,6 +1105,20 @@ impl AppState {
         for (result, score) in results.iter().zip(deferred) {
             if let Some(resp) = &result.response {
                 self.score_deferred(resp, score);
+            }
+        }
+
+        for (entry, result) in breq.entries.iter().zip(&results) {
+            if result.response.is_none() {
+                continue;
+            }
+            self.admission.note_served(level);
+            if self.admission.enabled() {
+                if let Some(w) = entry.measured_mbps {
+                    self.admission
+                        .fallback_tracker()
+                        .record(entry.session_id, w);
+                }
             }
         }
 
@@ -938,6 +1140,42 @@ impl AppState {
         // Direct writer: skips the serde Value tree, which at 64 entries
         // per frame costs thousands of small allocations.
         Response::json(bresp.to_json_bytes())
+    }
+
+    /// `POST /predict_batch` at Fallback level: every entry is answered
+    /// from the side table (or fails with a per-entry 503), with no
+    /// shard lock taken and no grouping needed.
+    fn handle_batch_fallback(&self, breq: &BatchPredictRequest) -> Response {
+        let mut ok_entries = 0u64;
+        let results: Vec<BatchEntryResult> = breq
+            .entries
+            .iter()
+            .map(|preq| match Self::validate_predict(preq) {
+                Err((status, msg)) => BatchEntryResult::failed(status, msg),
+                Ok(()) => match self.predict_fallback(preq) {
+                    Ok(resp) => {
+                        ok_entries += 1;
+                        self.admission.note_served(AdmissionLevel::Fallback);
+                        BatchEntryResult::ok(resp)
+                    }
+                    Err(_shed) => {
+                        BatchEntryResult::failed(503, "no measurement history at fallback level")
+                    }
+                },
+            })
+            .collect();
+        self.predictions_served
+            .fetch_add(ok_entries, Ordering::Relaxed);
+        let n = breq.entries.len() as u64;
+        if cs2p_obs::enabled() {
+            cs2p_obs::counter_add("predict.server.served", ok_entries);
+            cs2p_obs::counter_add("serve.batch.requests", 1);
+            cs2p_obs::counter_add("serve.batch.entries", n);
+            if n > ok_entries {
+                cs2p_obs::counter_add("serve.batch.partial_failures", n - ok_entries);
+            }
+        }
+        Response::json(BatchPredictResponse { results }.to_json_bytes())
     }
 
     fn handle_model(&self, req: &Request) -> Response {
@@ -974,6 +1212,8 @@ impl AppState {
             }
             removed
         };
+        // A completed session's fallback history is dead weight.
+        self.admission.fallback_tracker().remove(log.session_id);
         if let Some(state) = removed {
             // The session's in-band loop already scored every prediction
             // it could; the one still pending has no later measurement
@@ -1173,6 +1413,8 @@ pub struct ServeStats {
     pub model_version: u64,
     /// Completed sessions currently held by the training recorder.
     pub recorded_sessions: usize,
+    /// Degradation-ladder counters (level, per-level serve counts, shed).
+    pub admission: AdmissionSnapshot,
 }
 
 /// A running prediction server (see the module docs for the thread
@@ -1273,6 +1515,7 @@ impl ServerHandle {
             sessions,
             refresh,
             config.quality.clone(),
+            config.admission.clone(),
             Arc::clone(&config.clock),
             Some(persist),
         );
@@ -1396,7 +1639,26 @@ impl ServerHandle {
             accepted: self.shared.accepted.load(Ordering::Relaxed),
             model_version: self.shared.app.model_version().0,
             recorded_sessions: self.shared.app.recorded_sessions(),
+            admission: self.shared.app.admission().snapshot(),
         }
+    }
+
+    /// The degradation-ladder level requests are admitted at right now.
+    pub fn admission_level(&self) -> AdmissionLevel {
+        self.shared.app.admission().level()
+    }
+
+    /// Pins (or, with `None`, unpins) the degradation ladder — the
+    /// deterministic overload-forcing hook the ladder tests and benches
+    /// drive (see TESTING.md). Works even when the watermark machinery
+    /// is disabled.
+    pub fn force_admission_level(&self, level: Option<AdmissionLevel>) {
+        self.shared.app.admission().force(level);
+    }
+
+    /// Point-in-time degradation-ladder counters.
+    pub fn admission_snapshot(&self) -> AdmissionSnapshot {
+        self.shared.app.admission().snapshot()
     }
 
     /// Gracefully drains and stops the server: stop accepting, finish
@@ -1467,6 +1729,7 @@ pub fn serve_with(
         engine,
         &config.refresh,
         config.quality.clone(),
+        config.admission.clone(),
         Arc::clone(&config.clock),
         config.n_shards,
         config.max_sessions,
@@ -1628,11 +1891,21 @@ fn run_poller(shared: Arc<Shared>) {
                     }
                     match shared.queue.try_push(conn) {
                         Ok(depth) => {
+                            shared
+                                .app
+                                .admission()
+                                .note_queue(depth, shared.config.queue_depth);
                             if cs2p_obs::enabled() {
                                 cs2p_obs::gauge_set("serve.queue_depth", depth as f64);
                             }
                         }
-                        Err(conn) => shared.reject(conn),
+                        Err(conn) => {
+                            shared
+                                .app
+                                .admission()
+                                .note_queue(shared.config.queue_depth, shared.config.queue_depth);
+                            shared.reject(conn);
+                        }
                     }
                 }
                 PollState::Closed => {
@@ -1691,6 +1964,12 @@ fn run_worker(shared: Arc<Shared>) {
     // hot path allocates nothing for framing.
     let mut scratch = IoScratch::new();
     while let Some(conn) = shared.queue.pop() {
+        // Workers draining the queue is what lets the ladder recover:
+        // every pop feeds the falling occupancy back to the controller.
+        shared
+            .app
+            .admission()
+            .note_queue(shared.queue.len(), shared.config.queue_depth);
         if cs2p_obs::enabled() {
             cs2p_obs::gauge_set("serve.queue_depth", shared.queue.len() as f64);
         }
@@ -1723,6 +2002,7 @@ fn serve_turn(mut conn: Conn, shared: &Shared, scratch: &mut IoScratch) {
                 let resp = shared.app.handle(&req);
                 let elapsed_us = shared.config.clock.now_micros().saturating_sub(start_us);
                 shared.app.monitor().record_latency_us(elapsed_us as f64);
+                shared.app.admission().note_latency(elapsed_us);
                 if cs2p_obs::enabled() {
                     cs2p_obs::quantile_observe("serve.request.latency_us", elapsed_us as f64);
                 }

@@ -32,6 +32,32 @@ fn fnv1a(id: u64) -> u64 {
     hash
 }
 
+/// Logical-tick width of the eviction-rate telemetry window (see
+/// [`SessionStore::pressure`]): the rate reported is over the last
+/// *completed* window of this many store accesses, so repeated reads
+/// between ticks see one consistent value.
+const PRESSURE_WINDOW_TICKS: u64 = 256;
+
+/// Point-in-time load view of the store — one consistent snapshot for
+/// both the admission controller and the `/ops` surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorePressure {
+    /// Live entries as a fraction of total capacity, in `[0, 1]`.
+    pub occupancy: f64,
+    /// Evictions per store access (logical tick) over the last completed
+    /// telemetry window of [`PRESSURE_WINDOW_TICKS`] accesses; `0.0`
+    /// until the first window completes.
+    pub eviction_rate: f64,
+}
+
+/// Rolling bookkeeping behind [`SessionStore::pressure`].
+#[derive(Debug, Default)]
+struct PressureWindow {
+    start_tick: u64,
+    start_evicted: u64,
+    rate: f64,
+}
+
 struct Entry<V> {
     value: V,
     last_touch: u64,
@@ -55,6 +81,7 @@ pub struct SessionStore<V> {
     evicted: AtomicU64,
     live: AtomicUsize,
     sink: Option<EvictionSink<V>>,
+    pressure: Mutex<PressureWindow>,
 }
 
 impl<V> SessionStore<V> {
@@ -72,6 +99,7 @@ impl<V> SessionStore<V> {
             evicted: AtomicU64::new(0),
             live: AtomicUsize::new(0),
             sink: None,
+            pressure: Mutex::new(PressureWindow::default()),
         }
     }
 
@@ -107,6 +135,32 @@ impl<V> SessionStore<V> {
     /// Sessions evicted so far (TTL or LRU; explicit removes not counted).
     pub fn evicted(&self) -> u64 {
         self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// A cheap point-in-time load view: occupancy fraction plus the
+    /// eviction rate over the last completed telemetry window of store
+    /// accesses. The admission controller and `/ops` both read this one
+    /// snapshot instead of stitching their own from raw counters.
+    pub fn pressure(&self) -> StorePressure {
+        let capacity = self.capacity();
+        let occupancy = if capacity == 0 {
+            0.0
+        } else {
+            (self.len() as f64 / capacity as f64).clamp(0.0, 1.0)
+        };
+        let tick = self.tick.load(Ordering::Relaxed);
+        let evicted = self.evicted();
+        let mut w = self.pressure.lock();
+        let elapsed = tick.saturating_sub(w.start_tick);
+        if elapsed >= PRESSURE_WINDOW_TICKS {
+            w.rate = evicted.saturating_sub(w.start_evicted) as f64 / elapsed as f64;
+            w.start_tick = tick;
+            w.start_evicted = evicted;
+        }
+        StorePressure {
+            occupancy,
+            eviction_rate: w.rate,
+        }
     }
 
     /// Forcibly evicts `id` right now (chaos/ops hook): counted both as a
@@ -255,8 +309,14 @@ impl<V> ShardGuard<'_, V> {
     /// eviction sink, if any. Runs under the shard lock.
     fn report_evicted(&self, id: u64, value: V) {
         self.store.evicted.fetch_add(1, Ordering::Relaxed);
-        self.store.live.fetch_sub(1, Ordering::Relaxed);
+        let live = self.store.live.fetch_sub(1, Ordering::Relaxed) - 1;
         cs2p_obs::counter_add("serve.evicted", 1);
+        // Keep the occupancy gauge honest on the way *down* too — it
+        // used to be refreshed only by the predict path, so a burst of
+        // evictions left it stale until the next successful predict.
+        if cs2p_obs::enabled() {
+            cs2p_obs::gauge_set("serve.sessions", live as f64);
+        }
         if let Some(sink) = &self.store.sink {
             sink(id, value);
         }
@@ -329,7 +389,10 @@ impl<V> ShardGuard<'_, V> {
     pub fn remove(&mut self, id: u64) -> Option<V> {
         let out = self.guard.remove(&id).map(|e| e.value);
         if out.is_some() {
-            self.store.live.fetch_sub(1, Ordering::Relaxed);
+            let live = self.store.live.fetch_sub(1, Ordering::Relaxed) - 1;
+            if cs2p_obs::enabled() {
+                cs2p_obs::gauge_set("serve.sessions", live as f64);
+            }
         }
         out
     }
@@ -436,6 +499,29 @@ mod tests {
             "remove leaked: {seen:?}"
         );
         assert_eq!(store.evicted() as usize, seen.len());
+    }
+
+    #[test]
+    fn pressure_reports_occupancy_and_windowed_eviction_rate() {
+        let store = SessionStore::new(1, 4, None);
+        assert_eq!(store.pressure().occupancy, 0.0);
+        store.lock(1).insert(1, ());
+        store.lock(2).insert(2, ());
+        let p = store.pressure();
+        assert!((p.occupancy - 0.5).abs() < 1e-12, "{p:?}");
+        assert_eq!(p.eviction_rate, 0.0, "no completed window yet");
+        // Churn well past capacity for more than a full telemetry
+        // window: nearly every access evicts the LRU entry.
+        for id in 0..(3 * PRESSURE_WINDOW_TICKS) {
+            store.lock(id + 10).insert(id + 10, ());
+        }
+        let p = store.pressure();
+        assert!((p.occupancy - 1.0).abs() < 1e-12, "{p:?}");
+        assert!(p.eviction_rate > 0.5, "sustained churn must show: {p:?}");
+        // A quiet store keeps reporting the last completed window until
+        // the next one finishes (no mid-window flapping).
+        let again = store.pressure();
+        assert_eq!(again.eviction_rate, p.eviction_rate);
     }
 
     #[test]

@@ -197,6 +197,21 @@ fn soak_one_seed(seed: u64) -> (u64, usize) {
         "seed {seed}: no slow-peer aborts without injected delay"
     );
 
+    // Admission-ladder accounting: the ladder is disabled (default
+    // config), so every 200 is booked as a Full-level serve, nothing
+    // degrades, and the level never moves — exactly.
+    assert_eq!(
+        stats.admission.served_full
+            + stats.admission.served_degraded
+            + stats.admission.served_fallback,
+        stats.predictions_served,
+        "seed {seed}: ladder serve ledger out of balance"
+    );
+    assert_eq!(stats.admission.served_degraded, 0, "seed {seed}");
+    assert_eq!(stats.admission.served_fallback, 0, "seed {seed}");
+    assert_eq!(stats.admission.shed, 0, "seed {seed}");
+    assert_eq!(stats.admission.transitions, 0, "seed {seed}");
+
     // Blast-radius isolation: fault-free clients' sessions are
     // bit-identical to the golden run.
     for &id in &report.clean_sessions {
@@ -743,6 +758,138 @@ fn crash_restart_one_seed(seed: u64) -> u64 {
     survivors
 }
 
+/// Degradation-ladder accounting under the full multi-client workload:
+/// one fresh cohort of sessions per forced ladder level, then recovery.
+/// What must hold *exactly*, three ways at once (load report ↔ handle
+/// snapshot ↔ telemetry registry):
+///
+/// - every 200 is booked at exactly one ladder level, and the three
+///   level counters sum to `predictions_served`;
+/// - Degraded and Fallback answers all carry their provenance mark;
+/// - at Fallback, exactly the no-history registrations miss (one 503
+///   per session, booked as a fallback miss, not a shed);
+/// - at Shed, every request is refused and the server neither panics
+///   nor stops answering the next cohort after recovery;
+/// - the transition counter counts exactly the four forced level
+///   changes (Full→Degraded→Fallback→Shed→Full).
+fn ladder_accounting_one_seed(seed: u64) -> (u64, u64) {
+    use cs2p_net::AdmissionLevel;
+    let base = LoadConfig {
+        n_clients: 4,
+        n_sessions: 8,
+        epochs_per_session: 5,
+        horizon: 2,
+        seed,
+        session_id_base: 1_000,
+        ..LoadConfig::default()
+    };
+    let cohort = |base_id: u64| LoadConfig {
+        session_id_base: base_id,
+        ..base.clone()
+    };
+    let full0 = counter("serve.admission.full");
+    let degraded0 = counter("serve.admission.degraded");
+    let fallback0 = counter("serve.admission.fallback");
+    let shed0 = counter("serve.admission.shed");
+    let misses0 = counter("serve.admission.fallback_misses");
+    let transitions0 = counter("serve.admission.transitions");
+
+    let server = chaos_server();
+    let full_run = run_load(server.addr(), &base);
+    assert_eq!(full_run.ok, full_run.sent, "seed {seed}");
+    assert_eq!(full_run.degraded + full_run.fallback, 0, "seed {seed}");
+
+    server.force_admission_level(Some(AdmissionLevel::Degraded));
+    let degraded_run = run_load(server.addr(), &cohort(2_000));
+    assert_eq!(degraded_run.ok, degraded_run.sent, "seed {seed}");
+    assert_eq!(
+        degraded_run.degraded, degraded_run.ok,
+        "seed {seed}: every Degraded answer must carry provenance"
+    );
+
+    server.force_admission_level(Some(AdmissionLevel::Fallback));
+    let fallback_run = run_load(server.addr(), &cohort(3_000));
+    assert_eq!(
+        fallback_run.rejected, base.n_sessions as u64,
+        "seed {seed}: exactly the no-history registrations miss"
+    );
+    assert_eq!(
+        fallback_run.ok,
+        (base.n_sessions * (base.epochs_per_session - 1)) as u64,
+        "seed {seed}: every measurement-carrying epoch answers"
+    );
+    assert_eq!(fallback_run.fallback, fallback_run.ok, "seed {seed}");
+
+    server.force_admission_level(Some(AdmissionLevel::Shed));
+    let shed_run = run_load(server.addr(), &cohort(4_000));
+    assert_eq!(shed_run.ok, 0, "seed {seed}");
+    assert_eq!(shed_run.rejected, shed_run.sent, "seed {seed}");
+
+    server.force_admission_level(None);
+    assert_eq!(
+        server.admission_level(),
+        AdmissionLevel::Full,
+        "seed {seed}"
+    );
+    let recovered_run = run_load(server.addr(), &cohort(5_000));
+    assert_eq!(recovered_run.ok, recovered_run.sent, "seed {seed}");
+    assert_eq!(
+        recovered_run.degraded + recovered_run.fallback,
+        0,
+        "seed {seed}: recovery serves the full path again"
+    );
+
+    let stats = shutdown_bounded(server);
+    let snap = stats.admission;
+    assert_eq!(
+        snap.served_full + snap.served_degraded + snap.served_fallback,
+        stats.predictions_served,
+        "seed {seed}: ladder serve ledger out of balance"
+    );
+    assert_eq!(
+        snap.served_full,
+        full_run.ok + recovered_run.ok,
+        "seed {seed}"
+    );
+    assert_eq!(snap.served_degraded, degraded_run.ok, "seed {seed}");
+    assert_eq!(snap.served_fallback, fallback_run.ok, "seed {seed}");
+    assert_eq!(snap.shed, shed_run.rejected, "seed {seed}");
+    assert_eq!(snap.fallback_misses, fallback_run.rejected, "seed {seed}");
+    assert_eq!(snap.transitions, 4, "seed {seed}");
+    // The telemetry registry agrees with the handle snapshot exactly.
+    assert_eq!(
+        counter("serve.admission.full") - full0,
+        snap.served_full,
+        "seed {seed}"
+    );
+    assert_eq!(
+        counter("serve.admission.degraded") - degraded0,
+        snap.served_degraded,
+        "seed {seed}"
+    );
+    assert_eq!(
+        counter("serve.admission.fallback") - fallback0,
+        snap.served_fallback,
+        "seed {seed}"
+    );
+    assert_eq!(
+        counter("serve.admission.shed") - shed0,
+        snap.shed,
+        "seed {seed}"
+    );
+    assert_eq!(
+        counter("serve.admission.fallback_misses") - misses0,
+        snap.fallback_misses,
+        "seed {seed}"
+    );
+    assert_eq!(
+        counter("serve.admission.transitions") - transitions0,
+        snap.transitions,
+        "seed {seed}"
+    );
+    (snap.served_degraded + snap.served_fallback, snap.shed)
+}
+
 #[test]
 fn seeded_chaos_schedules_are_survived_with_exact_accounting() {
     cs2p_obs::set_enabled(true);
@@ -796,5 +943,21 @@ fn seeded_chaos_schedules_are_survived_with_exact_accounting() {
         total_survivors > 0,
         "no session ever survived a crash across the seed matrix"
     );
+
+    // Degradation-ladder accounting pass: forced ladder levels under
+    // the full workload, with exact level accounting across the load
+    // report, the handle snapshot, and the telemetry registry.
+    let mut ladder_degraded = 0;
+    let mut ladder_shed = 0;
+    for seed in seeds().into_iter().take(2) {
+        let (non_full, shed) = ladder_accounting_one_seed(seed);
+        ladder_degraded += non_full;
+        ladder_shed += shed;
+    }
+    assert!(
+        ladder_degraded > 0,
+        "no degraded/fallback answer was ever served"
+    );
+    assert!(ladder_shed > 0, "no request was ever shed");
     cs2p_obs::set_enabled(false);
 }

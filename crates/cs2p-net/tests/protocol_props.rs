@@ -5,8 +5,8 @@
 
 use cs2p_net::http::{read_response, Response, MAX_BODY_BYTES};
 use cs2p_net::protocol::{
-    BatchEntryResult, BatchPredictRequest, BatchPredictResponse, Health, LogStats, PredictRequest,
-    PredictResponse, SessionLog, StrategyStats, MAX_BATCH_ENTRIES,
+    BatchEntryResult, BatchPredictRequest, BatchPredictResponse, Degradation, Health, LogStats,
+    PredictRequest, PredictResponse, SessionLog, StrategyStats, MAX_BATCH_ENTRIES,
 };
 use cs2p_net::{serve, ServerHandle};
 use cs2p_testkit::scenarios::tiny_engine;
@@ -65,15 +65,24 @@ fn arb_predict_request() -> impl Strategy<Value = PredictRequest> {
     )
 }
 
+fn arb_degradation() -> impl Strategy<Value = Option<Degradation>> {
+    (0usize..3).prop_map(|pick| match pick {
+        0 => None,
+        1 => Some(Degradation::Degraded),
+        _ => Some(Degradation::Fallback),
+    })
+}
+
 fn arb_batch_entry_result() -> impl Strategy<Value = BatchEntryResult> {
     (
         0usize..3,
         any::<bool>(),
         (any::<bool>(), "[ -~]{0,32}"),
         prop::collection::vec(0.0f64..1e9, 0..5),
+        arb_degradation(),
     )
         .prop_map(
-            |(status_pick, with_response, (with_error, error), predictions)| {
+            |(status_pick, with_response, (with_error, error), predictions, degradation)| {
                 BatchEntryResult {
                     status: [200u16, 400, 404][status_pick],
                     // Deliberately decoupled from `status`: the wire format
@@ -84,6 +93,7 @@ fn arb_batch_entry_result() -> impl Strategy<Value = BatchEntryResult> {
                         cluster_sessions: 1,
                         cluster_hit: true,
                         model_version: 1,
+                        degradation,
                     }),
                     error: with_error.then_some(error),
                 }
@@ -118,6 +128,7 @@ proptest! {
         cluster_sessions in 0usize..1_000_000,
         cluster_hit in any::<bool>(),
         model_version in any::<u64>(),
+        degradation in arb_degradation(),
     ) {
         let resp = PredictResponse {
             predictions_mbps: predictions,
@@ -125,6 +136,7 @@ proptest! {
             cluster_sessions,
             cluster_hit,
             model_version,
+            degradation,
         };
         prop_assert_eq!(roundtrip(&resp), resp);
     }

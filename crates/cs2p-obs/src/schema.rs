@@ -214,9 +214,10 @@ pub fn validate_jsonl(text: &str) -> Result<Coverage, Vec<String>> {
 /// - `span` records are dropped (their durations are wall time);
 /// - `histogram` and `quantile` records whose name ends in `.us` are
 ///   dropped (latency distributions);
-/// - records whose name starts with `serve.` or `client.retry.` are
-///   dropped entirely: the serving layer's queue depths, accept/reject
-///   counters, eviction counts, fault telemetry, and the client's retry
+/// - records whose name starts with `serve.`, `client.retry.`, or
+///   `client.breaker.` are dropped entirely: the serving layer's queue
+///   depths, accept/reject counters, eviction counts, admission-ladder
+///   accounting, fault telemetry, and the client's retry/circuit-breaker
 ///   accounting depend on connection timing and worker scheduling, not
 ///   on the model pipeline's inputs;
 /// - field keys ending in `_us` are removed;
@@ -256,7 +257,10 @@ pub fn normalize_for_determinism(text: &str) -> String {
         if (kind == "histogram" || kind == "quantile") && name.ends_with(".us") {
             continue;
         }
-        if name.starts_with("serve.") || name.starts_with("client.retry.") {
+        if name.starts_with("serve.")
+            || name.starts_with("client.retry.")
+            || name.starts_with("client.breaker.")
+        {
             continue;
         }
         let kept: Vec<(String, Value)> = fields
@@ -396,10 +400,15 @@ mod tests {
             "\n",
             r#"{"ts_us":6,"kind":"counter","name":"serve.fault.bad_frames","value":1}"#,
             "\n",
+            r#"{"ts_us":7,"kind":"counter","name":"serve.admission.shed","value":4}"#,
+            "\n",
+            r#"{"ts_us":8,"kind":"counter","name":"client.breaker.opens","value":1}"#,
+            "\n",
         );
         let norm = normalize_for_determinism(text);
         assert!(!norm.contains("serve."), "{norm}");
         assert!(!norm.contains("client.retry."), "{norm}");
+        assert!(!norm.contains("client.breaker."), "{norm}");
         assert!(norm.contains("predict.server.served"));
         assert_eq!(normalize_for_determinism(&norm), norm);
     }

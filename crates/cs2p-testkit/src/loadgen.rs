@@ -27,7 +27,7 @@
 
 use cs2p_net::http::{Request, Response};
 use cs2p_net::protocol::{
-    BatchPredictRequest, BatchPredictResponse, PredictRequest, PredictResponse,
+    BatchPredictRequest, BatchPredictResponse, Degradation, PredictRequest, PredictResponse,
 };
 use cs2p_net::HttpClient;
 use rand::{Rng, SeedableRng};
@@ -144,6 +144,12 @@ pub struct LoadReport {
     pub reinit: u64,
     /// Transport errors and unexpected statuses.
     pub errors: u64,
+    /// 200 answers served at the server's Degraded ladder level
+    /// (cluster-prior predictions; see `cs2p_net::AdmissionLevel`).
+    pub degraded: u64,
+    /// 200 answers served at the Fallback ladder level (harmonic-mean
+    /// predictions from the session's own recent measurements).
+    pub fallback: u64,
     /// Per-session prediction vectors, in that session's epoch order.
     pub predictions: BTreeMap<u64, Vec<Vec<f64>>>,
 }
@@ -155,7 +161,18 @@ impl LoadReport {
         self.rejected += other.rejected;
         self.reinit += other.reinit;
         self.errors += other.errors;
+        self.degraded += other.degraded;
+        self.fallback += other.fallback;
         self.predictions.extend(other.predictions);
+    }
+
+    /// Books one 200 answer's degradation provenance.
+    fn note_degradation(&mut self, degradation: Option<Degradation>) {
+        match degradation {
+            Some(Degradation::Degraded) => self.degraded += 1,
+            Some(Degradation::Fallback) => self.fallback += 1,
+            None => {}
+        }
     }
 }
 
@@ -231,6 +248,7 @@ fn run_client(addr: SocketAddr, config: &LoadConfig, client_idx: usize) -> LoadR
                     match serde_json::from_slice::<PredictResponse>(&resp.body) {
                         Ok(presp) => {
                             report.ok += 1;
+                            report.note_degradation(presp.degradation);
                             report
                                 .predictions
                                 .entry(id)
@@ -314,6 +332,7 @@ fn run_client_batched(
                             match (r.status, &r.response) {
                                 (200, Some(presp)) => {
                                     report.ok += 1;
+                                    report.note_degradation(presp.degradation);
                                     report
                                         .predictions
                                         .entry(preq.session_id)
@@ -358,6 +377,7 @@ fn reregister(client: &mut HttpClient, report: &mut LoadReport, preq: &PredictRe
         Ok(r2) if r2.status == 200 => match serde_json::from_slice::<PredictResponse>(&r2.body) {
             Ok(presp) => {
                 report.ok += 1;
+                report.note_degradation(presp.degradation);
                 report
                     .predictions
                     .entry(preq.session_id)
